@@ -1,0 +1,173 @@
+package bimode
+
+import (
+	"fmt"
+
+	"bimode/internal/analysis"
+	"bimode/internal/core"
+	"bimode/internal/fetch"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+	"bimode/internal/zoo"
+)
+
+// Predictor is the interface every branch predictor implements; see the
+// simulation protocol on the underlying definition (Predict then Update,
+// once per dynamic branch, in order).
+type Predictor = predictor.Predictor
+
+// Indexed is implemented by predictors that expose which second-level
+// counter a lookup consults; the bias analysis requires it.
+type Indexed = predictor.Indexed
+
+// BiMode is the paper's predictor.
+type BiMode = core.BiMode
+
+// BiModeConfig parameterizes a bi-mode predictor.
+type BiModeConfig = core.Config
+
+// NewBiMode builds a bi-mode predictor from an explicit configuration.
+func NewBiMode(cfg BiModeConfig) (*BiMode, error) { return core.New(cfg) }
+
+// DefaultBiMode builds the paper's canonical shape: a choice table the
+// size of one direction bank and full-length history, with banks of
+// 2^bankBits two-bit counters (total cost 3*2^bankBits counters).
+func DefaultBiMode(bankBits int) *BiMode { return core.MustNew(core.DefaultConfig(bankBits)) }
+
+// NewPredictor constructs any predictor in the repository from a spec
+// string such as "bimode:b=11", "gshare:i=12,h=8", "smith:a=12",
+// "agree:i=12,h=12", "gskew:b=10,h=10" or "yags:c=11,e=10,h=10". See
+// internal/zoo for the full grammar.
+func NewPredictor(spec string) (Predictor, error) { return zoo.New(spec) }
+
+// PredictorSpecs lists one example spec per predictor family.
+func PredictorSpecs() []string { return zoo.Known() }
+
+// Record is one dynamic conditional branch of a trace.
+type Record = trace.Record
+
+// Source produces identical replayable branch streams.
+type Source = trace.Source
+
+// Stream is a single pass over a branch trace.
+type Stream = trace.Stream
+
+// WorkloadOptions adjusts a workload when it is instantiated.
+type WorkloadOptions = workloads.Options
+
+// Workload instantiates a named workload: one of the fourteen calibrated
+// benchmark stand-ins ("gcc", "go", "vortex", ..., "video_play") or an
+// instrumented program ("lzw", "expr", "minilisp", "sortbench",
+// "playout").
+func Workload(name string, opts WorkloadOptions) (Source, error) {
+	return workloads.Get(name, opts)
+}
+
+// WorkloadNames lists every registered workload.
+func WorkloadNames() []string { return workloads.Names() }
+
+// Materialize drains a source into memory so repeated simulations replay
+// it cheaply.
+func Materialize(src Source) Source { return trace.Materialize(src) }
+
+// Result summarizes one simulation run.
+type Result = sim.Result
+
+// Run simulates a predictor over a fresh stream of the source and
+// returns misprediction statistics.
+func Run(p Predictor, src Source) Result { return sim.Run(p, src) }
+
+// Job is one (predictor, workload) cell of a parallel sweep.
+type Job = sim.Job
+
+// RunAll executes jobs in parallel and returns results in job order.
+func RunAll(jobs []Job) []Result { return sim.RunAll(jobs) }
+
+// Study is a two-pass bias-class analysis (paper Section 4).
+type Study = analysis.Study
+
+// RunStudy performs the bias analysis of a predictor (which must
+// implement Indexed) over a workload.
+func RunStudy(mk func() Predictor, src Source) (*Study, error) {
+	return analysis.RunStudy(mk, src)
+}
+
+// CostBytes reports a predictor's hardware cost in bytes of counter
+// state, the paper's size metric.
+func CostBytes(p Predictor) float64 { return predictor.CostBytes(p) }
+
+// TriMode is the repository's extension of bi-mode along the paper's
+// future-work direction: a third direction bank isolating weakly biased
+// branches.
+type TriMode = core.TriMode
+
+// NewTriMode builds a tri-mode predictor from a bi-mode configuration.
+func NewTriMode(cfg BiModeConfig) (*TriMode, error) { return core.NewTriMode(cfg) }
+
+// RunDelayed simulates with a resolution lag: each branch's outcome is
+// applied only after `lag` further predictions, modeling non-speculative
+// predictor update in a pipeline.
+func RunDelayed(p Predictor, src Source, lag int) Result { return sim.RunDelayed(p, src, lag) }
+
+// RunSpeculative simulates realistic speculative history management with
+// checkpoint/repair and refetch; the predictor must implement
+// SpeculativeHistory (gshare and bi-mode do).
+func RunSpeculative(p Predictor, src Source, lag int) Result {
+	return sim.RunSpeculative(p, src, lag)
+}
+
+// SpeculativeHistory is the capability RunSpeculative requires.
+type SpeculativeHistory = predictor.SpeculativeHistory
+
+// PipelineModel converts misprediction rates into CPI estimates.
+type PipelineModel = sim.PipelineModel
+
+// DefaultPipeline models a Pentium Pro-class machine of the paper's era.
+func DefaultPipeline() PipelineModel { return sim.DefaultPipeline() }
+
+// InterferenceBreakdown decomposes mispredictions into compulsory,
+// conflict and intrinsic components.
+type InterferenceBreakdown = analysis.InterferenceBreakdown
+
+// MeasureInterference runs the conflict/capacity decomposition for a
+// predictor implementing Indexed.
+func MeasureInterference(p Predictor, src Source) (InterferenceBreakdown, error) {
+	return analysis.MeasureInterference(p, src)
+}
+
+// ControlSource produces control-flow traces (conditional branches with
+// targets, calls, returns, jumps); the synthetic benchmarks implement it.
+type ControlSource = trace.ControlSource
+
+// FetchEngine is the front-end model: direction predictor + branch
+// target buffer + return address stack.
+type FetchEngine = fetch.Engine
+
+// FetchConfig assembles a front end.
+type FetchConfig = fetch.Config
+
+// FetchMetrics aggregates a front-end simulation.
+type FetchMetrics = fetch.Metrics
+
+// NewFetchEngine builds a front end; see fetch.Config for the knobs.
+func NewFetchEngine(cfg FetchConfig) *FetchEngine { return fetch.NewEngine(cfg) }
+
+// ControlWorkload instantiates a named synthetic benchmark as a
+// control-flow trace source (the instrumented programs only produce
+// direction traces).
+func ControlWorkload(name string, opts WorkloadOptions) (ControlSource, error) {
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bimode: no control-flow model for workload %q (synthetic benchmarks only)", name)
+	}
+	if opts.Dynamic > 0 {
+		prof = prof.WithDynamic(opts.Dynamic)
+	}
+	if opts.Seed != 0 {
+		prof = prof.WithSeed(opts.Seed)
+	}
+	return synth.NewWorkload(prof)
+}

@@ -1,0 +1,82 @@
+package bimode_test
+
+import (
+	"testing"
+
+	"bimode"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	src, err := bimode.Workload("gcc", bimode.WorkloadOptions{Dynamic: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bimode.DefaultBiMode(10)
+	res := bimode.Run(p, src)
+	if res.Branches != 60000 {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+	if r := res.MispredictRate(); r <= 0 || r >= 0.5 {
+		t.Fatalf("mispredict rate %v implausible", r)
+	}
+	if bimode.CostBytes(p) != 3*1024*2/8 {
+		t.Fatalf("cost = %v", bimode.CostBytes(p))
+	}
+}
+
+func TestFacadeSpecAndNames(t *testing.T) {
+	if len(bimode.WorkloadNames()) == 0 || len(bimode.PredictorSpecs()) == 0 {
+		t.Fatalf("facade listings empty")
+	}
+	p, err := bimode.NewPredictor("gshare:i=10,h=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "gshare(10i,6h)" {
+		t.Fatalf("spec predictor name %q", p.Name())
+	}
+	if _, err := bimode.NewPredictor("bogus"); err == nil {
+		t.Fatalf("bad spec must fail")
+	}
+	if _, err := bimode.NewBiMode(bimode.BiModeConfig{BankBits: -1}); err == nil {
+		t.Fatalf("bad config must fail")
+	}
+}
+
+func TestFacadeParallelAndStudy(t *testing.T) {
+	src := bimode.Materialize(mustWorkload(t, "xlisp", 40000))
+	jobs := []bimode.Job{
+		{Make: func() bimode.Predictor { return bimode.DefaultBiMode(9) }, Source: src},
+		{Make: func() bimode.Predictor { return mustPredictor(t, "smith:a=10") }, Source: src},
+	}
+	results := bimode.RunAll(jobs)
+	if len(results) != 2 || results[0].Branches != 40000 {
+		t.Fatalf("parallel run wrong: %+v", results)
+	}
+
+	study, err := bimode.RunStudy(func() bimode.Predictor { return bimode.DefaultBiMode(8) }, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Branches != 40000 || len(study.Substreams) == 0 {
+		t.Fatalf("study incomplete")
+	}
+}
+
+func mustWorkload(t *testing.T, name string, n int) bimode.Source {
+	t.Helper()
+	src, err := bimode.Workload(name, bimode.WorkloadOptions{Dynamic: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func mustPredictor(t *testing.T, spec string) bimode.Predictor {
+	t.Helper()
+	p, err := bimode.NewPredictor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,100 @@
+// Command biasstudy runs the Section 4 bias-class analysis for one
+// predictor over one workload: area shares (Figures 5-6), the most
+// contended counter's normalized counts (Table 3), bias-class
+// interruption counts (Table 4), and misprediction attributed to each
+// class (Figures 7-8).
+//
+// Usage:
+//
+//	biasstudy -w gcc -p 'gshare:i=8,h=8'
+//	biasstudy -w go -p 'bimode:b=9' -n 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bimode/internal/analysis"
+	"bimode/internal/predictor"
+	"bimode/internal/textplot"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+	"bimode/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "biasstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("biasstudy", flag.ContinueOnError)
+	var (
+		wl      = fs.String("w", "gcc", "workload name")
+		spec    = fs.String("p", "gshare:i=8,h=8", "predictor spec (must expose counter indices)")
+		dynamic = fs.Int("n", 0, "dynamic branches (0 = calibrated default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := workloads.Get(*wl, workloads.Options{Dynamic: *dynamic})
+	if err != nil {
+		return err
+	}
+	mat := trace.Materialize(src)
+	if _, err := zoo.New(*spec); err != nil {
+		return err
+	}
+	study, err := analysis.RunStudy(func() predictor.Predictor { return zoo.MustNew(*spec) }, mat)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s: %d branches, %.2f%% mispredict, %d counters touched, %d substreams\n\n",
+		study.Predictor, study.Workload, study.Branches,
+		100*study.MispredictRate(), len(study.Counters), len(study.Substreams))
+
+	d, nd, w := study.AreaShares()
+	fmt.Println("bias breakdown (dynamic-weighted area shares, cf. Figures 5-6):")
+	fmt.Println(textplot.Bar("dominant", d, 40))
+	fmt.Println(textplot.Bar("non-dominant", nd, 40))
+	fmt.Println(textplot.Bar("WB", w, 40))
+
+	fmt.Println("\nmisprediction by bias class (cf. Figures 7-8):")
+	for _, c := range []analysis.Class{analysis.SNT, analysis.ST, analysis.WB} {
+		fmt.Println(textplot.Bar(c.String(), study.ClassRate(c), 40))
+	}
+
+	fmt.Printf("\nbias-class interruptions (cf. Table 4): dominant=%d non-dominant=%d WB=%d\n",
+		study.Interruptions[analysis.CatDominant],
+		study.Interruptions[analysis.CatNonDominant],
+		study.Interruptions[analysis.CatWB])
+
+	pcs := map[uint32]uint64{}
+	st := mat.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if _, seen := pcs[r.Static]; !seen {
+			pcs[r.Static] = r.PC &^ (1 << 63)
+		}
+	}
+	if ex, ok := analysis.FindExample(study, func(s uint32) uint64 { return pcs[s] }); ok {
+		fmt.Printf("\nmost contended counter (cf. Table 3): counter %d, dominant %s %.1f%%, WB %.1f%%\n",
+			ex.Counter, ex.DominantClass, 100*ex.DominantShare, 100*ex.WBShare)
+		rows := ex.Rows
+		if len(rows) > 8 {
+			rows = rows[:8]
+		}
+		for _, r := range rows {
+			fmt.Printf("  pc=0x%-8x count=%-8d taken=%-8d class=%-4s normalized=%5.1f%%\n",
+				r.PC, r.Count, r.Taken, r.Class, 100*r.Normalized)
+		}
+	}
+	return nil
+}

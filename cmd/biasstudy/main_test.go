@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestStudyGshare(t *testing.T) {
+	if err := run([]string{"-w", "xlisp", "-p", "gshare:i=8,h=8", "-n", "30000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyBiMode(t *testing.T) {
+	if err := run([]string{"-w", "compress", "-p", "bimode:b=7", "-n", "30000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	cases := [][]string{
+		{"-w", "bogus"},
+		{"-w", "xlisp", "-p", "bogus"},
+		{"-w", "xlisp", "-p", "taken"}, // not Indexed
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

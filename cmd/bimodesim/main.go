@@ -1,0 +1,140 @@
+// Command bimodesim runs one or more predictors over one or more workloads
+// and prints the misprediction rate and hardware cost of every pairing.
+//
+// Usage:
+//
+//	bimodesim [-n branches] [-seed s] -w gcc,go -p bimode:b=11,gshare:i=12
+//	bimodesim -list
+//
+// Workloads are the fourteen calibrated synthetic benchmarks (SPEC CINT95
+// and IBS-Ultrix stand-ins), the instrumented programs, a binary trace
+// file produced by tracegen (prefix with @, e.g. -w @gcc.trace), or a
+// user-defined profile (any name ending in .json; see synth.ReadProfile
+// for the schema).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+	"bimode/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bimodesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bimodesim", flag.ContinueOnError)
+	var (
+		workloadList = fs.String("w", "gcc", "comma-separated workload names, or @file for a saved trace")
+		predList     = fs.String("p", "bimode:b=11;gshare:i=12,h=12", "semicolon-separated predictor specs")
+		branches     = fs.Int("n", 0, "override dynamic branch count per workload (0 = profile default)")
+		seed         = fs.Uint64("seed", 0, "override workload seed (0 = profile default)")
+		list         = fs.Bool("list", false, "list available workloads and predictor specs, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("workloads:")
+		for _, name := range workloads.Names() {
+			fmt.Println("  " + name)
+		}
+		fmt.Println("predictor spec examples:")
+		for _, s := range zoo.Known() {
+			fmt.Println("  " + s)
+		}
+		return nil
+	}
+
+	var sources []trace.Source
+	for _, name := range strings.Split(*workloadList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if path, ok := strings.CutPrefix(name, "@"); ok {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			m, err := trace.Read(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("reading %s: %w", path, err)
+			}
+			sources = append(sources, m)
+			continue
+		}
+		if strings.HasSuffix(name, ".json") {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			prof, err := synth.ReadProfile(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if *branches > 0 {
+				prof = prof.WithDynamic(*branches)
+			}
+			if *seed != 0 {
+				prof = prof.WithSeed(*seed)
+			}
+			w, err := synth.NewWorkload(prof)
+			if err != nil {
+				return err
+			}
+			sources = append(sources, w)
+			continue
+		}
+		src, err := workloads.Get(name, workloads.Options{Dynamic: *branches, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		sources = append(sources, src)
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("no workloads selected")
+	}
+
+	var makes []func() predictor.Predictor
+	for _, spec := range strings.Split(*predList, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		if _, err := zoo.New(spec); err != nil { // validate early
+			return err
+		}
+		spec := spec
+		makes = append(makes, func() predictor.Predictor { return zoo.MustNew(spec) })
+	}
+	if len(makes) == 0 {
+		return fmt.Errorf("no predictors selected")
+	}
+
+	var jobs []sim.Job
+	for _, src := range sources {
+		mat := trace.Materialize(src)
+		for _, mk := range makes {
+			jobs = append(jobs, sim.Job{Make: mk, Source: mat})
+		}
+	}
+	for _, res := range sim.RunAll(jobs) {
+		fmt.Println(res)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	err := run([]string{"-w", "xlisp", "-p", "bimode:b=8;smith:a=9", "-n", "20000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-w", "unknown-bench", "-n", "1000"},
+		{"-w", "xlisp", "-p", "martian:x=1"},
+		{"-w", "", "-p", "smith:a=4"},
+		{"-w", "xlisp", "-p", ""},
+		{"-w", "@/nonexistent.trace"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	// Generate a trace with tracegen's machinery by writing one directly.
+	if err := run([]string{"-w", "compress", "-n", "5000", "-p", "smith:a=6"}); err != nil {
+		t.Fatal(err)
+	}
+	// Write a real trace file via the trace package by shelling through
+	// the tracegen flow is out of scope here; instead assert that a
+	// malformed file errors cleanly.
+	if err := os.WriteFile(path, []byte("BMT1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", "@" + path, "-p", "smith:a=6"}); err == nil {
+		t.Fatalf("malformed trace must fail")
+	}
+}
+
+func TestRunWithJSONProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mine.json")
+	profile := `{"name": "mine", "statics": 300, "dynamic": 15000, "frac_loop": 0.2, "frac_weak": 0.1}`
+	if err := os.WriteFile(path, []byte(profile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", path, "-p", "bimode:b=8"}); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed profile must fail cleanly.
+	if err := os.WriteFile(path, []byte(`{"statics": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", path, "-p", "bimode:b=8"}); err == nil {
+		t.Fatalf("invalid profile must fail")
+	}
+	if err := run([]string{"-w", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatalf("missing profile file must fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Command calibrate prints the diagnostic measurements used to calibrate
+// the synthetic workloads against the paper's benchmarks: intrinsic
+// predictability floors, per-branch history-pattern diversity, the
+// misprediction-vs-history-length curve, and per-behavior-class error.
+//
+// Usage:
+//
+//	calibrate -w gcc
+//	calibrate -w go -n 2000000 -i 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"bimode/internal/analysis"
+	"bimode/internal/baselines"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	var (
+		wl        = fs.String("w", "gcc", "synthetic benchmark name")
+		dynamic   = fs.Int("n", 1500000, "dynamic branches")
+		indexBits = fs.Int("i", 12, "table size (log2 counters) for the history sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, ok := synth.ProfileByName(*wl)
+	if !ok {
+		return fmt.Errorf("unknown synthetic benchmark %q", *wl)
+	}
+	prof = prof.WithDynamic(*dynamic)
+	src := trace.Materialize(synth.MustWorkload(prof))
+	kinds := synth.SiteKinds(prof)
+
+	floors(src, kinds)
+	diversity(src)
+	fmt.Printf("  %v\n", analysis.MeasureBiasDistribution(src))
+	historySweep(src, *indexBits)
+	return nil
+}
+
+// floors measures the best possible misprediction of per-static-majority
+// and per-(static, 12-bit history)-majority oracles — lower bounds for
+// address-indexed and history-indexed predictors respectively.
+func floors(src trace.Source, kinds []string) {
+	histMaj := map[uint64]*cnt{}
+	staticMaj := map[uint32]*cnt{}
+	perKindTot := map[string]int{}
+	var ghr uint64
+	n := 0
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		perKindTot[kinds[r.Static]]++
+		hk := uint64(r.Static)<<12 | ghr&0xFFF
+		for _, m := range []*cnt{getOr(histMaj, hk), getOrU32(staticMaj, r.Static)} {
+			if r.Taken {
+				m.t++
+			} else {
+				m.nt++
+			}
+		}
+		ghr = ghr<<1 | b2u(r.Taken)
+	}
+	missOf := func(c *cnt) int {
+		if c.nt < c.t {
+			return c.nt
+		}
+		return c.t
+	}
+	mh, ms := 0, 0
+	for _, c := range histMaj {
+		mh += missOf(c)
+	}
+	for _, c := range staticMaj {
+		ms += missOf(c)
+	}
+	fmt.Printf("%s: %d branches\n", src.Name(), n)
+	fmt.Printf("  oracle floors: per-static %.2f%%, per-(static,12h) %.2f%% (%d substream contexts)\n",
+		100*float64(ms)/float64(n), 100*float64(mh)/float64(n), len(histMaj))
+	var ks []string
+	for k := range perKindTot {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	fmt.Printf("  dynamic mix:")
+	for _, k := range ks {
+		fmt.Printf(" %s=%.1f%%", k, 100*float64(perKindTot[k])/float64(n))
+	}
+	fmt.Println()
+}
+
+// diversity reports dynamic-weighted history-pattern diversity per static
+// branch, the quantity that controls table contention.
+func diversity(src trace.Source) {
+	patterns := map[uint32]map[uint64]int{}
+	visits := map[uint32]int{}
+	var ghr uint64
+	n := 0
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		m := patterns[r.Static]
+		if m == nil {
+			m = map[uint64]int{}
+			patterns[r.Static] = m
+		}
+		m[ghr&0xFFF]++
+		visits[r.Static]++
+		ghr = ghr<<1 | b2u(r.Taken)
+	}
+	wPat, wEnt := 0.0, 0.0
+	for s, m := range patterns {
+		H := 0.0
+		for _, c := range m {
+			p := float64(c) / float64(visits[s])
+			H -= p * math.Log2(p)
+		}
+		wPat += float64(visits[s]) * float64(len(m))
+		wEnt += float64(visits[s]) * H
+	}
+	fmt.Printf("  12-bit window diversity (dyn-weighted): %.1f patterns/static, %.2f bits entropy/static\n",
+		wPat/float64(n), wEnt/float64(n))
+}
+
+// historySweep prints the misprediction-vs-history-length curve at one
+// table size; its shape (dip at moderate history, recovery toward full
+// history at large tables) is the calibration target.
+func historySweep(src trace.Source, indexBits int) {
+	sweep := sim.SweepGshare(indexBits, []trace.Source{src})
+	fmt.Printf("  gshare rate vs history at 2^%d counters:", indexBits)
+	for h := 0; h <= indexBits; h++ {
+		fmt.Printf(" %d:%.2f", h, 100*sweep[h][0].MispredictRate())
+	}
+	fmt.Println()
+	_ = baselines.NewSmith // keep import for future extensions
+}
+
+// cnt is a taken/not-taken tally.
+type cnt struct{ nt, t int }
+
+func getOr(m map[uint64]*cnt, k uint64) *cnt {
+	v := m[k]
+	if v == nil {
+		v = &cnt{}
+		m[k] = v
+	}
+	return v
+}
+
+func getOrU32(m map[uint32]*cnt, k uint32) *cnt {
+	v := m[k]
+	if v == nil {
+		v = &cnt{}
+		m[k] = v
+	}
+	return v
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestCalibrateRuns(t *testing.T) {
+	if err := run([]string{"-w", "xlisp", "-n", "30000", "-i", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if err := run([]string{"-w", "bogus"}); err == nil {
+		t.Fatalf("unknown benchmark must fail")
+	}
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatalf("bad flag must fail")
+	}
+}

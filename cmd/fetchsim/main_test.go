@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestFetchsim(t *testing.T) {
+	if err := run([]string{"-w", "sdet", "-p", "bimode:b=9", "-n", "30000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchsimErrors(t *testing.T) {
+	cases := [][]string{
+		{"-w", "lzw"}, // programs have no control-flow model
+		{"-w", "sdet", "-p", "martian"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

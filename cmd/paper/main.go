@@ -1,0 +1,230 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation section and writes the results to a directory (default
+// ./results) as text reports and CSV series.
+//
+// Usage:
+//
+//	paper                  # everything, default scale (paper counts / 8)
+//	paper -quick           # reduced dynamic budget for a fast smoke run
+//	paper -only fig2,table4
+//	paper -out mydir -n 3000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bimode/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "results", "output directory")
+		only    = fs.String("only", "", "comma-separated subset: table1,table2,fig2,fig3,fig4,table3,fig5,fig6,table4,fig7,fig8,rivals,programs,ctxswitch")
+		dynamic = fs.Int("n", 0, "override dynamic branches per workload (0 = calibrated defaults)")
+		quick   = fs.Bool("quick", false, "fast smoke run (600k branches per workload)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Dynamic: *dynamic}
+	if *quick && *dynamic == 0 {
+		cfg.Dynamic = 600000
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	emit := func(name, content string) error {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, content)
+		return nil
+	}
+
+	start := time.Now()
+
+	if sel("table1") {
+		if err := emit("table1.txt", experiments.RenderTable1(experiments.Table1())); err != nil {
+			return err
+		}
+	}
+	if sel("table2") {
+		if err := emit("table2.txt", experiments.RenderTable2(experiments.Table2(cfg))); err != nil {
+			return err
+		}
+	}
+
+	if sel("fig2") || sel("fig3") || sel("fig4") {
+		fmt.Fprintf(os.Stderr, "paper: running Figures 2-4 sweep (every gshare history length x every size x 14 benchmarks)...\n")
+		f := experiments.Figures234(cfg)
+		if sel("fig2") {
+			var b strings.Builder
+			b.WriteString(experiments.RenderSizeCurves(f.SPECAvg))
+			b.WriteString("\n")
+			b.WriteString(experiments.RenderSizeCurves(f.IBSAvg))
+			b.WriteString("\ngshare.best history bits per size:\n")
+			fmt.Fprintf(&b, "  SPEC: %v\n  IBS:  %v\n  (sizes 2^%v counters)\n",
+				f.BestHistorySPEC, f.BestHistoryIBS, f.SizeBits)
+			fmt.Fprintf(&b, "\ncost advantage of bi-mode over gshare.best at equal accuracy (upper half of axis):\n")
+			fmt.Fprintf(&b, "  SPEC: %s   IBS: %s\n",
+				formatAdvantage(experiments.CostAdvantage(f.SPECAvg)),
+				formatAdvantage(experiments.CostAdvantage(f.IBSAvg)))
+			if err := emit("figure2.txt", b.String()); err != nil {
+				return err
+			}
+			if err := emit("figure2.csv", experiments.CurvesCSV(append([]experiments.SizeCurves{f.SPECAvg}, f.IBSAvg))); err != nil {
+				return err
+			}
+		}
+		if sel("fig3") {
+			var b strings.Builder
+			for _, c := range f.SPEC {
+				b.WriteString(experiments.RenderSizeCurves(c))
+				b.WriteString("\n")
+			}
+			if err := emit("figure3.txt", b.String()); err != nil {
+				return err
+			}
+			if err := emit("figure3.csv", experiments.CurvesCSV(f.SPEC)); err != nil {
+				return err
+			}
+		}
+		if sel("fig4") {
+			var b strings.Builder
+			for _, c := range f.IBS {
+				b.WriteString(experiments.RenderSizeCurves(c))
+				b.WriteString("\n")
+			}
+			if err := emit("figure4.txt", b.String()); err != nil {
+				return err
+			}
+			if err := emit("figure4.csv", experiments.CurvesCSV(f.IBS)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if sel("fig5") {
+		hist, addr, err := experiments.Figure5("gcc", cfg)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderBreakdown(hist) + "\n" + experiments.RenderBreakdown(addr)
+		if err := emit("figure5.txt", content); err != nil {
+			return err
+		}
+		if err := emit("figure5.csv", experiments.BreakdownCSV(hist, addr)); err != nil {
+			return err
+		}
+	}
+	if sel("fig6") {
+		bm, err := experiments.Figure6("gcc", cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure6.txt", experiments.RenderBreakdown(bm)); err != nil {
+			return err
+		}
+	}
+	if sel("table3") {
+		ex, err := experiments.Table3("gcc", cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("table3.txt", experiments.RenderTable3(ex)); err != nil {
+			return err
+		}
+	}
+	if sel("table4") {
+		t, err := experiments.Table4("gcc", cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("table4.txt", experiments.RenderTable4(t)); err != nil {
+			return err
+		}
+	}
+	if sel("fig7") {
+		pts, err := experiments.Figures78("gcc", cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure7.txt", experiments.RenderFigures78("gcc", pts)); err != nil {
+			return err
+		}
+		if err := emit("figure7.csv", experiments.ClassBreakdownCSV("gcc", pts)); err != nil {
+			return err
+		}
+	}
+	if sel("programs") {
+		res, err := experiments.ProgramsCrossCheck(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("programs.txt", experiments.RenderProgramsCrossCheck(res)); err != nil {
+			return err
+		}
+	}
+	if sel("ctxswitch") {
+		rows, err := experiments.ContextSwitch("gcc", "sdet", 500, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("ctxswitch.txt", experiments.RenderContextSwitch("gcc", "sdet", 500, rows)); err != nil {
+			return err
+		}
+	}
+	if sel("rivals") {
+		rows := experiments.Rivals(cfg)
+		if err := emit("rivals.txt", experiments.RenderRivals(rows)); err != nil {
+			return err
+		}
+	}
+	if sel("fig8") {
+		pts, err := experiments.Figures78("go", cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure8.txt", experiments.RenderFigures78("go", pts)); err != nil {
+			return err
+		}
+		if err := emit("figure8.csv", experiments.ClassBreakdownCSV("go", pts)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "paper: done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// formatAdvantage renders a CostAdvantage result, marking lower bounds
+// (bi-mode better than anything gshare.best achieves in the swept range).
+func formatAdvantage(factor float64, lowerBound bool) string {
+	if lowerBound {
+		return fmt.Sprintf(">= %.2fx", factor)
+	}
+	return fmt.Sprintf("%.2fx", factor)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPaperSubset(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-only", "table1,table2,table3,table4,fig5,fig6,fig7,fig8", "-n", "30000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1.txt", "table2.txt", "table3.txt", "table4.txt",
+		"figure5.txt", "figure6.txt", "figure7.txt", "figure8.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}
+
+func TestPaperFig2Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-only", "fig2", "-n", "15000"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("empty csv")
+	}
+}
+
+func TestPaperErrors(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatalf("bad flag must fail")
+	}
+	if err := run([]string{"-out", "/dev/null/impossible"}); err == nil {
+		t.Fatalf("bad output dir must fail")
+	}
+}

@@ -1,0 +1,203 @@
+// Command sweep runs size sweeps in the style of the paper's Figures 2-4
+// for an arbitrary set of schemes, printing a rate-vs-size table per
+// workload and a suite average.
+//
+// Usage:
+//
+//	sweep -w gcc,go,vortex -min 10 -max 15
+//	sweep -w all-spec -schemes bimode,gshare1,gsharebest,smith,agree,gskew,yags
+//	sweep -w gcc -n 3000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+)
+
+// scheme builds a predictor at a given size point (2^s counters of
+// gshare-equivalent budget).
+type scheme struct {
+	name string
+	mk   func(s int) predictor.Predictor
+	// cost returns the scheme's actual cost in bytes at size point s.
+	cost func(s int) float64
+	// sweep marks schemes that need the per-size gshare.best search.
+	sweep bool
+}
+
+func schemes() map[string]scheme {
+	gcost := func(s int) float64 { return float64(int(1)<<uint(s)) / 4 }
+	return map[string]scheme{
+		"gshare1": {
+			name: "gshare.1PHT",
+			mk:   func(s int) predictor.Predictor { return baselines.NewGshare(s, s) },
+			cost: gcost,
+		},
+		"gsharebest": {name: "gshare.best", sweep: true, cost: gcost},
+		"bimode": {
+			name: "bi-mode",
+			mk:   func(s int) predictor.Predictor { return core.MustNew(core.DefaultConfig(s - 1)) },
+			cost: func(s int) float64 { return 3 * float64(int(1)<<uint(s-1)) / 4 },
+		},
+		"smith": {
+			name: "smith",
+			mk:   func(s int) predictor.Predictor { return baselines.NewSmith(s) },
+			cost: gcost,
+		},
+		"agree": {
+			name: "agree",
+			mk:   func(s int) predictor.Predictor { return baselines.NewAgree(s, s, s-2) },
+			cost: func(s int) float64 { return float64(int(1)<<uint(s))/4 + 2*float64(int(1)<<uint(s-2))/8 },
+		},
+		"gskew": {
+			name: "e-gskew",
+			mk:   func(s int) predictor.Predictor { return baselines.NewGskew(s-1, s-1, true) },
+			cost: func(s int) float64 { return 3 * float64(int(1)<<uint(s-1)) / 4 },
+		},
+		"yags": {
+			name: "yags",
+			mk:   func(s int) predictor.Predictor { return baselines.NewYAGS(s-1, s-2, s-2, 6) },
+			cost: func(s int) float64 {
+				return float64(int(1)<<uint(s-1))/4 + 2*float64(int(1)<<uint(s-2))*9/8
+			},
+		},
+		"trimode": {
+			name: "tri-mode",
+			mk:   func(s int) predictor.Predictor { return core.MustNewTriMode(core.DefaultConfig(s - 2)) },
+			cost: func(s int) float64 {
+				n := int(1) << uint(s-2)
+				return float64(3*n*2+n*3) / 8
+			},
+		},
+		"filter": {
+			name: "filter",
+			mk:   func(s int) predictor.Predictor { return baselines.NewFilter(s, s, s-2, 32) },
+			cost: func(s int) float64 {
+				return float64(int(1)<<uint(s))/4 + 5*float64(int(1)<<uint(s-2))/8
+			},
+		},
+		"gag": {
+			name: "GAg",
+			mk:   func(s int) predictor.Predictor { return baselines.NewGAg(s) },
+			cost: gcost,
+		},
+		"pag": {
+			name: "PAg",
+			mk:   func(s int) predictor.Predictor { return baselines.NewPAg(10, s) },
+			cost: gcost,
+		},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		wl      = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
+		schemeL = fs.String("schemes", "gshare1,gsharebest,bimode", "comma list of schemes: gshare1,gsharebest,bimode,trimode,filter,smith,agree,gskew,yags,gag,pag")
+		minBits = fs.Int("min", 10, "log2 of the smallest gshare-equivalent counter count")
+		maxBits = fs.Int("max", 17, "log2 of the largest")
+		dynamic = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *minBits < 4 || *maxBits > 24 || *minBits > *maxBits {
+		return fmt.Errorf("size range [%d,%d] invalid", *minBits, *maxBits)
+	}
+
+	var sources []trace.Source
+	switch *wl {
+	case "all-spec":
+		sources = suite(synth.SuiteSPEC, *dynamic)
+	case "all-ibs":
+		sources = suite(synth.SuiteIBS, *dynamic)
+	case "all":
+		sources = append(suite(synth.SuiteSPEC, *dynamic), suite(synth.SuiteIBS, *dynamic)...)
+	default:
+		for _, name := range strings.Split(*wl, ",") {
+			src, err := workloads.Get(strings.TrimSpace(name), workloads.Options{Dynamic: *dynamic})
+			if err != nil {
+				return err
+			}
+			sources = append(sources, trace.Materialize(src))
+		}
+	}
+
+	known := schemes()
+	var sel []scheme
+	for _, k := range strings.Split(*schemeL, ",") {
+		sc, ok := known[strings.TrimSpace(k)]
+		if !ok {
+			return fmt.Errorf("unknown scheme %q", k)
+		}
+		sel = append(sel, sc)
+	}
+
+	// rate[scheme][size][workload]
+	for _, sc := range sel {
+		fmt.Printf("\n%s\n", sc.name)
+		fmt.Printf("%-12s", "workload")
+		for s := *minBits; s <= *maxBits; s++ {
+			fmt.Printf("%9.3gK", sc.cost(s)/1024)
+		}
+		fmt.Println()
+		perSize := make([][]sim.Result, 0, *maxBits-*minBits+1)
+		for s := *minBits; s <= *maxBits; s++ {
+			if sc.sweep {
+				best := sim.FindBestGshare(s, sources)
+				perSize = append(perSize, best.PerWorkload)
+				continue
+			}
+			s := s
+			jobs := make([]sim.Job, len(sources))
+			for i, src := range sources {
+				jobs[i] = sim.Job{Make: func() predictor.Predictor { return sc.mk(s) }, Source: src}
+			}
+			perSize = append(perSize, sim.RunAll(jobs))
+		}
+		for i, src := range sources {
+			fmt.Printf("%-12s", src.Name())
+			for j := range perSize {
+				fmt.Printf("%10.2f", 100*perSize[j][i].MispredictRate())
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-12s", "AVERAGE")
+		for j := range perSize {
+			fmt.Printf("%10.2f", 100*sim.AverageRate(perSize[j]))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func suite(name string, dynamic int) []trace.Source {
+	var out []trace.Source
+	for _, p := range synth.Profiles() {
+		if p.Suite != name {
+			continue
+		}
+		if dynamic > 0 {
+			p = p.WithDynamic(dynamic)
+		}
+		out = append(out, trace.Materialize(synth.MustWorkload(p)))
+	}
+	return out
+}

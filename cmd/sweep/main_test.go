@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestSweepBasic(t *testing.T) {
+	err := run([]string{"-w", "xlisp,compress", "-schemes", "gshare1,bimode,smith", "-min", "8", "-max", "9", "-n", "20000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepBest(t *testing.T) {
+	err := run([]string{"-w", "xlisp", "-schemes", "gsharebest", "-min", "8", "-max", "8", "-n", "20000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRivals(t *testing.T) {
+	err := run([]string{"-w", "lzw", "-schemes", "agree,gskew,yags,gag,pag", "-min", "8", "-max", "8", "-n", "20000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-w", "bogus-bench", "-min", "8", "-max", "8"},
+		{"-schemes", "warlock", "-min", "8", "-max", "8"},
+		{"-min", "12", "-max", "8"},
+		{"-min", "2", "-max", "30"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

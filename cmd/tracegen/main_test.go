@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.trace")
+	if err := run([]string{"-w", "verilog", "-n", "10000", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-w", "verilog"},
+		{"-o", "/tmp/x.trace"},
+		{"-w", "bogus", "-o", filepath.Join(t.TempDir(), "y.trace")},
+		{"-info", "/nonexistent-file.trace"},
+		{"-w", "verilog", "-n", "100", "-o", "/nonexistent-dir/zzz/x.trace"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestProgramWorkloadTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.trace")
+	if err := run([]string{"-w", "lzw", "-n", "5000", "-o", path, "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONProfileTrace(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "mine.json")
+	if err := os.WriteFile(prof, []byte(`{"name":"mine","statics":200,"dynamic":8000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "mine.trace")
+	if err := run([]string{"-w", prof, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", out}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid profile must fail.
+	if err := os.WriteFile(prof, []byte(`{"statics":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", prof, "-o", out}); err == nil {
+		t.Fatalf("invalid profile must fail")
+	}
+}

@@ -1,0 +1,29 @@
+// Package bimode is a Go reproduction of "The Bi-Mode Branch Predictor"
+// (Lee, Chen, and Mudge, MICRO-30, 1997): the bi-mode predictor itself,
+// every baseline predictor the paper measures against, trace-driven
+// simulation, calibrated synthetic stand-ins for the paper's SPEC CINT95
+// and IBS-Ultrix workloads, and the Section 4 bias-class analysis.
+//
+// This root package is the public facade: it re-exports the pieces a
+// downstream user needs to build predictors, run workloads, and measure
+// accuracy. The implementation lives under internal/ (one package per
+// subsystem; see DESIGN.md for the inventory), the runnable experiment
+// drivers under cmd/, and worked examples under examples/.
+//
+// # Quick start
+//
+//	src, _ := bimode.Workload("gcc", bimode.WorkloadOptions{})
+//	p := bimode.DefaultBiMode(11) // 2^11-counter banks, 1.5 KB total
+//	res := bimode.Run(p, src)
+//	fmt.Printf("%s on %s: %.2f%% mispredict\n",
+//		p.Name(), src.Name(), 100*res.MispredictRate())
+//
+// To compare against the paper's baselines, construct predictors from
+// spec strings ("gshare:i=12,h=12", "smith:a=12", "agree:i=12,h=12",
+// ...) with NewPredictor, or implement the Predictor interface directly
+// and feed it to Run.
+//
+// To regenerate the paper's tables and figures, run:
+//
+//	go run ./cmd/paper
+package bimode

@@ -1,0 +1,137 @@
+// Custom predictor: implement the bimode.Predictor interface from
+// scratch — here a small perceptron-style predictor (a later research
+// direction than the paper) — and evaluate it against bi-mode and gshare
+// with the repository's own harness. Demonstrates that the public API is
+// enough to plug in new designs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bimode"
+)
+
+// perceptron is a minimal global-history perceptron predictor: one row
+// of signed weights per branch (selected by PC), dot-product with the
+// history bits decides the direction; trained on mispredictions or weak
+// outputs.
+type perceptron struct {
+	rows    [][]int8
+	history []int8 // +1 taken, -1 not-taken
+	theta   int32
+	rowMask uint64
+}
+
+func newPerceptron(rowBits, histLen int) *perceptron {
+	rows := make([][]int8, 1<<uint(rowBits))
+	for i := range rows {
+		rows[i] = make([]int8, histLen+1) // +1 bias weight
+	}
+	hist := make([]int8, histLen)
+	for i := range hist {
+		hist[i] = -1
+	}
+	return &perceptron{
+		rows:    rows,
+		history: hist,
+		theta:   int32(1.93*float64(histLen) + 14), // Jimenez & Lin's threshold
+		rowMask: 1<<uint(rowBits) - 1,
+	}
+}
+
+func (p *perceptron) Name() string {
+	return fmt.Sprintf("perceptron(%dr,%dh)", len(p.rows), len(p.history))
+}
+
+func (p *perceptron) row(pc uint64) []int8 { return p.rows[(pc>>2)&p.rowMask] }
+
+func (p *perceptron) output(pc uint64) int32 {
+	w := p.row(pc)
+	sum := int32(w[0]) // bias weight
+	for i, h := range p.history {
+		sum += int32(w[i+1]) * int32(h)
+	}
+	return sum
+}
+
+func (p *perceptron) Predict(pc uint64) bool { return p.output(pc) >= 0 }
+
+func (p *perceptron) Update(pc uint64, taken bool) {
+	out := p.output(pc)
+	t := int32(-1)
+	if taken {
+		t = 1
+	}
+	mispredicted := (out >= 0) != taken
+	if mispredicted || abs32(out) <= p.theta {
+		w := p.row(pc)
+		w[0] = clampWeight(int32(w[0]) + t)
+		for i, h := range p.history {
+			w[i+1] = clampWeight(int32(w[i+1]) + t*int32(h))
+		}
+	}
+	copy(p.history[1:], p.history[:len(p.history)-1])
+	p.history[0] = int8(t)
+}
+
+func (p *perceptron) Reset() {
+	for _, w := range p.rows {
+		for i := range w {
+			w[i] = 0
+		}
+	}
+	for i := range p.history {
+		p.history[i] = -1
+	}
+}
+
+// CostBits charges 8 bits per weight.
+func (p *perceptron) CostBits() int { return len(p.rows) * len(p.rows[0]) * 8 }
+
+func clampWeight(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// The interface check is the contract this example demonstrates.
+var _ bimode.Predictor = (*perceptron)(nil)
+
+func main() {
+	for _, name := range []string{"gcc", "go", "expr"} {
+		src, err := bimode.Workload(name, bimode.WorkloadOptions{Dynamic: 500_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		workload := bimode.Materialize(src)
+		predictors := []bimode.Predictor{
+			newPerceptron(8, 16),
+			bimode.DefaultBiMode(11),
+			must(bimode.NewPredictor("gshare:i=12,h=12")),
+		}
+		for _, p := range predictors {
+			res := bimode.Run(p, workload)
+			fmt.Printf("%-10s %-22s %7.0fB  %5.2f%% mispredict\n",
+				name, p.Name(), bimode.CostBytes(p), 100*res.MispredictRate())
+		}
+	}
+}
+
+func must(p bimode.Predictor, err error) bimode.Predictor {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,35 @@
+// Quickstart: build the paper's bi-mode predictor, run it over the gcc
+// benchmark stand-in, and print its accuracy and hardware cost next to a
+// same-budget gshare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bimode"
+)
+
+func main() {
+	src, err := bimode.Workload("gcc", bimode.WorkloadOptions{Dynamic: 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := bimode.Materialize(src) // replayable in-memory trace
+
+	// The paper's predictor: two 2^11-counter direction banks plus a
+	// 2^11-counter choice table = 1.5 KB of two-bit counters.
+	bm := bimode.DefaultBiMode(11)
+
+	// A gshare with the same direction-storage budget for comparison.
+	gs, err := bimode.NewPredictor("gshare:i=12,h=12")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range []bimode.Predictor{bm, gs} {
+		res := bimode.Run(p, workload)
+		fmt.Printf("%-22s %6.0f bytes  %8d branches  %5.2f%% mispredict\n",
+			p.Name(), bimode.CostBytes(p), res.Branches, 100*res.MispredictRate())
+	}
+}

@@ -1,0 +1,96 @@
+// Shootout: compare every predictor family in the repository — static,
+// Smith, two-level, gshare, bi-mode, agree, e-gskew, YAGS — over a mix of
+// synthetic benchmarks and instrumented real programs, at roughly equal
+// hardware budgets, in one parallel sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"bimode"
+)
+
+func main() {
+	specs := []string{
+		"taken",
+		"btfn",
+		"smith:a=12",
+		"gag:h=12",
+		"pas:b=10,h=8,s=4",
+		"gshare:i=12,h=12",
+		"gshare:i=12,h=6",
+		"gselect:a=6,h=6",
+		"agree:i=12,h=12,b=10",
+		"gskew:b=11,h=11,p=1",
+		"yags:c=11,e=10,h=10,t=6",
+		"bimode:b=11",
+	}
+	workloadNames := []string{"gcc", "go", "vortex", "lzw", "sortbench", "playout"}
+
+	var sources []bimode.Source
+	for _, name := range workloadNames {
+		src, err := bimode.Workload(name, bimode.WorkloadOptions{Dynamic: 400_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, bimode.Materialize(src))
+	}
+
+	var jobs []bimode.Job
+	for _, spec := range specs {
+		if _, err := bimode.NewPredictor(spec); err != nil {
+			log.Fatal(err)
+		}
+		spec := spec
+		for _, src := range sources {
+			jobs = append(jobs, bimode.Job{
+				Make:   func() bimode.Predictor { return must(bimode.NewPredictor(spec)) },
+				Source: src,
+			})
+		}
+	}
+	results := bimode.RunAll(jobs)
+
+	// Rank predictors by average misprediction across the workloads.
+	type row struct {
+		name  string
+		cost  float64
+		rates []float64
+		avg   float64
+	}
+	var rows []row
+	for i, spec := range specs {
+		r := row{name: spec}
+		for j := range sources {
+			res := results[i*len(sources)+j]
+			r.cost = res.CostBytes
+			r.rates = append(r.rates, res.MispredictRate())
+			r.avg += res.MispredictRate()
+		}
+		r.avg /= float64(len(sources))
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].avg < rows[j].avg })
+
+	fmt.Printf("%-26s %8s %8s |", "predictor", "bytes", "avg%")
+	for _, n := range workloadNames {
+		fmt.Printf("%10s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-26s %8.0f %7.2f%% |", r.name, r.cost, 100*r.avg)
+		for _, rate := range r.rates {
+			fmt.Printf("%9.2f%%", 100*rate)
+		}
+		fmt.Println()
+	}
+}
+
+func must(p bimode.Predictor, err error) bimode.Predictor {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,3 @@
+module bimode
+
+go 1.22

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bimode/internal/trace"
+)
+
+// BiasDistribution summarizes how a workload's dynamic branches
+// distribute over per-static-branch bias levels — the measurement of
+// Chang et al. [Chang94] the paper leans on ("about 50% of total dynamic
+// branches are attributed to the static branches that are biased in
+// either direction for more than 90% of the time"), used here as a
+// calibration check on the synthetic workloads.
+type BiasDistribution struct {
+	Workload string
+	// Buckets holds the dynamic branch share whose static branch's
+	// overall taken-rate falls in [Bounds[i], Bounds[i+1]).
+	Buckets []float64
+	// Bounds are the bucket edges over max(rate, 1-rate), i.e. bias
+	// level from 0.5 (unbiased) to 1.0 (fully biased).
+	Bounds []float64
+	// StronglyBiasedShare is the dynamic share from statics biased >= 90%
+	// one way (the paper's headline statistic).
+	StronglyBiasedShare float64
+}
+
+// MeasureBiasDistribution classifies every static branch by its
+// whole-run bias and reports the dynamic-weighted distribution.
+func MeasureBiasDistribution(src trace.Source) BiasDistribution {
+	taken := map[uint32]int{}
+	total := map[uint32]int{}
+	n := 0
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		total[r.Static]++
+		if r.Taken {
+			taken[r.Static]++
+		}
+	}
+	bounds := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0000001}
+	out := BiasDistribution{
+		Workload: src.Name(),
+		Bounds:   bounds,
+		Buckets:  make([]float64, len(bounds)-1),
+	}
+	if n == 0 {
+		return out
+	}
+	for s, tot := range total {
+		rate := float64(taken[s]) / float64(tot)
+		bias := rate
+		if bias < 0.5 {
+			bias = 1 - bias
+		}
+		for i := 0; i+1 < len(bounds); i++ {
+			if bias >= bounds[i] && bias < bounds[i+1] {
+				out.Buckets[i] += float64(tot)
+				break
+			}
+		}
+		if bias >= 0.9 {
+			out.StronglyBiasedShare += float64(tot)
+		}
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] /= float64(n)
+	}
+	out.StronglyBiasedShare /= float64(n)
+	return out
+}
+
+// String renders the distribution compactly.
+func (b BiasDistribution) String() string {
+	s := fmt.Sprintf("%s bias distribution (dynamic share by |bias|):", b.Workload)
+	for i := range b.Buckets {
+		s += fmt.Sprintf(" [%.2f,%.2f)=%.1f%%", b.Bounds[i], min(b.Bounds[i+1], 1.0), 100*b.Buckets[i])
+	}
+	s += fmt.Sprintf("; >=90%% biased: %.1f%%", 100*b.StronglyBiasedShare)
+	return s
+}

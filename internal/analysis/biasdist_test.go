@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+func TestBiasDistributionOnCraftedStream(t *testing.T) {
+	// Two fully biased branches (75% of dynamics) + one 50/50 branch.
+	recs := make([]trace.Record, 0, 400)
+	for i := 0; i < 100; i++ {
+		recs = append(recs, trace.Record{PC: 0, Static: 0, Taken: true})
+		recs = append(recs, trace.Record{PC: 4, Static: 1, Taken: false})
+		recs = append(recs, trace.Record{PC: 8, Static: 1, Taken: false})
+		recs = append(recs, trace.Record{PC: 12, Static: 2, Taken: i%2 == 0})
+	}
+	d := MeasureBiasDistribution(trace.NewMemory("crafted", 3, recs))
+	if math.Abs(d.StronglyBiasedShare-0.75) > 1e-9 {
+		t.Fatalf("strongly biased share = %v, want 0.75", d.StronglyBiasedShare)
+	}
+	sum := 0.0
+	for _, b := range d.Buckets {
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("buckets sum to %v", sum)
+	}
+	// The 50/50 branch must land in the lowest-bias bucket.
+	if math.Abs(d.Buckets[0]-0.25) > 1e-9 {
+		t.Fatalf("weak bucket = %v, want 0.25", d.Buckets[0])
+	}
+	if !strings.Contains(d.String(), "biased") {
+		t.Fatalf("String incomplete")
+	}
+}
+
+func TestBiasDistributionEmpty(t *testing.T) {
+	d := MeasureBiasDistribution(trace.NewMemory("empty", 1, nil))
+	if d.StronglyBiasedShare != 0 {
+		t.Fatalf("empty stream must have zero shares")
+	}
+}
+
+// TestCalibrationMatchesChang94: the paper cites Chang et al.'s finding
+// that about half of dynamic branches come from statics biased >90% one
+// way. The calibrated benchmark suite should land in that neighborhood
+// on average (go deliberately lower, vortex higher).
+func TestCalibrationMatchesChang94(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload scan")
+	}
+	total := 0.0
+	n := 0
+	for _, name := range []string{"gcc", "go", "vortex", "perl", "groff", "sdet"} {
+		p, ok := synth.ProfileByName(name)
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		d := MeasureBiasDistribution(synth.MustWorkload(p.WithDynamic(150000)))
+		total += d.StronglyBiasedShare
+		n++
+		if name == "go" && d.StronglyBiasedShare > 0.6 {
+			t.Errorf("go should be WB-heavy, strongly biased share = %v", d.StronglyBiasedShare)
+		}
+	}
+	avg := total / float64(n)
+	if avg < 0.35 || avg > 0.8 {
+		t.Errorf("suite-average strongly-biased share = %v, want roughly half ([Chang94])", avg)
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// InterferenceBreakdown decomposes a predictor's mispredictions in the
+// style of Michaud, Seznec and Uhlig's conflict/capacity analysis (the
+// hashing paper the bi-mode paper compares against):
+//
+//	Compulsory - the branch touches this counter for the first time
+//	             (cold counter: nothing could have been learned yet).
+//	Conflict   - the counter was last written by a DIFFERENT static
+//	             branch (interference damage, destructive aliasing).
+//	Intrinsic  - the branch itself trained the counter last and still
+//	             mispredicted (the stream's own unpredictability).
+//
+// The three counts partition Mispredicts exactly.
+type InterferenceBreakdown struct {
+	Predictor   string
+	Workload    string
+	Branches    int
+	Mispredicts int
+	Compulsory  int
+	Conflict    int
+	Intrinsic   int
+	// ConflictAccesses counts ALL accesses (not just mispredictions)
+	// whose counter was last written by another branch — the raw
+	// interference exposure.
+	ConflictAccesses int
+}
+
+// Rates returns the three components as fractions of all branches.
+func (b InterferenceBreakdown) Rates() (compulsory, conflict, intrinsic float64) {
+	if b.Branches == 0 {
+		return 0, 0, 0
+	}
+	n := float64(b.Branches)
+	return float64(b.Compulsory) / n, float64(b.Conflict) / n, float64(b.Intrinsic) / n
+}
+
+// String renders the breakdown in one line.
+func (b InterferenceBreakdown) String() string {
+	c, f, i := b.Rates()
+	return fmt.Sprintf("%s on %s: %.2f%% mispredict = %.2f%% compulsory + %.2f%% conflict + %.2f%% intrinsic",
+		b.Predictor, b.Workload,
+		100*float64(b.Mispredicts)/float64(max(b.Branches, 1)), 100*c, 100*f, 100*i)
+}
+
+// MeasureInterference runs the decomposition for a predictor implementing
+// predictor.Indexed.
+func MeasureInterference(p predictor.Predictor, src trace.Source) (InterferenceBreakdown, error) {
+	ix, ok := p.(predictor.Indexed)
+	if !ok {
+		return InterferenceBreakdown{}, fmt.Errorf("analysis: predictor %s does not expose counter indices", p.Name())
+	}
+	out := InterferenceBreakdown{Predictor: p.Name(), Workload: src.Name()}
+	lastWriter := make([]int64, ix.NumCounters())
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	st := src.Stream()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		cid := ix.CounterID(rec.PC)
+		writer := lastWriter[cid]
+		conflictAccess := writer >= 0 && writer != int64(rec.Static)
+		if conflictAccess {
+			out.ConflictAccesses++
+		}
+		miss := p.Predict(rec.PC) != rec.Taken
+		if miss {
+			out.Mispredicts++
+			switch {
+			case writer < 0:
+				out.Compulsory++
+			case conflictAccess:
+				out.Conflict++
+			default:
+				out.Intrinsic++
+			}
+		}
+		p.Update(rec.PC, rec.Taken)
+		lastWriter[cid] = int64(rec.Static)
+		out.Branches++
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+)
+
+func TestInterferencePartitionsMispredictions(t *testing.T) {
+	src := aliasedSource(400)
+	b, err := MeasureInterference(baselines.NewGshare(2, 2), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Compulsory+b.Conflict+b.Intrinsic != b.Mispredicts {
+		t.Fatalf("components %d+%d+%d do not partition %d",
+			b.Compulsory, b.Conflict, b.Intrinsic, b.Mispredicts)
+	}
+	if b.Branches != 1200 {
+		t.Fatalf("branches = %d", b.Branches)
+	}
+	if b.ConflictAccesses == 0 {
+		t.Fatalf("the crafted stream must show conflict accesses")
+	}
+	c, f, i := b.Rates()
+	if sum := c + f + i; sum < 0 || sum > 1 {
+		t.Fatalf("rates out of range: %v", sum)
+	}
+	if !strings.Contains(b.String(), "conflict") {
+		t.Fatalf("String incomplete")
+	}
+}
+
+func TestInterferenceRequiresIndexed(t *testing.T) {
+	_, err := MeasureInterference(baselines.NewStatic(baselines.AlwaysTaken), aliasedSource(5))
+	if err == nil {
+		t.Fatalf("non-Indexed predictor must be rejected")
+	}
+}
+
+func TestBiModeReducesConflictComponent(t *testing.T) {
+	// The core claim seen through this lens: bi-mode converts conflict
+	// mispredictions into (fewer) intrinsic ones on the aliasing-heavy
+	// crafted stream.
+	src := aliasedSource(600)
+	gs, err := MeasureInterference(baselines.NewGshare(2, 2), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := MeasureInterference(core.MustNew(core.Config{ChoiceBits: 8, BankBits: 2, HistoryBits: 2}), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Conflict >= gs.Conflict {
+		t.Fatalf("bi-mode conflict misses %d should be below gshare's %d", bm.Conflict, gs.Conflict)
+	}
+}
+
+func TestInterferenceNoConflictsWhenTableHuge(t *testing.T) {
+	// With a table far larger than the branch/pattern working set, every
+	// counter is private: no conflict accesses at all.
+	src := aliasedSource(100)
+	b, err := MeasureInterference(baselines.NewSmith(16), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Conflict != 0 || b.ConflictAccesses != 0 {
+		t.Fatalf("a huge smith table must be conflict-free, got %d/%d", b.Conflict, b.ConflictAccesses)
+	}
+}
+
+func TestInterferenceEmptyStream(t *testing.T) {
+	var z InterferenceBreakdown
+	c, f, i := z.Rates()
+	if c != 0 || f != 0 || i != 0 {
+		t.Fatalf("empty breakdown rates must be zero")
+	}
+}

@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/history"
+)
+
+// Gshare is McFarling's gshare predictor [McFarling93] in the generalized
+// parameterization the paper sweeps (Section 3.1):
+//
+// The second level holds 2^index two-bit counters. The low `hist` bits of
+// the index come from XOR-ing the global history with low branch-address
+// bits; the remaining index-hist bits come from the branch address alone
+// and therefore partition the second level into 2^(index-hist) pattern
+// history tables (PHTs). hist == index is the familiar single-PHT gshare;
+// hist == 0 degenerates to a Smith predictor. The paper's "gshare.best" is
+// the hist value that minimizes the suite-average misprediction at each
+// size; sim.FindBestGshare performs that search.
+type Gshare struct {
+	table     *counter.Table
+	ghr       *history.Global
+	indexBits int
+	histBits  int
+	idxMask   uint64
+}
+
+// NewGshare returns a gshare predictor with 2^indexBits counters and a
+// histBits-wide global history register. histBits must not exceed
+// indexBits (the paper's m <= n constraint).
+func NewGshare(indexBits, histBits int) *Gshare {
+	if indexBits < 0 || indexBits > 28 {
+		panic(fmt.Sprintf("baselines: gshare index width %d out of range [0,28]", indexBits))
+	}
+	if histBits < 0 || histBits > indexBits {
+		panic(fmt.Sprintf("baselines: gshare history width %d out of range [0,%d]", histBits, indexBits))
+	}
+	return &Gshare{
+		table:     counter.NewTwoBit(1<<uint(indexBits), counter.WeakTaken),
+		ghr:       history.NewGlobal(histBits),
+		indexBits: indexBits,
+		histBits:  histBits,
+		idxMask:   1<<uint(indexBits) - 1,
+	}
+}
+
+// Name implements predictor.Predictor.
+func (g *Gshare) Name() string {
+	if g.histBits == g.indexBits {
+		return fmt.Sprintf("gshare.1PHT(%d)", g.indexBits)
+	}
+	return fmt.Sprintf("gshare(%di,%dh)", g.indexBits, g.histBits)
+}
+
+// HistoryBits returns the global history length in use.
+func (g *Gshare) HistoryBits() int { return g.histBits }
+
+// IndexBits returns log2 of the second-level table size.
+func (g *Gshare) IndexBits() int { return g.indexBits }
+
+// NumPHTs returns the number of pattern history tables the address bits
+// partition the second level into.
+func (g *Gshare) NumPHTs() int { return 1 << uint(g.indexBits-g.histBits) }
+
+func (g *Gshare) index(pc uint64) int {
+	return int(((pc >> 2) ^ g.ghr.Value()) & g.idxMask)
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table.Taken(g.index(pc)) }
+
+// Update implements predictor.Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	g.table.Update(g.index(pc), taken)
+	g.ghr.Push(taken)
+}
+
+// Reset implements predictor.Predictor.
+func (g *Gshare) Reset() {
+	g.table.Reset()
+	g.ghr.Reset()
+}
+
+// CostBits implements predictor.Predictor.
+func (g *Gshare) CostBits() int { return g.table.CostBits() }
+
+// CounterID implements predictor.Indexed.
+func (g *Gshare) CounterID(pc uint64) int { return g.index(pc) }
+
+// NumCounters implements predictor.Indexed.
+func (g *Gshare) NumCounters() int { return g.table.Len() }
+
+// HistoryValue implements predictor.SpeculativeHistory.
+func (g *Gshare) HistoryValue() uint64 { return g.ghr.Value() }
+
+// SetHistory implements predictor.SpeculativeHistory.
+func (g *Gshare) SetHistory(v uint64) { g.ghr.Set(v) }
+
+// PushHistory implements predictor.SpeculativeHistory.
+func (g *Gshare) PushHistory(taken bool) { g.ghr.Push(taken) }
+
+// UpdateCounters implements predictor.SpeculativeHistory: train the
+// counter the supplied history snapshot indexes, leaving the register
+// untouched.
+func (g *Gshare) UpdateCounters(pc uint64, history uint64, taken bool) {
+	g.table.Update(int(((pc>>2)^history)&g.idxMask), taken)
+}
+
+// Gselect is McFarling's gselect predictor: the index concatenates global
+// history bits with branch-address bits instead of XOR-ing them. It is
+// included for the two-level design-space studies in the analysis tooling.
+type Gselect struct {
+	table    *counter.Table
+	ghr      *history.Global
+	addrBits int
+	histBits int
+	addrMask uint64
+}
+
+// NewGselect returns a gselect predictor whose index concatenates histBits
+// of global history with addrBits of branch address (2^(addrBits+histBits)
+// counters).
+func NewGselect(addrBits, histBits int) *Gselect {
+	if addrBits < 0 || histBits < 0 || addrBits+histBits > 28 {
+		panic(fmt.Sprintf("baselines: gselect widths (%d,%d) invalid", addrBits, histBits))
+	}
+	return &Gselect{
+		table:    counter.NewTwoBit(1<<uint(addrBits+histBits), counter.WeakTaken),
+		ghr:      history.NewGlobal(histBits),
+		addrBits: addrBits,
+		histBits: histBits,
+		addrMask: 1<<uint(addrBits) - 1,
+	}
+}
+
+// Name implements predictor.Predictor.
+func (g *Gselect) Name() string { return fmt.Sprintf("gselect(%da,%dh)", g.addrBits, g.histBits) }
+
+func (g *Gselect) index(pc uint64) int {
+	return int(((pc>>2)&g.addrMask)<<uint(g.histBits) | g.ghr.Value())
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gselect) Predict(pc uint64) bool { return g.table.Taken(g.index(pc)) }
+
+// Update implements predictor.Predictor.
+func (g *Gselect) Update(pc uint64, taken bool) {
+	g.table.Update(g.index(pc), taken)
+	g.ghr.Push(taken)
+}
+
+// Reset implements predictor.Predictor.
+func (g *Gselect) Reset() {
+	g.table.Reset()
+	g.ghr.Reset()
+}
+
+// CostBits implements predictor.Predictor.
+func (g *Gselect) CostBits() int { return g.table.CostBits() }
+
+// CounterID implements predictor.Indexed.
+func (g *Gselect) CounterID(pc uint64) int { return g.index(pc) }
+
+// NumCounters implements predictor.Indexed.
+func (g *Gselect) NumCounters() int { return g.table.Len() }

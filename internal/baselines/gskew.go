@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/history"
+)
+
+// Gskew implements the skewed branch predictor of Michaud, Seznec and
+// Uhlig [MichaudSeznecUhlig97], the hardware-hashing de-aliasing scheme
+// the paper compares against (Section 2.2: "hardware hashing is useful for
+// small low cost systems; for large systems the bi-mode scheme is the best
+// cost-effective scheme to date"). Three banks of two-bit counters are
+// indexed by three different skewing functions of (address, history); the
+// prediction is the majority vote. Two branches that collide in one bank
+// almost never collide in the other two, so the vote outvotes the aliased
+// bank.
+//
+// The skewing functions follow the paper's construction from the bijection
+// H(y) = (y >> 1) ^ (lsb(y) * polyTap) and its inverse, applied to the two
+// halves of the hashed value.
+type Gskew struct {
+	banks     [3]*counter.Table
+	ghr       *history.Global
+	bankBits  int
+	histBits  int
+	partial   bool
+	bankMask  uint64
+	inputMask uint64
+}
+
+// NewGskew returns a gskew predictor with three banks of 2^bankBits
+// counters and histBits of global history hashed into the indices. When
+// partial is true the enhanced-gskew partial update policy is used: on a
+// correct prediction only the agreeing banks are strengthened, and on a
+// misprediction all banks are retrained.
+func NewGskew(bankBits, histBits int, partial bool) *Gskew {
+	if bankBits < 2 || bankBits > 26 {
+		panic(fmt.Sprintf("baselines: gskew bank width %d out of range [2,26]", bankBits))
+	}
+	if histBits < 0 || histBits > history.MaxGlobalBits {
+		panic(fmt.Sprintf("baselines: gskew history width %d invalid", histBits))
+	}
+	g := &Gskew{
+		ghr:       history.NewGlobal(histBits),
+		bankBits:  bankBits,
+		histBits:  histBits,
+		partial:   partial,
+		bankMask:  1<<uint(bankBits) - 1,
+		inputMask: 1<<uint(2*bankBits) - 1,
+	}
+	for i := range g.banks {
+		g.banks[i] = counter.NewTwoBit(1<<uint(bankBits), counter.WeakTaken)
+	}
+	return g
+}
+
+// Name implements predictor.Predictor.
+func (g *Gskew) Name() string {
+	tag := "gskew"
+	if g.partial {
+		tag = "e-gskew"
+	}
+	return fmt.Sprintf("%s(3x%db,%dh)", tag, g.bankBits, g.histBits)
+}
+
+// shuffleH is the skewing bijection H over bankBits-wide values: a right
+// shift whose incoming most-significant bit is lsb XOR msb of the input.
+func (g *Gskew) shuffleH(y uint64) uint64 {
+	n := uint(g.bankBits)
+	msbOut := (y ^ y>>(n-1)) & 1
+	return (y >> 1) | msbOut<<(n-1)
+}
+
+// shuffleHInv is the inverse bijection H^-1 (shuffleH(shuffleHInv(y)) ==
+// y; asserted by a property test).
+func (g *Gskew) shuffleHInv(y uint64) uint64 {
+	n := uint(g.bankBits)
+	lsbOut := (y>>(n-1) ^ y>>(n-2)) & 1
+	return (y<<1 | lsbOut) & g.bankMask
+}
+
+// indices computes the three skewed bank indices for the current
+// (address, history) pair.
+func (g *Gskew) indices(pc uint64) [3]int {
+	v := ((pc >> 2) ^ g.ghr.Value()<<uint(g.bankBits/2)) & g.inputMask
+	v1 := v & g.bankMask
+	v2 := (v >> uint(g.bankBits)) & g.bankMask
+	f0 := g.shuffleH(v1) ^ g.shuffleHInv(v2) ^ v2
+	f1 := g.shuffleH(v1) ^ g.shuffleHInv(v2) ^ v1
+	f2 := g.shuffleHInv(v1) ^ g.shuffleH(v2) ^ v2
+	return [3]int{int(f0), int(f1), int(f2)}
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gskew) Predict(pc uint64) bool {
+	idx := g.indices(pc)
+	votes := 0
+	for b, i := range idx {
+		if g.banks[b].Taken(i) {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update implements predictor.Predictor.
+func (g *Gskew) Update(pc uint64, taken bool) {
+	idx := g.indices(pc)
+	if g.partial {
+		correct := g.Predict(pc) == taken
+		for b, i := range idx {
+			if !correct || g.banks[b].Taken(i) == taken {
+				g.banks[b].Update(i, taken)
+			}
+		}
+	} else {
+		for b, i := range idx {
+			g.banks[b].Update(i, taken)
+		}
+	}
+	g.ghr.Push(taken)
+}
+
+// Reset implements predictor.Predictor.
+func (g *Gskew) Reset() {
+	for _, b := range g.banks {
+		b.Reset()
+	}
+	g.ghr.Reset()
+}
+
+// CostBits implements predictor.Predictor.
+func (g *Gskew) CostBits() int {
+	total := 0
+	for _, b := range g.banks {
+		total += b.CostBits()
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/predictor"
+)
+
+// LoopPredictor is a loop-termination predictor: per branch (tagged,
+// set-indexed by PC) it learns a loop's trip count by watching run
+// lengths of taken outcomes, and once the same trip count repeats
+// (confidence saturates) it predicts the exact exit point. It is used as
+// a side predictor: LoopPredictor.Confident reports whether its
+// prediction should override a main predictor — the structure later
+// industrial designs (Pentium M and onward) adopted, included here as an
+// extension that directly attacks the loop-exit mispredictions the
+// bi-mode paper's streams contain.
+type LoopPredictor struct {
+	entries   []loopEntry
+	indexBits int
+	tagMask   uint64
+	idxMask   uint64
+}
+
+type loopEntry struct {
+	tag        uint16
+	valid      bool
+	trip       uint16 // learned iterations per activation (taken count + exit)
+	current    uint16 // position within the current activation
+	confidence uint8  // consecutive activations with the same trip
+}
+
+// loopConfident is the confidence needed before overriding.
+const loopConfident = 3
+
+// maxTrip bounds learnable trip counts.
+const maxTrip = 1 << 14
+
+// NewLoopPredictor returns a loop predictor with 2^indexBits entries and
+// 8-bit partial tags.
+func NewLoopPredictor(indexBits int) *LoopPredictor {
+	if indexBits < 0 || indexBits > 20 {
+		panic(fmt.Sprintf("baselines: loop predictor width %d out of range [0,20]", indexBits))
+	}
+	return &LoopPredictor{
+		entries:   make([]loopEntry, 1<<uint(indexBits)),
+		indexBits: indexBits,
+		tagMask:   0xFF,
+		idxMask:   1<<uint(indexBits) - 1,
+	}
+}
+
+// Name implements predictor.Predictor.
+func (l *LoopPredictor) Name() string { return fmt.Sprintf("loop(%de)", l.indexBits) }
+
+func (l *LoopPredictor) index(pc uint64) int { return int((pc >> 2) & l.idxMask) }
+func (l *LoopPredictor) tag(pc uint64) uint16 {
+	return uint16((pc >> (2 + uint(l.indexBits))) & l.tagMask)
+}
+
+// entry returns the branch's entry and whether the tag matches.
+func (l *LoopPredictor) entry(pc uint64) (*loopEntry, bool) {
+	e := &l.entries[l.index(pc)]
+	return e, e.valid && e.tag == l.tag(pc)
+}
+
+// Confident reports whether the loop predictor has a trustworthy
+// prediction for this branch right now.
+func (l *LoopPredictor) Confident(pc uint64) bool {
+	e, hit := l.entry(pc)
+	return hit && e.confidence >= loopConfident && e.trip > 1
+}
+
+// Predict implements predictor.Predictor: taken while inside the learned
+// trip, not-taken at the learned exit position. Without a confident
+// entry it defaults to taken (the loop prior).
+func (l *LoopPredictor) Predict(pc uint64) bool {
+	e, hit := l.entry(pc)
+	if !hit || e.confidence < loopConfident || e.trip <= 1 {
+		return true
+	}
+	return e.current+1 < e.trip
+}
+
+// Update implements predictor.Predictor.
+func (l *LoopPredictor) Update(pc uint64, taken bool) {
+	e, hit := l.entry(pc)
+	if !hit {
+		// Allocate on a not-taken outcome (a loop exit is the natural
+		// allocation point; mostly-taken streams allocate lazily).
+		if !taken {
+			*e = loopEntry{tag: l.tag(pc), valid: true, trip: 1}
+		}
+		return
+	}
+	if taken {
+		if e.current < maxTrip {
+			e.current++
+		}
+		return
+	}
+	// Exit: the activation ran current+1 slots (current takens + exit).
+	observed := e.current + 1
+	if observed == e.trip {
+		if e.confidence < 255 {
+			e.confidence++
+		}
+	} else {
+		e.trip = observed
+		e.confidence = 0
+	}
+	e.current = 0
+}
+
+// Reset implements predictor.Predictor.
+func (l *LoopPredictor) Reset() {
+	for i := range l.entries {
+		l.entries[i] = loopEntry{}
+	}
+}
+
+// CostBits implements predictor.Predictor: per entry an 8-bit tag, a
+// valid bit, two 14-bit counts and an 8-bit confidence.
+func (l *LoopPredictor) CostBits() int {
+	return len(l.entries) * (8 + 1 + 14 + 14 + 8)
+}
+
+// WithLoopOverride wraps a main predictor with a loop predictor: when the
+// loop side is confident it overrides the main prediction; both always
+// train.
+type WithLoopOverride struct {
+	main predictor.Predictor
+	loop *LoopPredictor
+}
+
+// NewWithLoopOverride combines main with a 2^loopBits-entry loop
+// predictor.
+func NewWithLoopOverride(main predictor.Predictor, loopBits int) *WithLoopOverride {
+	return &WithLoopOverride{main: main, loop: NewLoopPredictor(loopBits)}
+}
+
+// Name implements predictor.Predictor.
+func (w *WithLoopOverride) Name() string {
+	return fmt.Sprintf("%s+loop(%de)", w.main.Name(), w.loop.indexBits)
+}
+
+// Predict implements predictor.Predictor.
+func (w *WithLoopOverride) Predict(pc uint64) bool {
+	if w.loop.Confident(pc) {
+		return w.loop.Predict(pc)
+	}
+	return w.main.Predict(pc)
+}
+
+// Update implements predictor.Predictor.
+func (w *WithLoopOverride) Update(pc uint64, taken bool) {
+	w.main.Update(pc, taken)
+	w.loop.Update(pc, taken)
+}
+
+// Reset implements predictor.Predictor.
+func (w *WithLoopOverride) Reset() {
+	w.main.Reset()
+	w.loop.Reset()
+}
+
+// CostBits implements predictor.Predictor.
+func (w *WithLoopOverride) CostBits() int { return w.main.CostBits() + w.loop.CostBits() }

@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+)
+
+// Smith is the classic bimodal predictor [Smith81]: a table of two-bit
+// saturating counters indexed by low branch-address bits. It is both a
+// baseline in its own right and the building block the paper's choice
+// predictor reuses.
+type Smith struct {
+	table   *counter.Table
+	idxMask uint64
+	bits    int
+}
+
+// NewSmith returns a Smith predictor with 2^indexBits two-bit counters
+// initialized to weakly taken (the paper's initialization for all
+// PC-indexed tables, footnote 2).
+func NewSmith(indexBits int) *Smith {
+	if indexBits < 0 || indexBits > 28 {
+		panic(fmt.Sprintf("baselines: smith index width %d out of range [0,28]", indexBits))
+	}
+	return &Smith{
+		table:   counter.NewTwoBit(1<<uint(indexBits), counter.WeakTaken),
+		idxMask: 1<<uint(indexBits) - 1,
+		bits:    indexBits,
+	}
+}
+
+// Name implements predictor.Predictor.
+func (s *Smith) Name() string { return fmt.Sprintf("smith(%da)", s.bits) }
+
+func (s *Smith) index(pc uint64) int { return int((pc >> 2) & s.idxMask) }
+
+// Predict implements predictor.Predictor.
+func (s *Smith) Predict(pc uint64) bool { return s.table.Taken(s.index(pc)) }
+
+// Update implements predictor.Predictor.
+func (s *Smith) Update(pc uint64, taken bool) { s.table.Update(s.index(pc), taken) }
+
+// Reset implements predictor.Predictor.
+func (s *Smith) Reset() { s.table.Reset() }
+
+// CostBits implements predictor.Predictor.
+func (s *Smith) CostBits() int { return s.table.CostBits() }
+
+// CounterID implements predictor.Indexed.
+func (s *Smith) CounterID(pc uint64) int { return s.index(pc) }
+
+// NumCounters implements predictor.Indexed.
+func (s *Smith) NumCounters() int { return s.table.Len() }

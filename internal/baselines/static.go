@@ -1,0 +1,52 @@
+// Package baselines implements every comparator predictor the paper uses
+// or cites: static predictors, the Smith two-bit bimodal predictor
+// [Smith81], the two-level family GAg/GAs/PAg/PAs [YehPatt91, YehPatt92],
+// gselect and gshare [McFarling93] with the paper's multi-PHT
+// parameterization, the agree predictor [Sprangle97], the skewed predictor
+// gskew [MichaudSeznecUhlig97], and YAGS (a follow-up de-aliasing design,
+// included as an extension comparator).
+package baselines
+
+import "bimode/internal/predictor"
+
+// Static direction policies.
+const (
+	// AlwaysTaken predicts every branch taken.
+	AlwaysTaken = "taken"
+	// AlwaysNotTaken predicts every branch not taken.
+	AlwaysNotTaken = "not-taken"
+	// BTFN predicts backward branches (targets below the branch) taken and
+	// forward branches not taken. Our trace format carries no targets, so
+	// the workload generators encode direction in a PC convention: branches
+	// whose site was declared backward have bit 63 set in their PC as seen
+	// by BTFN only. Simulators normally mask that bit off; BTFN reads it.
+	BTFN = "btfn"
+)
+
+// NewStatic returns a stateless static predictor implementing the given
+// policy. Static predictors cost zero counter bits.
+func NewStatic(policy string) predictor.Predictor {
+	switch policy {
+	case AlwaysTaken:
+		return &predictor.Func{
+			NameStr:   "static-taken",
+			PredictFn: func(uint64) bool { return true },
+		}
+	case AlwaysNotTaken:
+		return &predictor.Func{
+			NameStr:   "static-not-taken",
+			PredictFn: func(uint64) bool { return false },
+		}
+	case BTFN:
+		return &predictor.Func{
+			NameStr:   "static-btfn",
+			PredictFn: func(pc uint64) bool { return pc&BackwardBit != 0 },
+		}
+	default:
+		panic("baselines: unknown static policy " + policy)
+	}
+}
+
+// BackwardBit is the PC bit the workload generators set on branch sites
+// that are backward (loop) branches, consumed only by the BTFN predictor.
+const BackwardBit uint64 = 1 << 63

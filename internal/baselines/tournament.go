@@ -1,0 +1,89 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/predictor"
+)
+
+// Tournament is McFarling's combining predictor [McFarling93], the design
+// the paper's introduction credits to the Alpha 21264: two component
+// predictors run in parallel and a PC-indexed table of two-bit "meta"
+// counters learns, per branch, which component to trust. Both components
+// always train; the meta counter moves toward the component that was
+// right when exactly one of them was.
+type Tournament struct {
+	meta    *counter.Table
+	a, b    predictor.Predictor
+	metaBit int
+	mask    uint64
+}
+
+// NewTournament combines predictors a and b under a 2^metaBits-entry
+// selector. Meta counters start weakly preferring b (the "global"
+// component in the classic pairing).
+func NewTournament(metaBits int, a, b predictor.Predictor) *Tournament {
+	if metaBits < 0 || metaBits > 28 {
+		panic(fmt.Sprintf("baselines: tournament meta width %d out of range [0,28]", metaBits))
+	}
+	return &Tournament{
+		meta:    counter.NewTwoBit(1<<uint(metaBits), counter.WeakTaken),
+		a:       a,
+		b:       b,
+		metaBit: metaBits,
+		mask:    1<<uint(metaBits) - 1,
+	}
+}
+
+// Name implements predictor.Predictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament(%s|%s,%dm)", t.a.Name(), t.b.Name(), t.metaBit)
+}
+
+func (t *Tournament) metaIndex(pc uint64) int { return int((pc >> 2) & t.mask) }
+
+// Predict implements predictor.Predictor: meta counter in the "taken"
+// half selects component b.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.meta.Taken(t.metaIndex(pc)) {
+		return t.b.Predict(pc)
+	}
+	return t.a.Predict(pc)
+}
+
+// Update implements predictor.Predictor.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	pa := t.a.Predict(pc)
+	pb := t.b.Predict(pc)
+	if pa != pb {
+		// Move the meta counter toward the component that was right.
+		t.meta.Update(t.metaIndex(pc), pb == taken)
+	}
+	t.a.Update(pc, taken)
+	t.b.Update(pc, taken)
+}
+
+// Reset implements predictor.Predictor.
+func (t *Tournament) Reset() {
+	t.meta.Reset()
+	t.a.Reset()
+	t.b.Reset()
+}
+
+// CostBits implements predictor.Predictor.
+func (t *Tournament) CostBits() int {
+	return t.meta.CostBits() + t.a.CostBits() + t.b.CostBits()
+}
+
+// NewAlpha21264Style returns the classic pairing at a given scale: a
+// per-address two-level component and a global-history component under a
+// tournament selector, shaped like (a scaled-down) 21264 predictor.
+func NewAlpha21264Style(scaleBits int) *Tournament {
+	if scaleBits < 4 || scaleBits > 20 {
+		panic(fmt.Sprintf("baselines: alpha scale %d out of range [4,20]", scaleBits))
+	}
+	local := NewPAs(scaleBits-2, scaleBits-2, 2)
+	global := NewGAg(scaleBits)
+	return NewTournament(scaleBits-1, local, global)
+}

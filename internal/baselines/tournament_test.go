@@ -1,0 +1,134 @@
+package baselines
+
+import (
+	"testing"
+
+	"bimode/internal/predictor"
+)
+
+func TestTournamentSelectsBetterComponent(t *testing.T) {
+	// Component a: always predicts taken. Component b: always predicts
+	// not-taken. On an always-not-taken branch, the meta counter must
+	// learn to trust b.
+	a := NewStatic(AlwaysTaken)
+	b := NewStatic(AlwaysNotTaken)
+	tour := NewTournament(6, a, b)
+	pc := uint64(0x100)
+	for i := 0; i < 10; i++ {
+		tour.Predict(pc)
+		tour.Update(pc, false)
+	}
+	if tour.Predict(pc) {
+		t.Fatalf("tournament must have switched to the not-taken component")
+	}
+	// And back again on a taken branch at a different meta entry.
+	pc2 := uint64(0x900)
+	for i := 0; i < 10; i++ {
+		tour.Update(pc2, true)
+	}
+	if !tour.Predict(pc2) {
+		t.Fatalf("tournament must trust the taken component for a taken branch")
+	}
+}
+
+func TestTournamentTrainsBothComponents(t *testing.T) {
+	local := NewSmith(6)
+	global := NewGAg(6)
+	tour := NewTournament(6, local, global)
+	pc := uint64(0x200)
+	for i := 0; i < 20; i++ {
+		tour.Update(pc, false)
+	}
+	if local.Predict(pc) || global.Predict(pc) {
+		t.Fatalf("both components must train regardless of selection")
+	}
+}
+
+func TestTournamentPerBranchSelection(t *testing.T) {
+	// A branch needing history (alternating) and a branch where the
+	// smith component suffices: the tournament should get both right.
+	tour := NewTournament(8, NewSmith(8), NewGAg(8))
+	alt, biased := uint64(0x300), uint64(0x340)
+	last := false
+	for i := 0; i < 400; i++ {
+		last = !last
+		tour.Predict(alt)
+		tour.Update(alt, last)
+		tour.Predict(biased)
+		tour.Update(biased, true)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		last = !last
+		if tour.Predict(alt) != last {
+			miss++
+		}
+		tour.Update(alt, last)
+		if !tour.Predict(biased) {
+			miss++
+		}
+		tour.Update(biased, true)
+	}
+	if miss > 2 {
+		t.Fatalf("tournament should handle both branches, missed %d/200", miss)
+	}
+}
+
+func TestTournamentCostResetName(t *testing.T) {
+	tour := NewTournament(6, NewSmith(6), NewGAg(6))
+	want := 2*64 + NewSmith(6).CostBits() + NewGAg(6).CostBits()
+	if tour.CostBits() != want {
+		t.Fatalf("cost = %d, want %d", tour.CostBits(), want)
+	}
+	pc := uint64(0x80)
+	for i := 0; i < 20; i++ {
+		tour.Update(pc, false)
+	}
+	tour.Reset()
+	if !tour.Predict(pc) {
+		t.Fatalf("reset must restore weakly-taken components")
+	}
+	if tour.Name() == "" {
+		t.Fatalf("name empty")
+	}
+}
+
+func TestAlpha21264Style(t *testing.T) {
+	a := NewAlpha21264Style(10)
+	var _ predictor.Predictor = a
+	pc := uint64(0x440)
+	last := false
+	for i := 0; i < 400; i++ {
+		last = !last
+		a.Predict(pc)
+		a.Update(pc, last)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		last = !last
+		if a.Predict(pc) != last {
+			miss++
+		}
+		a.Update(pc, last)
+	}
+	if miss > 2 {
+		t.Fatalf("alpha-style predictor must learn alternation, missed %d", miss)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range scale must panic")
+			}
+		}()
+		NewAlpha21264Style(2)
+	}()
+}
+
+func TestTournamentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad meta width must panic")
+		}
+	}()
+	NewTournament(-1, NewSmith(4), NewSmith(4))
+}

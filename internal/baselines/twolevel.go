@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/history"
+)
+
+// TwoLevel implements the Yeh/Patt two-level adaptive predictor taxonomy
+// [YehPatt91, YehPatt92] for the four variants the paper discusses:
+//
+//	GAg - one global history register, one PHT indexed by history alone
+//	GAs - one global history register, address bits select among PHTs
+//	PAg - per-address history registers, one shared PHT
+//	PAs - per-address history registers, address bits select among PHTs
+//
+// The second level holds 2^(histBits+setBits) counters organized as
+// 2^setBits PHTs of 2^histBits counters; setBits == 0 gives the "g"
+// (single-PHT) variants.
+type TwoLevel struct {
+	name     string
+	perAddr  bool
+	table    *counter.Table
+	ghr      *history.Global     // nil when perAddr
+	bht      *history.PerAddress // nil when !perAddr
+	histBits int
+	setBits  int
+	setMask  uint64
+}
+
+// NewGAg returns a GAg predictor with a histBits-deep global history.
+func NewGAg(histBits int) *TwoLevel { return newGlobalTwoLevel("GAg", histBits, 0) }
+
+// NewGAs returns a GAs predictor: histBits of global history and
+// 2^setBits address-selected PHTs.
+func NewGAs(histBits, setBits int) *TwoLevel { return newGlobalTwoLevel("GAs", histBits, setBits) }
+
+// NewPAg returns a PAg predictor with 2^bhtBits per-address history
+// registers of histBits each and a single shared PHT.
+func NewPAg(bhtBits, histBits int) *TwoLevel { return newPerAddrTwoLevel("PAg", bhtBits, histBits, 0) }
+
+// NewPAs returns a PAs predictor: per-address histories and 2^setBits
+// address-selected PHTs.
+func NewPAs(bhtBits, histBits, setBits int) *TwoLevel {
+	return newPerAddrTwoLevel("PAs", bhtBits, histBits, setBits)
+}
+
+func newGlobalTwoLevel(name string, histBits, setBits int) *TwoLevel {
+	checkTwoLevel(histBits, setBits)
+	return &TwoLevel{
+		name:     name,
+		table:    counter.NewTwoBit(1<<uint(histBits+setBits), counter.WeakTaken),
+		ghr:      history.NewGlobal(histBits),
+		histBits: histBits,
+		setBits:  setBits,
+		setMask:  1<<uint(setBits) - 1,
+	}
+}
+
+func newPerAddrTwoLevel(name string, bhtBits, histBits, setBits int) *TwoLevel {
+	checkTwoLevel(histBits, setBits)
+	return &TwoLevel{
+		name:     name,
+		perAddr:  true,
+		table:    counter.NewTwoBit(1<<uint(histBits+setBits), counter.WeakTaken),
+		bht:      history.NewPerAddress(bhtBits, histBits),
+		histBits: histBits,
+		setBits:  setBits,
+		setMask:  1<<uint(setBits) - 1,
+	}
+}
+
+func checkTwoLevel(histBits, setBits int) {
+	if histBits < 1 || setBits < 0 || histBits+setBits > 28 {
+		panic(fmt.Sprintf("baselines: two-level widths (%dh,%ds) invalid", histBits, setBits))
+	}
+}
+
+// Name implements predictor.Predictor.
+func (t *TwoLevel) Name() string {
+	if t.setBits == 0 {
+		return fmt.Sprintf("%s(%dh)", t.name, t.histBits)
+	}
+	return fmt.Sprintf("%s(%dh,%ds)", t.name, t.histBits, t.setBits)
+}
+
+func (t *TwoLevel) pattern(pc uint64) uint64 {
+	if t.perAddr {
+		return t.bht.Value(pc)
+	}
+	return t.ghr.Value()
+}
+
+func (t *TwoLevel) index(pc uint64) int {
+	set := (pc >> 2) & t.setMask
+	return int(set<<uint(t.histBits) | t.pattern(pc))
+}
+
+// Predict implements predictor.Predictor.
+func (t *TwoLevel) Predict(pc uint64) bool { return t.table.Taken(t.index(pc)) }
+
+// Update implements predictor.Predictor.
+func (t *TwoLevel) Update(pc uint64, taken bool) {
+	t.table.Update(t.index(pc), taken)
+	if t.perAddr {
+		t.bht.Push(pc, taken)
+	} else {
+		t.ghr.Push(taken)
+	}
+}
+
+// Reset implements predictor.Predictor.
+func (t *TwoLevel) Reset() {
+	t.table.Reset()
+	if t.perAddr {
+		t.bht.Reset()
+	} else {
+		t.ghr.Reset()
+	}
+}
+
+// CostBits implements predictor.Predictor. Per the paper's cost metric
+// only second-level counters are charged; first-level history registers
+// are free.
+func (t *TwoLevel) CostBits() int { return t.table.CostBits() }
+
+// CounterID implements predictor.Indexed.
+func (t *TwoLevel) CounterID(pc uint64) int { return t.index(pc) }
+
+// NumCounters implements predictor.Indexed.
+func (t *TwoLevel) NumCounters() int { return t.table.Len() }

@@ -1,0 +1,251 @@
+// Package core implements the paper's contribution: the bi-mode branch
+// predictor of Lee, Chen and Mudge (MICRO-30, 1997).
+//
+// The bi-mode predictor splits the second-level two-bit counter table of a
+// global-history predictor into two direction banks. Both banks are
+// indexed gshare-style (branch address XOR global history); a separate
+// choice predictor, a plain PC-indexed two-bit counter table, selects
+// which bank supplies the prediction. Branches the choice predictor deems
+// "mostly taken" are steered to one bank and "mostly not-taken" branches
+// to the other, so two branches with the same history pattern but opposite
+// biases no longer destroy each other's counters: the choice predictor
+// separates the destructive aliases while keeping harmless aliases
+// together.
+//
+// Update policy (paper Section 2.2):
+//   - only the *selected* direction counter is updated with the outcome;
+//     the unselected bank is untouched;
+//   - the choice predictor is always updated with the outcome, EXCEPT when
+//     its choice disagreed with the outcome but the selected direction
+//     counter still predicted correctly (the "partial update" that makes
+//     small configurations work).
+//
+// Initialization (paper footnote 2): the choice predictor is reset to
+// weakly taken, the not-taken bank to weakly not-taken, and the taken bank
+// to weakly taken.
+package core
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/history"
+)
+
+// Bank identifiers for the two direction predictors.
+const (
+	// BankNotTaken holds branches the choice predictor classifies as
+	// mostly not-taken.
+	BankNotTaken = 0
+	// BankTaken holds branches the choice predictor classifies as mostly
+	// taken.
+	BankTaken = 1
+)
+
+// Config parameterizes a bi-mode predictor. The zero value is not valid;
+// use DefaultConfig or fill in the widths explicitly.
+type Config struct {
+	// ChoiceBits is log2 of the number of choice-predictor counters.
+	ChoiceBits int
+	// BankBits is log2 of the number of counters in EACH direction bank.
+	BankBits int
+	// HistoryBits is the global history length XOR-ed into the direction
+	// index. Must not exceed BankBits.
+	HistoryBits int
+
+	// FullChoiceUpdate disables the paper's partial update policy: the
+	// choice predictor is then always updated with the outcome. Ablation
+	// knob; the paper's design wants false.
+	FullChoiceUpdate bool
+	// UpdateBothBanks trains the unselected direction bank too. Ablation
+	// knob; the paper's design wants false (selective update).
+	UpdateBothBanks bool
+}
+
+// DefaultConfig returns the paper's canonical shape at a given bank width:
+// the choice table has as many entries as one direction bank and the
+// direction index uses all available bits of history (HistoryBits ==
+// BankBits), the configuration of Section 4.2.
+func DefaultConfig(bankBits int) Config {
+	return Config{ChoiceBits: bankBits, BankBits: bankBits, HistoryBits: bankBits}
+}
+
+func (c Config) validate() error {
+	if c.ChoiceBits < 0 || c.ChoiceBits > 28 {
+		return fmt.Errorf("core: choice width %d out of range [0,28]", c.ChoiceBits)
+	}
+	if c.BankBits < 1 || c.BankBits > 27 {
+		return fmt.Errorf("core: bank width %d out of range [1,27]", c.BankBits)
+	}
+	if c.HistoryBits < 0 || c.HistoryBits > c.BankBits {
+		return fmt.Errorf("core: history width %d out of range [0,%d]", c.HistoryBits, c.BankBits)
+	}
+	return nil
+}
+
+// BiMode is the bi-mode branch predictor.
+type BiMode struct {
+	cfg     Config
+	choice  *counter.Table
+	banks   [2]*counter.Table
+	ghr     *history.Global
+	chMask  uint64
+	dirMask uint64
+}
+
+// New returns a bi-mode predictor for the given configuration.
+func New(cfg Config) (*BiMode, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := &BiMode{
+		cfg:     cfg,
+		choice:  counter.NewTwoBit(1<<uint(cfg.ChoiceBits), counter.WeakTaken),
+		ghr:     history.NewGlobal(cfg.HistoryBits),
+		chMask:  1<<uint(cfg.ChoiceBits) - 1,
+		dirMask: 1<<uint(cfg.BankBits) - 1,
+	}
+	b.banks[BankNotTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakNotTaken)
+	b.banks[BankTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
+	return b, nil
+}
+
+// MustNew is New for configurations known valid at compile time; it panics
+// on error.
+func MustNew(cfg Config) *BiMode {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Name implements predictor.Predictor.
+func (b *BiMode) Name() string {
+	tag := fmt.Sprintf("bi-mode(%dc,%db,%dh)", b.cfg.ChoiceBits, b.cfg.BankBits, b.cfg.HistoryBits)
+	if b.cfg.FullChoiceUpdate {
+		tag += "+fullchoice"
+	}
+	if b.cfg.UpdateBothBanks {
+		tag += "+bothbanks"
+	}
+	return tag
+}
+
+// Config returns the predictor's configuration.
+func (b *BiMode) Config() Config { return b.cfg }
+
+// choiceIndex maps a branch PC to its choice counter.
+func (b *BiMode) choiceIndex(pc uint64) int { return int((pc >> 2) & b.chMask) }
+
+// dirIndex maps (PC, current history) to the counter consulted in either
+// direction bank.
+func (b *BiMode) dirIndex(pc uint64) int {
+	return int(((pc >> 2) ^ b.ghr.Value()) & b.dirMask)
+}
+
+// bankFor translates a choice prediction into a bank identifier.
+func bankFor(choiceTaken bool) int {
+	if choiceTaken {
+		return BankTaken
+	}
+	return BankNotTaken
+}
+
+// Predict implements predictor.Predictor.
+func (b *BiMode) Predict(pc uint64) bool {
+	bank := bankFor(b.choice.Taken(b.choiceIndex(pc)))
+	return b.banks[bank].Taken(b.dirIndex(pc))
+}
+
+// Update implements predictor.Predictor, applying the paper's partial
+// update policy (or the ablation variants selected in the Config).
+func (b *BiMode) Update(pc uint64, taken bool) {
+	ci := b.choiceIndex(pc)
+	di := b.dirIndex(pc)
+	choiceTaken := b.choice.Taken(ci)
+	sel := bankFor(choiceTaken)
+	dirPred := b.banks[sel].Taken(di)
+
+	// Direction banks: only the selected counter learns the outcome.
+	b.banks[sel].Update(di, taken)
+	if b.cfg.UpdateBothBanks {
+		b.banks[1-sel].Update(di, taken)
+	}
+
+	// Choice predictor: always updated with the outcome, except when the
+	// choice was wrong about the bias but the selected direction counter
+	// still got the branch right.
+	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && dirPred == taken) {
+		b.choice.Update(ci, taken)
+	}
+
+	b.ghr.Push(taken)
+}
+
+// Reset implements predictor.Predictor, restoring the paper's
+// initialization (footnote 2).
+func (b *BiMode) Reset() {
+	b.choice.Reset()
+	b.banks[BankNotTaken].Reset()
+	b.banks[BankTaken].Reset()
+	b.ghr.Reset()
+}
+
+// CostBits implements predictor.Predictor: choice counters plus both
+// direction banks. With ChoiceBits == BankBits this is 3*2^BankBits
+// two-bit counters, i.e. 1.5x the cost of a 2^(BankBits+1)-counter gshare,
+// matching the paper's placement on the size axis.
+func (b *BiMode) CostBits() int {
+	return b.choice.CostBits() + b.banks[0].CostBits() + b.banks[1].CostBits()
+}
+
+// CounterID implements predictor.Indexed. The two banks' counters get
+// disjoint dense identifiers: bank*2^BankBits + index. The identifier
+// reflects the counter the *current* choice state would consult.
+func (b *BiMode) CounterID(pc uint64) int {
+	bank := bankFor(b.choice.Taken(b.choiceIndex(pc)))
+	return bank<<uint(b.cfg.BankBits) + b.dirIndex(pc)
+}
+
+// NumCounters implements predictor.Indexed (both banks).
+func (b *BiMode) NumCounters() int { return 2 << uint(b.cfg.BankBits) }
+
+// ChoiceState returns the raw state of the choice counter for pc; exposed
+// for the analysis tooling and tests.
+func (b *BiMode) ChoiceState(pc uint64) uint8 { return b.choice.Value(b.choiceIndex(pc)) }
+
+// BankCounterState returns the raw state of the given bank's counter that
+// pc currently maps to; exposed for tests.
+func (b *BiMode) BankCounterState(bank int, pc uint64) uint8 {
+	return b.banks[bank].Value(b.dirIndex(pc))
+}
+
+// HistoryValue implements predictor.SpeculativeHistory.
+func (b *BiMode) HistoryValue() uint64 { return b.ghr.Value() }
+
+// SetHistory implements predictor.SpeculativeHistory.
+func (b *BiMode) SetHistory(v uint64) { b.ghr.Set(v) }
+
+// PushHistory implements predictor.SpeculativeHistory.
+func (b *BiMode) PushHistory(taken bool) { b.ghr.Push(taken) }
+
+// UpdateCounters implements predictor.SpeculativeHistory: the full
+// bi-mode update policy (selective bank training, partial choice update)
+// indexed with the supplied history snapshot, leaving the register
+// untouched.
+func (b *BiMode) UpdateCounters(pc uint64, history uint64, taken bool) {
+	ci := b.choiceIndex(pc)
+	di := int(((pc >> 2) ^ history) & b.dirMask)
+	choiceTaken := b.choice.Taken(ci)
+	sel := bankFor(choiceTaken)
+	dirPred := b.banks[sel].Taken(di)
+
+	b.banks[sel].Update(di, taken)
+	if b.cfg.UpdateBothBanks {
+		b.banks[1-sel].Update(di, taken)
+	}
+	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && dirPred == taken) {
+		b.choice.Update(ci, taken)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bimode/internal/baselines"
+)
+
+// refBiMode is a deliberately naive, obviously-paper-faithful bi-mode
+// model used as a differential-testing oracle: plain integer state, no
+// shared tables, each rule written exactly as Section 2.2 states it.
+type refBiMode struct {
+	choiceBits, bankBits, histBits int
+	choice                         []int // 0..3
+	banks                          [2][]int
+	history                        uint64
+}
+
+func newRefBiMode(choiceBits, bankBits, histBits int) *refBiMode {
+	r := &refBiMode{choiceBits: choiceBits, bankBits: bankBits, histBits: histBits}
+	r.choice = make([]int, 1<<uint(choiceBits))
+	for i := range r.choice {
+		r.choice[i] = 2 // weakly taken
+	}
+	r.banks[0] = make([]int, 1<<uint(bankBits))
+	r.banks[1] = make([]int, 1<<uint(bankBits))
+	for i := range r.banks[0] {
+		r.banks[0][i] = 1 // NT bank weakly not-taken
+		r.banks[1][i] = 2 // T bank weakly taken
+	}
+	return r
+}
+
+func (r *refBiMode) choiceIdx(pc uint64) int {
+	return int((pc >> 2) & (1<<uint(r.choiceBits) - 1))
+}
+
+func (r *refBiMode) dirIdx(pc uint64) int {
+	h := r.history & (1<<uint(r.histBits) - 1)
+	return int(((pc >> 2) ^ h) & (1<<uint(r.bankBits) - 1))
+}
+
+func (r *refBiMode) predict(pc uint64) bool {
+	bank := 0
+	if r.choice[r.choiceIdx(pc)] >= 2 {
+		bank = 1
+	}
+	return r.banks[bank][r.dirIdx(pc)] >= 2
+}
+
+func bump(v int, taken bool) int {
+	if taken {
+		if v < 3 {
+			return v + 1
+		}
+		return v
+	}
+	if v > 0 {
+		return v - 1
+	}
+	return v
+}
+
+func (r *refBiMode) update(pc uint64, taken bool) {
+	ci, di := r.choiceIdx(pc), r.dirIdx(pc)
+	choiceTaken := r.choice[ci] >= 2
+	bank := 0
+	if choiceTaken {
+		bank = 1
+	}
+	dirPred := r.banks[bank][di] >= 2
+
+	// Only the selected counter is updated.
+	r.banks[bank][di] = bump(r.banks[bank][di], taken)
+
+	// Choice always updated, except: choice opposite to outcome but the
+	// selected counter made a correct final prediction.
+	exception := choiceTaken != taken && dirPred == taken
+	if !exception {
+		r.choice[ci] = bump(r.choice[ci], taken)
+	}
+
+	r.history = r.history<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestBiModeMatchesReference drives the production implementation and the
+// naive oracle with identical random branch streams and demands
+// bit-identical predictions throughout.
+func TestBiModeMatchesReference(t *testing.T) {
+	f := func(pcs []uint16, outcomes []bool, seed uint8) bool {
+		cb := 4 + int(seed%3)
+		bb := 4 + int(seed%4)
+		hb := int(seed) % (bb + 1)
+		impl := MustNew(Config{ChoiceBits: cb, BankBits: bb, HistoryBits: hb})
+		ref := newRefBiMode(cb, bb, hb)
+		n := len(pcs)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			pc := uint64(pcs[i]) << 2
+			if impl.Predict(pc) != ref.predict(pc) {
+				return false
+			}
+			impl.Update(pc, outcomes[i])
+			ref.update(pc, outcomes[i])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGshareMatchesReference does the same for gshare against an inline
+// oracle.
+func TestGshareMatchesReference(t *testing.T) {
+	f := func(pcs []uint16, outcomes []bool, seed uint8) bool {
+		ib := 4 + int(seed%5)
+		hb := int(seed) % (ib + 1)
+		impl := baselines.NewGshare(ib, hb)
+		table := make([]int, 1<<uint(ib))
+		for i := range table {
+			table[i] = 2
+		}
+		var hist uint64
+		n := len(pcs)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			pc := uint64(pcs[i]) << 2
+			idx := int(((pc >> 2) ^ (hist & (1<<uint(hb) - 1))) & (1<<uint(ib) - 1))
+			if impl.Predict(pc) != (table[idx] >= 2) {
+				return false
+			}
+			impl.Update(pc, outcomes[i])
+			table[idx] = bump(table[idx], outcomes[i])
+			hist = hist<<1 | b2u(outcomes[i])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+	"bimode/internal/history"
+)
+
+// TriMode is this repository's concrete take on the paper's stated future
+// work: "further separate the weakly-biased substreams from the strongly-
+// biased substreams for the counters" (Section 5).
+//
+// It extends bi-mode with a THIRD direction bank reserved for weakly
+// biased branches. The choice predictor is widened to a 3-bit confidence
+// counter per branch: its direction bit steers between the taken and
+// not-taken banks exactly as in bi-mode, but when the counter sits in the
+// low-confidence middle of its range the branch is classified weakly
+// biased and steered to the dedicated WB bank instead. Strongly biased
+// branches therefore never share direction counters with the noisy WB
+// substreams that the paper identifies as bi-mode's residual
+// interference.
+//
+// Updates follow bi-mode's discipline: only the selected bank's counter
+// is trained, and the choice counter keeps bi-mode's partial update rule
+// (it is not weakened when its direction call was wrong but the selected
+// counter predicted correctly).
+type TriMode struct {
+	cfg     Config
+	choice  *counter.Table // 3-bit confidence/direction counters
+	banks   [3]*counter.Table
+	ghr     *history.Global
+	chMask  uint64
+	dirMask uint64
+	loBound uint8 // choice values in (loBound, hiBound) classify as WB
+	hiBound uint8
+}
+
+// bankWeak is the third direction bank, holding weakly biased branches.
+const bankWeak = 2
+
+// NewTriMode builds a tri-mode predictor from a bi-mode configuration;
+// the WB bank has the same size as each direction bank, so total cost is
+// 4*2^BankBits direction counters plus a 3-bit choice table.
+func NewTriMode(cfg Config) (*TriMode, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &TriMode{
+		cfg:     cfg,
+		choice:  counter.NewTable(1<<uint(cfg.ChoiceBits), 3, 4), // weakly taken, centered
+		ghr:     history.NewGlobal(cfg.HistoryBits),
+		chMask:  1<<uint(cfg.ChoiceBits) - 1,
+		dirMask: 1<<uint(cfg.BankBits) - 1,
+		loBound: 1, // 0..1 -> strong NT class, 2..5 -> WB, 6..7 -> strong T
+		hiBound: 6,
+	}
+	t.banks[BankNotTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakNotTaken)
+	t.banks[BankTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
+	t.banks[bankWeak] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
+	return t, nil
+}
+
+// MustNewTriMode is NewTriMode that panics on error.
+func MustNewTriMode(cfg Config) *TriMode {
+	t, err := NewTriMode(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements predictor.Predictor.
+func (t *TriMode) Name() string {
+	return fmt.Sprintf("tri-mode(%dc,%db,%dh)", t.cfg.ChoiceBits, t.cfg.BankBits, t.cfg.HistoryBits)
+}
+
+func (t *TriMode) choiceIndex(pc uint64) int { return int((pc >> 2) & t.chMask) }
+func (t *TriMode) dirIndex(pc uint64) int    { return int(((pc >> 2) ^ t.ghr.Value()) & t.dirMask) }
+
+// classify maps a choice-counter value to a bank.
+func (t *TriMode) classify(v uint8) int {
+	switch {
+	case v <= t.loBound:
+		return BankNotTaken
+	case v >= t.hiBound:
+		return BankTaken
+	default:
+		return bankWeak
+	}
+}
+
+// Predict implements predictor.Predictor.
+func (t *TriMode) Predict(pc uint64) bool {
+	bank := t.classify(t.choice.Value(t.choiceIndex(pc)))
+	return t.banks[bank].Taken(t.dirIndex(pc))
+}
+
+// Update implements predictor.Predictor.
+func (t *TriMode) Update(pc uint64, taken bool) {
+	ci := t.choiceIndex(pc)
+	di := t.dirIndex(pc)
+	v := t.choice.Value(ci)
+	bank := t.classify(v)
+	dirPred := t.banks[bank].Taken(di)
+
+	t.banks[bank].Update(di, taken)
+
+	// Partial update in bi-mode's spirit, applied only while the branch
+	// is classified strongly biased: the confidence counter moves toward
+	// the outcome except when its direction call disagreed with the
+	// outcome but the selected bank's counter predicted correctly. For
+	// WB-classified branches the counter always tracks the outcome —
+	// the exception rule's asymmetric skips would otherwise drift weakly
+	// biased branches out of the WB bank.
+	choiceTaken := v >= 4
+	if bank == bankWeak || !(choiceTaken != taken && dirPred == taken) {
+		t.choice.Update(ci, taken)
+	}
+	t.ghr.Push(taken)
+}
+
+// Reset implements predictor.Predictor.
+func (t *TriMode) Reset() {
+	t.choice.Reset()
+	for _, b := range t.banks {
+		b.Reset()
+	}
+	t.ghr.Reset()
+}
+
+// CostBits implements predictor.Predictor: three two-bit banks plus the
+// 3-bit choice counters.
+func (t *TriMode) CostBits() int {
+	total := t.choice.CostBits()
+	for _, b := range t.banks {
+		total += b.CostBits()
+	}
+	return total
+}
+
+// CounterID implements predictor.Indexed: dense ids across the three
+// banks.
+func (t *TriMode) CounterID(pc uint64) int {
+	bank := t.classify(t.choice.Value(t.choiceIndex(pc)))
+	return bank<<uint(t.cfg.BankBits) + t.dirIndex(pc)
+}
+
+// NumCounters implements predictor.Indexed.
+func (t *TriMode) NumCounters() int { return 3 << uint(t.cfg.BankBits) }

@@ -1,0 +1,67 @@
+// Package counter implements the saturating up-down counters and counter
+// tables that form the state of every predictor in this repository.
+//
+// The paper measures predictor cost purely as the number of bytes occupied
+// by two-bit counters, so the tables here carry an explicit cost in bits.
+// Two table implementations are provided: Table stores one counter per
+// byte for speed, and PackedTable stores counters bit-packed exactly as
+// hardware would; the two are behaviorally identical (see the package
+// tests), so the simulators use Table and the cost model uses the packed
+// size.
+package counter
+
+import "fmt"
+
+// Counter is a saturating up-down counter of configurable width.
+// A Counter with Bits=2 is the classic Smith two-bit counter: states
+// 0 (strongly not-taken), 1 (weakly not-taken), 2 (weakly taken),
+// 3 (strongly taken).
+type Counter struct {
+	value uint8
+	max   uint8
+}
+
+// New returns a counter with the given width in bits (1..8) initialized to
+// the given value, which is clamped to the representable range.
+func New(bits int, value uint8) Counter {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("counter: width %d out of range [1,8]", bits))
+	}
+	max := uint8(1<<bits - 1)
+	if value > max {
+		value = max
+	}
+	return Counter{value: value, max: max}
+}
+
+// Value returns the current counter state.
+func (c Counter) Value() uint8 { return c.value }
+
+// Max returns the saturation value (2^bits - 1).
+func (c Counter) Max() uint8 { return c.max }
+
+// Taken reports the prediction encoded by the counter: true when the
+// counter is in the taken half of its range.
+func (c Counter) Taken() bool { return c.value > c.max/2 }
+
+// Strong reports whether the counter is at either saturation point.
+func (c Counter) Strong() bool { return c.value == 0 || c.value == c.max }
+
+// Update moves the counter toward taken or not-taken, saturating.
+func (c *Counter) Update(taken bool) {
+	if taken {
+		if c.value < c.max {
+			c.value++
+		}
+	} else if c.value > 0 {
+		c.value--
+	}
+}
+
+// Common two-bit counter states, named for readability at call sites.
+const (
+	StrongNotTaken uint8 = 0
+	WeakNotTaken   uint8 = 1
+	WeakTaken      uint8 = 2
+	StrongTaken    uint8 = 3
+)

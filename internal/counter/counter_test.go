@@ -1,0 +1,109 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterStates(t *testing.T) {
+	c := New(2, WeakNotTaken)
+	if c.Taken() {
+		t.Fatalf("weak not-taken must predict not-taken")
+	}
+	c.Update(true) // -> 2
+	if !c.Taken() {
+		t.Fatalf("after one taken from weak NT, counter should predict taken (hysteresis midpoint)")
+	}
+	c.Update(true) // -> 3
+	if !c.Strong() {
+		t.Fatalf("two takens from weak NT should saturate to strong taken")
+	}
+	c.Update(true) // saturate
+	if c.Value() != StrongTaken {
+		t.Fatalf("counter must saturate at 3, got %d", c.Value())
+	}
+	c.Update(false)
+	if c.Value() != WeakTaken || !c.Taken() {
+		t.Fatalf("one not-taken from strong taken must give weak taken, got %d", c.Value())
+	}
+}
+
+func TestCounterSaturatesLow(t *testing.T) {
+	c := New(2, StrongNotTaken)
+	c.Update(false)
+	if c.Value() != 0 {
+		t.Fatalf("counter must saturate at 0, got %d", c.Value())
+	}
+}
+
+func TestCounterWidths(t *testing.T) {
+	for bits := 1; bits <= 8; bits++ {
+		c := New(bits, 0)
+		want := uint8(1<<uint(bits) - 1)
+		if c.Max() != want {
+			t.Fatalf("bits=%d: max %d, want %d", bits, c.Max(), want)
+		}
+		for i := 0; i < 300; i++ {
+			c.Update(true)
+		}
+		if c.Value() != want {
+			t.Fatalf("bits=%d: did not saturate to %d, got %d", bits, want, c.Value())
+		}
+	}
+}
+
+func TestCounterClampsInit(t *testing.T) {
+	c := New(2, 200)
+	if c.Value() != 3 {
+		t.Fatalf("init must clamp to max, got %d", c.Value())
+	}
+}
+
+func TestCounterPanicsOnBadWidth(t *testing.T) {
+	for _, bits := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, 0) must panic", bits)
+				}
+			}()
+			New(bits, 0)
+		}()
+	}
+}
+
+// TestCounterStaysInRange is a property test: any update sequence keeps
+// the counter within [0, max].
+func TestCounterStaysInRange(t *testing.T) {
+	f := func(updates []bool, bits uint8, init uint8) bool {
+		b := int(bits%8) + 1
+		c := New(b, init)
+		for _, u := range updates {
+			c.Update(u)
+			if c.Value() > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCounterTrackingMonotone is a property test: after two consecutive
+// identical outcomes, a two-bit counter always predicts that outcome.
+func TestCounterTrackingMonotone(t *testing.T) {
+	f := func(prefix []bool, dir bool) bool {
+		c := New(2, WeakTaken)
+		for _, u := range prefix {
+			c.Update(u)
+		}
+		c.Update(dir)
+		c.Update(dir)
+		return c.Taken() == dir
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package counter
+
+import "fmt"
+
+// PackedTable is a bit-packed table of two-bit saturating counters: four
+// counters per byte, exactly the storage layout the paper's cost metric
+// assumes. It exists to demonstrate (and test) that the fast unpacked
+// Table is behaviorally identical to the hardware layout.
+type PackedTable struct {
+	words []uint8
+	n     int
+	init  uint8
+}
+
+// NewPackedTwoBit returns a packed table of n two-bit counters initialized
+// to init.
+func NewPackedTwoBit(n int, init uint8) *PackedTable {
+	if n <= 0 {
+		panic(fmt.Sprintf("counter: packed table size %d must be positive", n))
+	}
+	if init > 3 {
+		init = 3
+	}
+	t := &PackedTable{words: make([]uint8, (n+3)/4), n: n, init: init}
+	t.Reset()
+	return t
+}
+
+// Len returns the number of counters.
+func (t *PackedTable) Len() int { return t.n }
+
+// CostBits returns the storage cost in bits.
+func (t *PackedTable) CostBits() int { return t.n * 2 }
+
+// CostBytes returns the storage cost in bytes, the paper's size unit.
+func (t *PackedTable) CostBytes() int { return (t.CostBits() + 7) / 8 }
+
+// Value returns the raw state of counter i.
+func (t *PackedTable) Value(i int) uint8 {
+	t.check(i)
+	shift := uint(i&3) * 2
+	return (t.words[i>>2] >> shift) & 3
+}
+
+// Taken reports the prediction of counter i.
+func (t *PackedTable) Taken(i int) bool { return t.Value(i) >= 2 }
+
+// Update moves counter i toward the branch outcome, saturating.
+func (t *PackedTable) Update(i int, taken bool) {
+	v := t.Value(i)
+	if taken {
+		if v < 3 {
+			v++
+		}
+	} else if v > 0 {
+		v--
+	}
+	t.set(i, v)
+}
+
+// Set forces counter i to the given state (clamped to [0,3]).
+func (t *PackedTable) Set(i int, v uint8) {
+	t.check(i)
+	if v > 3 {
+		v = 3
+	}
+	t.set(i, v)
+}
+
+// Reset restores every counter to the initialization value.
+func (t *PackedTable) Reset() {
+	var pattern uint8
+	for k := 0; k < 4; k++ {
+		pattern |= t.init << uint(k*2)
+	}
+	for i := range t.words {
+		t.words[i] = pattern
+	}
+}
+
+func (t *PackedTable) set(i int, v uint8) {
+	shift := uint(i&3) * 2
+	idx := i >> 2
+	t.words[idx] = t.words[idx]&^(3<<shift) | v<<shift
+}
+
+func (t *PackedTable) check(i int) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("counter: index %d out of range [0,%d)", i, t.n))
+	}
+}

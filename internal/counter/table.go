@@ -1,0 +1,78 @@
+package counter
+
+import "fmt"
+
+// Table is a table of saturating counters, one per entry, stored unpacked
+// (one byte per counter) for simulation speed. Its CostBits method reports
+// the packed hardware cost, which is what the paper's size axis measures.
+type Table struct {
+	entries []uint8
+	bits    int
+	max     uint8
+	mid     uint8 // values above mid predict taken
+	init    uint8
+}
+
+// NewTable returns a table of n counters of the given width, all
+// initialized to init (clamped). n must be positive.
+func NewTable(n int, bits int, init uint8) *Table {
+	if n <= 0 {
+		panic(fmt.Sprintf("counter: table size %d must be positive", n))
+	}
+	c := New(bits, init) // validates bits, clamps init
+	t := &Table{
+		entries: make([]uint8, n),
+		bits:    bits,
+		max:     c.Max(),
+		mid:     c.Max() / 2,
+		init:    c.Value(),
+	}
+	t.Reset()
+	return t
+}
+
+// NewTwoBit returns a table of n two-bit counters initialized to init.
+// This is the configuration used by every predictor in the paper.
+func NewTwoBit(n int, init uint8) *Table { return NewTable(n, 2, init) }
+
+// Len returns the number of counters in the table.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Bits returns the width of each counter.
+func (t *Table) Bits() int { return t.bits }
+
+// CostBits returns the hardware storage cost of the table in bits.
+func (t *Table) CostBits() int { return len(t.entries) * t.bits }
+
+// Taken reports the prediction of counter i.
+func (t *Table) Taken(i int) bool { return t.entries[i] > t.mid }
+
+// Value returns the raw state of counter i.
+func (t *Table) Value(i int) uint8 { return t.entries[i] }
+
+// Set forces counter i to the given state (clamped to the counter range).
+func (t *Table) Set(i int, v uint8) {
+	if v > t.max {
+		v = t.max
+	}
+	t.entries[i] = v
+}
+
+// Update moves counter i toward the branch outcome, saturating.
+func (t *Table) Update(i int, taken bool) {
+	v := t.entries[i]
+	if taken {
+		if v < t.max {
+			t.entries[i] = v + 1
+		}
+	} else if v > 0 {
+		t.entries[i] = v - 1
+	}
+}
+
+// Reset restores every counter to the table's initialization value.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = t.init
+	}
+}

@@ -1,0 +1,118 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTwoBit(8, WeakTaken)
+	if tb.Len() != 8 || tb.Bits() != 2 || tb.CostBits() != 16 {
+		t.Fatalf("len/bits/cost = %d/%d/%d, want 8/2/16", tb.Len(), tb.Bits(), tb.CostBits())
+	}
+	if !tb.Taken(3) {
+		t.Fatalf("weak taken init must predict taken")
+	}
+	tb.Update(3, false)
+	tb.Update(3, false)
+	if tb.Taken(3) {
+		t.Fatalf("two not-taken updates must flip the prediction")
+	}
+	if !tb.Taken(4) || tb.Value(4) != WeakTaken {
+		t.Fatalf("update must not touch other entries: entry 4 = %d", tb.Value(4))
+	}
+}
+
+func TestTableSetClamps(t *testing.T) {
+	tb := NewTwoBit(4, 0)
+	tb.Set(2, 9)
+	if tb.Value(2) != 3 {
+		t.Fatalf("Set must clamp to counter max, got %d", tb.Value(2))
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tb := NewTwoBit(4, WeakNotTaken)
+	for i := 0; i < 4; i++ {
+		tb.Update(i, true)
+		tb.Update(i, true)
+	}
+	tb.Reset()
+	for i := 0; i < 4; i++ {
+		if tb.Value(i) != WeakNotTaken {
+			t.Fatalf("entry %d not reset: %d", i, tb.Value(i))
+		}
+	}
+}
+
+func TestTablePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewTable(0,...) must panic")
+		}
+	}()
+	NewTable(0, 2, 0)
+}
+
+func TestPackedTableCost(t *testing.T) {
+	pt := NewPackedTwoBit(1024, WeakTaken)
+	if pt.CostBits() != 2048 || pt.CostBytes() != 256 {
+		t.Fatalf("cost = %d bits / %d bytes, want 2048/256", pt.CostBits(), pt.CostBytes())
+	}
+}
+
+func TestPackedTableBoundsPanic(t *testing.T) {
+	pt := NewPackedTwoBit(8, 0)
+	for _, i := range []int{-1, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Value(%d) must panic", i)
+				}
+			}()
+			pt.Value(i)
+		}()
+	}
+}
+
+// TestPackedMatchesUnpacked is the central property: the bit-packed
+// hardware layout and the fast unpacked table are behaviorally identical
+// under any interleaving of updates.
+func TestPackedMatchesUnpacked(t *testing.T) {
+	type op struct {
+		Idx   uint8
+		Taken bool
+	}
+	f := func(init uint8, ops []op) bool {
+		const n = 32
+		a := NewTwoBit(n, init%4)
+		b := NewPackedTwoBit(n, init%4)
+		for _, o := range ops {
+			i := int(o.Idx) % n
+			a.Update(i, o.Taken)
+			b.Update(i, o.Taken)
+		}
+		for i := 0; i < n; i++ {
+			if a.Value(i) != b.Value(i) || a.Taken(i) != b.Taken(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedReset(t *testing.T) {
+	pt := NewPackedTwoBit(9, WeakTaken) // odd size exercises partial last byte
+	for i := 0; i < 9; i++ {
+		pt.Set(i, uint8(i%4))
+	}
+	pt.Reset()
+	for i := 0; i < 9; i++ {
+		if pt.Value(i) != WeakTaken {
+			t.Fatalf("entry %d not reset: %d", i, pt.Value(i))
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CurvesCSV serializes size-curve panels as CSV with one row per
+// (workload, scheme, size) point, suitable for replotting.
+func CurvesCSV(cs []SizeCurves) string {
+	var b strings.Builder
+	b.WriteString("workload,scheme,cost_bytes,mispredict_rate\n")
+	for _, c := range cs {
+		for i := range c.Gshare1PHT {
+			fmt.Fprintf(&b, "%s,gshare.1PHT,%g,%.6f\n", c.Workload, c.GshareCost[i], c.Gshare1PHT[i])
+			fmt.Fprintf(&b, "%s,gshare.best,%g,%.6f\n", c.Workload, c.GshareCost[i], c.GshareBest[i])
+			fmt.Fprintf(&b, "%s,bi-mode,%g,%.6f\n", c.Workload, c.BiModeCost[i], c.BiMode[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BreakdownCSV serializes per-counter bias breakdowns (Figures 5-6) with
+// one row per counter in the sorted-by-WB figure order, suitable for
+// replotting the paper's stacked-area panels.
+func BreakdownCSV(bs ...BiasBreakdown) string {
+	var b strings.Builder
+	b.WriteString("scheme,workload,counter_rank,dominant,non_dominant,wb\n")
+	for _, bd := range bs {
+		for i, c := range bd.Counters {
+			fmt.Fprintf(&b, "%s,%s,%d,%.6f,%.6f,%.6f\n",
+				bd.Scheme, bd.Workload, i, c[0], c[1], c[2])
+		}
+	}
+	return b.String()
+}
+
+// ClassBreakdownCSV serializes the Figures 7-8 bars.
+func ClassBreakdownCSV(workload string, pts []ClassBreakdownPoint) string {
+	var b strings.Builder
+	b.WriteString("workload,counters,scheme,snt,st,wb,total\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f,%.6f,%.6f\n",
+			workload, p.Counters, p.Label, p.SNT, p.ST, p.WB, p.SNT+p.ST+p.WB)
+	}
+	return b.String()
+}

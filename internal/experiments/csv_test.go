@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownCSV(t *testing.T) {
+	b := BiasBreakdown{
+		Scheme:   "demo",
+		Workload: "w",
+		Counters: [][3]float64{{0.7, 0.2, 0.1}, {0.5, 0.3, 0.2}},
+	}
+	csv := BreakdownCSV(b)
+	if !strings.HasPrefix(csv, "scheme,workload,counter_rank") {
+		t.Fatalf("header missing")
+	}
+	if strings.Count(csv, "\n") != 3 {
+		t.Fatalf("want 3 lines, got %q", csv)
+	}
+	if !strings.Contains(csv, "demo,w,1,0.500000,0.300000,0.200000") {
+		t.Fatalf("row missing: %q", csv)
+	}
+}
+
+func TestClassBreakdownCSV(t *testing.T) {
+	pts := []ClassBreakdownPoint{{Label: "bi-mode(7)", Counters: 256, SNT: 0.01, ST: 0.02, WB: 0.03}}
+	csv := ClassBreakdownCSV("gcc", pts)
+	if !strings.Contains(csv, "gcc,256,bi-mode(7),0.010000,0.020000,0.030000,0.060000") {
+		t.Fatalf("row missing: %q", csv)
+	}
+}

@@ -1,0 +1,70 @@
+// Package experiments defines one driver per table and figure of the
+// paper's evaluation, each returning a typed result that the renderers in
+// this package turn into text tables, ASCII figures and CSV. The mapping
+// from paper artifact to driver is recorded in DESIGN.md's experiment
+// index; measured-vs-paper values live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+)
+
+// Config adjusts experiment scale. The zero value runs the defaults used
+// by EXPERIMENTS.md.
+type Config struct {
+	// Dynamic overrides every workload's dynamic branch count; 0 keeps
+	// the calibrated per-benchmark defaults (paper counts / 8).
+	Dynamic int
+	// MinSizeBits/MaxSizeBits bound the gshare size axis as log2(counter
+	// count): defaults 10..17 = 0.25 KB .. 32 KB, the paper's axis.
+	MinSizeBits, MaxSizeBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSizeBits == 0 {
+		c.MinSizeBits = 10
+	}
+	if c.MaxSizeBits == 0 {
+		c.MaxSizeBits = 17
+	}
+	return c
+}
+
+// SuiteSources materializes the named suite's workloads once so every
+// simulation replays the same in-memory traces.
+func SuiteSources(suite string, cfg Config) []trace.Source {
+	var out []trace.Source
+	for _, p := range synth.Profiles() {
+		if p.Suite != suite {
+			continue
+		}
+		if cfg.Dynamic > 0 {
+			p = p.WithDynamic(cfg.Dynamic)
+		}
+		out = append(out, trace.Materialize(synth.MustWorkload(p)))
+	}
+	return out
+}
+
+// Workload materializes one named workload.
+func Workload(name string, cfg Config) (trace.Source, error) {
+	src, err := workloads.Get(name, workloads.Options{Dynamic: cfg.Dynamic})
+	if err != nil {
+		return nil, err
+	}
+	return trace.Materialize(src), nil
+}
+
+// kb formats a byte count the way the paper's size axis does.
+func kb(bytes float64) string {
+	switch {
+	case bytes >= 1024:
+		return fmt.Sprintf("%gK", bytes/1024)
+	default:
+		return fmt.Sprintf("%gB", bytes)
+	}
+}

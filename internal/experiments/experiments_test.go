@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bimode/internal/synth"
+)
+
+// small keeps experiment tests fast: tiny dynamic budgets and a short
+// size axis.
+var small = Config{Dynamic: 40000, MinSizeBits: 8, MaxSizeBits: 10}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 must list the 6 SPEC benchmarks, got %d", len(rows))
+	}
+	text := RenderTable1(rows)
+	for _, want := range []string{"compress", "bigtest.in", "vortex"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Table 1 text missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(Config{Dynamic: 30000})
+	if len(rows) != 14 {
+		t.Fatalf("Table 2 must list 14 benchmarks, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.DynamicBranches != 30000 {
+			t.Fatalf("%s: dynamic %d", r.Stats.Name, r.Stats.DynamicBranches)
+		}
+		if r.Stats.StaticBranches <= 0 || r.Stats.StaticBranches > r.PaperStatic {
+			t.Fatalf("%s: static %d vs paper %d", r.Stats.Name, r.Stats.StaticBranches, r.PaperStatic)
+		}
+		if r.PaperDynamic == 0 {
+			t.Fatalf("%s: paper dynamic missing", r.Stats.Name)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "video_play") {
+		t.Fatalf("Table 2 text incomplete")
+	}
+}
+
+func TestSuiteSources(t *testing.T) {
+	spec := SuiteSources(synth.SuiteSPEC, Config{Dynamic: 1000})
+	if len(spec) != 6 {
+		t.Fatalf("SPEC sources = %d", len(spec))
+	}
+	if spec[0].Name() != "compress" {
+		t.Fatalf("paper order not preserved: %s", spec[0].Name())
+	}
+}
+
+func TestWorkloadUnknown(t *testing.T) {
+	if _, err := Workload("nope", small); err == nil {
+		t.Fatalf("unknown workload must fail")
+	}
+}
+
+func TestFigures234Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	f := Figures234(small)
+	if len(f.SizeBits) != 3 {
+		t.Fatalf("size axis = %v", f.SizeBits)
+	}
+	if len(f.SPEC) != 6 || len(f.IBS) != 8 {
+		t.Fatalf("panel counts wrong: %d/%d", len(f.SPEC), len(f.IBS))
+	}
+	for _, c := range append(append([]SizeCurves{f.SPECAvg, f.IBSAvg}, f.SPEC...), f.IBS...) {
+		if len(c.Gshare1PHT) != 3 || len(c.GshareBest) != 3 || len(c.BiMode) != 3 {
+			t.Fatalf("%s: missing points", c.Workload)
+		}
+		for i := range c.Gshare1PHT {
+			if c.GshareBest[i] > c.Gshare1PHT[i]+1e-9 {
+				t.Errorf("%s size %d: gshare.best (%v) worse than 1PHT (%v) — best must include h=index",
+					c.Workload, i, c.GshareBest[i], c.Gshare1PHT[i])
+			}
+			for _, v := range []float64{c.Gshare1PHT[i], c.GshareBest[i], c.BiMode[i]} {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: rate out of range %v", c.Workload, v)
+				}
+			}
+		}
+		// Cost axis: gshare doubles, bi-mode is 0.75x gshare's bytes.
+		if c.GshareCost[1] != 2*c.GshareCost[0] {
+			t.Fatalf("gshare cost axis wrong: %v", c.GshareCost)
+		}
+		// bi-mode with banks of 2^(s-1) counters costs 1.5x the gshare of
+		// the same column (and 1.5x the next smaller gshare's counter
+		// count, the paper's phrasing).
+		if c.BiModeCost[0] != 1.5*c.GshareCost[0] {
+			t.Fatalf("bi-mode cost placement wrong: %v vs %v", c.BiModeCost[0], c.GshareCost[0])
+		}
+	}
+	if len(f.BestHistorySPEC) != 3 || len(f.BestHistoryIBS) != 3 {
+		t.Fatalf("best-history records missing")
+	}
+	// Render paths.
+	if out := RenderSizeCurves(f.SPECAvg); !strings.Contains(out, "gshare.best") {
+		t.Fatalf("render missing series")
+	}
+	csv := CurvesCSV(f.SPEC)
+	if !strings.Contains(csv, "compress,bi-mode") {
+		t.Fatalf("csv missing rows")
+	}
+	if got := strings.Count(csv, "\n"); got != 1+6*3*3 {
+		t.Fatalf("csv rows = %d, want %d", got, 1+6*3*3)
+	}
+}
+
+func TestFigure56AndTables(t *testing.T) {
+	hist, addr, err := Figure5("gcc", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []BiasBreakdown{hist, addr} {
+		sum := b.DominantArea + b.NonDominantArea + b.WBArea
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: areas sum to %v", b.Scheme, sum)
+		}
+		if len(b.Counters) == 0 {
+			t.Fatalf("%s: no counters", b.Scheme)
+		}
+		if RenderBreakdown(b) == "" {
+			t.Fatalf("render empty")
+		}
+	}
+	// Paper claim (Figure 5): history-indexed has a smaller WB area than
+	// address-indexed.
+	if hist.WBArea >= addr.WBArea {
+		t.Errorf("history-indexed WB area %v should be below address-indexed %v", hist.WBArea, addr.WBArea)
+	}
+
+	bm, err := Figure6("gcc", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim (Figure 6): bi-mode keeps WB small and shrinks the
+	// non-dominant area relative to the history-indexed gshare.
+	if bm.NonDominantArea >= hist.NonDominantArea {
+		t.Errorf("bi-mode non-dominant %v should be below history-indexed %v",
+			bm.NonDominantArea, hist.NonDominantArea)
+	}
+
+	ex, err := Table3("gcc", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Rows) == 0 || RenderTable3(ex) == "" {
+		t.Fatalf("Table 3 empty")
+	}
+
+	t4, err := Table4("gcc", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsTotal := t4.HistoryIndexed[0] + t4.HistoryIndexed[1] + t4.HistoryIndexed[2]
+	bmTotal := t4.BiMode[0] + t4.BiMode[1] + t4.BiMode[2]
+	if bmTotal >= gsTotal {
+		t.Errorf("Table 4: bi-mode interruptions %d should be below history-indexed %d", bmTotal, gsTotal)
+	}
+	if !strings.Contains(RenderTable4(t4), "bi-mode") {
+		t.Fatalf("Table 4 render incomplete")
+	}
+}
+
+func TestFigures78Small(t *testing.T) {
+	pts, err := Figures78("gcc", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("want 9 bars (3 sizes x 3 schemes), got %d", len(pts))
+	}
+	for _, p := range pts {
+		total := p.SNT + p.ST + p.WB
+		if total < 0 || total > 1 {
+			t.Fatalf("%s: breakdown out of range", p.Label)
+		}
+	}
+	if !strings.Contains(RenderFigures78("gcc", pts), "bi-mode(7)") {
+		t.Fatalf("figure 7 render incomplete")
+	}
+}
+
+func TestKBFormat(t *testing.T) {
+	if kb(256) != "256B" || kb(2048) != "2K" || kb(1536) != "1.5K" {
+		t.Fatalf("kb format wrong: %s %s %s", kb(256), kb(2048), kb(1536))
+	}
+}

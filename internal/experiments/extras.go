@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+)
+
+// ProgramsCrossCheck runs the three headline schemes over the
+// instrumented real programs — the non-parametric sanity check on the
+// synthetic calibration: genuine branch streams from real algorithms
+// should show the same qualitative ordering.
+func ProgramsCrossCheck(cfg Config) ([]sim.Result, error) {
+	names := []string{"lzw", "expr", "minilisp", "sortbench", "playout", "huffman", "regexish"}
+	dyn := cfg.Dynamic
+	if dyn == 0 {
+		dyn = 400000
+	}
+	var jobs []sim.Job
+	for _, name := range names {
+		src, err := workloads.Get(name, workloads.Options{Dynamic: dyn})
+		if err != nil {
+			return nil, err
+		}
+		mat := trace.Materialize(src)
+		for _, mk := range []func() predictor.Predictor{
+			func() predictor.Predictor { return baselines.NewSmith(12) },
+			func() predictor.Predictor { return baselines.NewGshare(12, 12) },
+			func() predictor.Predictor { return core.MustNew(core.DefaultConfig(11)) },
+		} {
+			jobs = append(jobs, sim.Job{Make: mk, Source: mat})
+		}
+	}
+	return sim.RunAll(jobs), nil
+}
+
+// RenderProgramsCrossCheck formats the cross-check.
+func RenderProgramsCrossCheck(results []sim.Result) string {
+	var b strings.Builder
+	b.WriteString("Instrumented real programs (non-parametric cross-check), mispredict %:\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s\n", "program", "smith 1KB", "gshare 1KB", "bi-mode 1.5KB")
+	for i := 0; i+2 < len(results); i += 3 {
+		fmt.Fprintf(&b, "%-12s %9.2f%% %11.2f%% %9.2f%%\n",
+			results[i].Workload,
+			100*results[i].MispredictRate(),
+			100*results[i+1].MispredictRate(),
+			100*results[i+2].MispredictRate())
+	}
+	return b.String()
+}
+
+// ContextSwitchResult measures how quantum-interleaving two workloads
+// (kernel+user style, as in the IBS traces) damages each scheme compared
+// to running the same workloads back to back.
+type ContextSwitchResult struct {
+	Scheme string
+	// Isolated is the average rate over the two workloads run alone;
+	// Interleaved is the rate on the quantum-mixed trace.
+	Isolated, Interleaved float64
+}
+
+// ContextSwitch runs the study on two named synthetic benchmarks.
+func ContextSwitch(a, b string, quantum int, cfg Config) ([]ContextSwitchResult, error) {
+	srcA, err := Workload(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	srcB, err := Workload(b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := trace.Interleave(a+"+"+b, quantum, srcA, srcB)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []struct {
+		name string
+		mk   func() predictor.Predictor
+	}{
+		{"smith(13)", func() predictor.Predictor { return baselines.NewSmith(13) }},
+		{"gshare.1PHT(13)", func() predictor.Predictor { return baselines.NewGshare(13, 13) }},
+		{"bi-mode(12)", func() predictor.Predictor { return core.MustNew(core.DefaultConfig(12)) }},
+	}
+	var out []ContextSwitchResult
+	for _, sc := range schemes {
+		ra := sim.Run(sc.mk(), srcA)
+		rb := sim.Run(sc.mk(), srcB)
+		rm := sim.Run(sc.mk(), mixed)
+		iso := (float64(ra.Mispredicts) + float64(rb.Mispredicts)) /
+			(float64(ra.Branches) + float64(rb.Branches))
+		out = append(out, ContextSwitchResult{
+			Scheme:      sc.name,
+			Isolated:    iso,
+			Interleaved: rm.MispredictRate(),
+		})
+	}
+	return out, nil
+}
+
+// RenderContextSwitch formats the study.
+func RenderContextSwitch(a, b string, quantum int, rows []ContextSwitchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Context-switch study: %s and %s interleaved every %d branches\n", a, b, quantum)
+	sb.WriteString("(the IBS traces mix kernel and user activity the same way)\n\n")
+	fmt.Fprintf(&sb, "%-18s %10s %12s %8s\n", "scheme", "isolated", "interleaved", "damage")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %9.2f%% %11.2f%% %+7.2f\n",
+			r.Scheme, 100*r.Isolated, 100*r.Interleaved, 100*(r.Interleaved-r.Isolated))
+	}
+	return sb.String()
+}

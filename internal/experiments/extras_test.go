@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramsCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("program runs")
+	}
+	res, err := ProgramsCrossCheck(Config{Dynamic: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7*3 {
+		t.Fatalf("want 21 results, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.Branches != 30000 {
+			t.Fatalf("%s on %s: branches %d", r.Predictor, r.Workload, r.Branches)
+		}
+	}
+	text := RenderProgramsCrossCheck(res)
+	for _, want := range []string{"lzw", "regexish", "bi-mode"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestContextSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interleave runs")
+	}
+	rows, err := ContextSwitch("xlisp", "sdet", 200, Config{Dynamic: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 schemes, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Isolated <= 0 || r.Interleaved <= 0 {
+			t.Fatalf("%s: rates missing: %+v", r.Scheme, r)
+		}
+		// Interleaving should not massively IMPROVE accuracy.
+		if r.Interleaved < r.Isolated*0.9 {
+			t.Errorf("%s: interleaving improved accuracy implausibly: %+v", r.Scheme, r)
+		}
+	}
+	if !strings.Contains(RenderContextSwitch("xlisp", "sdet", 200, rows), "interleaved") {
+		t.Fatalf("render incomplete")
+	}
+}
+
+func TestContextSwitchErrors(t *testing.T) {
+	if _, err := ContextSwitch("nope", "sdet", 100, Config{Dynamic: 1000}); err == nil {
+		t.Fatalf("unknown workload must fail")
+	}
+	if _, err := ContextSwitch("xlisp", "nope", 100, Config{Dynamic: 1000}); err == nil {
+		t.Fatalf("unknown workload must fail")
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/textplot"
+	"bimode/internal/trace"
+)
+
+// SizeCurves holds, for one workload (or a suite average), the
+// misprediction rate of each scheme across the size axis — the contents
+// of one panel of Figures 2, 3 or 4.
+type SizeCurves struct {
+	// Workload is the benchmark name, or "CINT95-AVERAGE"/"IBS-AVERAGE".
+	Workload string
+	// Gshare1PHT[i] and GshareBest[i] are rates at 2^(MinSizeBits+i)
+	// counters; BiMode[i] is the rate of the bi-mode predictor with banks
+	// of 2^(MinSizeBits+i-1) counters (cost 1.5x the next smaller
+	// gshare), matching the paper's placement.
+	Gshare1PHT, GshareBest, BiMode []float64
+	// GshareCost and BiModeCost give the x positions in bytes.
+	GshareCost, BiModeCost []float64
+}
+
+// Fig234 is the result of the Figures 2-4 sweep.
+type Fig234 struct {
+	// SPECAvg and IBSAvg are the two panels of Figure 2.
+	SPECAvg, IBSAvg SizeCurves
+	// SPEC and IBS are the per-benchmark panels of Figures 3 and 4.
+	SPEC, IBS []SizeCurves
+	// BestHistory records the winning gshare history length per size
+	// (indexed like the curves), per suite.
+	BestHistorySPEC, BestHistoryIBS []int
+	// SizeBits echoes the swept sizes.
+	SizeBits []int
+}
+
+// Figures234 runs the full sweep behind Figures 2, 3 and 4: for every
+// size on the paper's axis it simulates gshare at every history length
+// (selecting gshare.best on the suite average, separately per suite as
+// the paper does), the single-PHT gshare, and the bi-mode predictor, over
+// all fourteen benchmarks.
+func Figures234(cfg Config) *Fig234 {
+	cfg = cfg.withDefaults()
+	out := &Fig234{}
+	for s := cfg.MinSizeBits; s <= cfg.MaxSizeBits; s++ {
+		out.SizeBits = append(out.SizeBits, s)
+	}
+
+	specSources := SuiteSources(synth.SuiteSPEC, cfg)
+	ibsSources := SuiteSources(synth.SuiteIBS, cfg)
+
+	out.SPECAvg, out.SPEC, out.BestHistorySPEC = sweepSuite("CINT95-AVERAGE", specSources, out.SizeBits)
+	out.IBSAvg, out.IBS, out.BestHistoryIBS = sweepSuite("IBS-AVERAGE", ibsSources, out.SizeBits)
+	return out
+}
+
+func sweepSuite(avgName string, sources []trace.Source, sizeBits []int) (SizeCurves, []SizeCurves, []int) {
+	avg := SizeCurves{Workload: avgName}
+	per := make([]SizeCurves, len(sources))
+	for i, src := range sources {
+		per[i].Workload = src.Name()
+	}
+	var bestHist []int
+
+	for _, s := range sizeBits {
+		sweep := sim.SweepGshare(s, sources)
+		best := sim.PickBestGshare(s, sweep)
+		onePHT := sweep[s]
+
+		bankBits := s - 1
+		jobs := make([]sim.Job, len(sources))
+		for i, src := range sources {
+			jobs[i] = sim.Job{
+				Make: func() predictor.Predictor {
+					return core.MustNew(core.DefaultConfig(bankBits))
+				},
+				Source: src,
+			}
+		}
+		bimodeRes := sim.RunAll(jobs)
+
+		gCost := float64(int(1) << uint(s) * 2 / 8)
+		bCost := float64(3 * (int(1) << uint(bankBits)) * 2 / 8)
+		avg.GshareCost = append(avg.GshareCost, gCost)
+		avg.BiModeCost = append(avg.BiModeCost, bCost)
+		avg.Gshare1PHT = append(avg.Gshare1PHT, sim.AverageRate(onePHT))
+		avg.GshareBest = append(avg.GshareBest, best.AvgRate)
+		avg.BiMode = append(avg.BiMode, sim.AverageRate(bimodeRes))
+		bestHist = append(bestHist, best.HistoryBits)
+
+		for i := range sources {
+			per[i].GshareCost = append(per[i].GshareCost, gCost)
+			per[i].BiModeCost = append(per[i].BiModeCost, bCost)
+			per[i].Gshare1PHT = append(per[i].Gshare1PHT, onePHT[i].MispredictRate())
+			per[i].GshareBest = append(per[i].GshareBest, best.PerWorkload[i].MispredictRate())
+			per[i].BiMode = append(per[i].BiMode, bimodeRes[i].MispredictRate())
+		}
+	}
+	return avg, per, bestHist
+}
+
+// RenderSizeCurves formats one panel as a table plus an ASCII chart.
+func RenderSizeCurves(c SizeCurves) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: misprediction rate (%%) vs predictor size\n\n", c.Workload)
+	fmt.Fprintf(&b, "%-12s", "size")
+	for _, cost := range c.GshareCost {
+		fmt.Fprintf(&b, "%8s", kb(cost))
+	}
+	b.WriteString("\n")
+	row := func(name string, ys []float64) {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, y := range ys {
+			fmt.Fprintf(&b, "%8.2f", 100*y)
+		}
+		b.WriteString("\n")
+	}
+	row("gshare.1PHT", c.Gshare1PHT)
+	row("gshare.best", c.GshareBest)
+	fmt.Fprintf(&b, "%-12s", "  (bi-mode at")
+	for _, cost := range c.BiModeCost {
+		fmt.Fprintf(&b, "%8s", kb(cost))
+	}
+	b.WriteString(")\n")
+	row("bi-mode", c.BiMode)
+	b.WriteString("\n")
+
+	labels := make([]string, len(c.GshareCost))
+	for i, cost := range c.GshareCost {
+		labels[i] = kb(cost)
+	}
+	pct := func(ys []float64) []float64 {
+		out := make([]float64, len(ys))
+		for i, y := range ys {
+			out[i] = 100 * y
+		}
+		return out
+	}
+	chart := textplot.Chart{
+		Title:   c.Workload,
+		XLabels: labels,
+		YLabel:  "mispredict % (bi-mode point costs 1.5x its column's gshare size)",
+		Series: []textplot.Series{
+			{Name: "gshare.1PHT", Y: pct(c.Gshare1PHT)},
+			{Name: "gshare.best", Y: pct(c.GshareBest)},
+			{Name: "bi-mode", Y: pct(c.BiMode)},
+		},
+	}
+	b.WriteString(chart.Render())
+	return b.String()
+}
+
+// CostAdvantage estimates the paper's headline cost claim from a panel:
+// the largest factor by which gshare.best must outsize bi-mode to reach
+// the same misprediction rate, over the upper half of the size axis.
+// When bi-mode's rate is below anything gshare.best achieves in range,
+// the largest swept gshare cost is used, so the result is a lower bound
+// (lowerBound reports that).
+func CostAdvantage(c SizeCurves) (factor float64, lowerBound bool) {
+	maxCost := c.GshareCost[len(c.GshareCost)-1]
+	minRate := math.Inf(1)
+	for _, r := range c.GshareBest {
+		minRate = math.Min(minRate, r)
+	}
+	bestAt := func(rate float64) (float64, bool) {
+		// Interpolate gshare.best's cost at the given rate (log-cost,
+		// linear-rate interpolation).
+		for i := 0; i+1 < len(c.GshareBest); i++ {
+			r0, r1 := c.GshareBest[i], c.GshareBest[i+1]
+			if (rate <= r0 && rate >= r1) || (rate >= r0 && rate <= r1) {
+				if r0 == r1 {
+					return c.GshareCost[i], false
+				}
+				t := (rate - r0) / (r1 - r0)
+				return math.Exp(math.Log(c.GshareCost[i])*(1-t) + math.Log(c.GshareCost[i+1])*t), false
+			}
+		}
+		// Off the bottom of the curve: gshare.best never gets this good
+		// in range.
+		if rate < minRate {
+			return maxCost, true
+		}
+		return math.NaN(), false
+	}
+	worst := math.NaN()
+	for i := len(c.BiMode) / 2; i < len(c.BiMode); i++ {
+		g, lb := bestAt(c.BiMode[i])
+		if math.IsNaN(g) {
+			continue
+		}
+		f := g / c.BiModeCost[i]
+		if math.IsNaN(worst) || f > worst {
+			worst = f
+			lowerBound = lb
+		}
+	}
+	return worst, lowerBound
+}
+
+// SortCurves orders panels by workload name for stable rendering.
+func SortCurves(cs []SizeCurves) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Workload < cs[j].Workload })
+}

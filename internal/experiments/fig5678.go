@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bimode/internal/analysis"
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/textplot"
+	"bimode/internal/trace"
+)
+
+// BiasBreakdown is the data behind one panel of Figures 5 or 6: the
+// per-counter dominant / non-dominant / WB fractions, sorted by WB
+// fraction, plus the aggregate area shares.
+type BiasBreakdown struct {
+	Scheme   string
+	Workload string
+	// Counters holds (dominant, nonDominant, wb) fraction triples in the
+	// figure's x order.
+	Counters [][3]float64
+	// DominantArea, NonDominantArea and WBArea are the aggregate shares.
+	DominantArea, NonDominantArea, WBArea float64
+	// Study retains the full analysis for further inspection.
+	Study *analysis.Study
+}
+
+func newBreakdown(st *analysis.Study) BiasBreakdown {
+	b := BiasBreakdown{Scheme: st.Predictor, Workload: st.Workload, Study: st}
+	for _, cb := range st.SortedByWB() {
+		d, nd, w := cb.Fractions()
+		b.Counters = append(b.Counters, [3]float64{d, nd, w})
+	}
+	b.DominantArea, b.NonDominantArea, b.WBArea = st.AreaShares()
+	return b
+}
+
+// Figure5 reproduces the paper's Figure 5 on the given workload
+// (canonically gcc): bias breakdowns of a 256-counter gshare indexed with
+// 8 bits of history ("history-indexed") and with 2 bits of history
+// ("address-indexed").
+func Figure5(workload string, cfg Config) (history, address BiasBreakdown, err error) {
+	src, err := Workload(workload, cfg)
+	if err != nil {
+		return BiasBreakdown{}, BiasBreakdown{}, err
+	}
+	h, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 8) }, src)
+	if err != nil {
+		return BiasBreakdown{}, BiasBreakdown{}, err
+	}
+	a, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 2) }, src)
+	if err != nil {
+		return BiasBreakdown{}, BiasBreakdown{}, err
+	}
+	return newBreakdown(h), newBreakdown(a), nil
+}
+
+// Figure6 reproduces Figure 6: the bias breakdown of the bi-mode scheme
+// with a 128-counter choice predictor and two 128-counter direction banks.
+func Figure6(workload string, cfg Config) (BiasBreakdown, error) {
+	src, err := Workload(workload, cfg)
+	if err != nil {
+		return BiasBreakdown{}, err
+	}
+	st, err := analysis.RunStudy(func() predictor.Predictor {
+		return core.MustNew(core.DefaultConfig(7))
+	}, src)
+	if err != nil {
+		return BiasBreakdown{}, err
+	}
+	return newBreakdown(st), nil
+}
+
+// RenderBreakdown formats a bias breakdown as area shares plus a compact
+// per-decile profile of the sorted counters.
+func RenderBreakdown(b BiasBreakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s — bias breakdown over %d counters\n",
+		b.Scheme, b.Workload, len(b.Counters))
+	sb.WriteString(textplot.Bar("dominant", b.DominantArea, 40) + "\n")
+	sb.WriteString(textplot.Bar("non-dominant", b.NonDominantArea, 40) + "\n")
+	sb.WriteString(textplot.Bar("WB", b.WBArea, 40) + "\n")
+	sb.WriteString("per-decile WB / non-dominant fractions along the sorted counter axis:\n  ")
+	n := len(b.Counters)
+	for d := 0; d < 10 && n > 0; d++ {
+		lo, hi := d*n/10, (d+1)*n/10
+		if hi == lo {
+			continue
+		}
+		var wb, nd float64
+		for _, c := range b.Counters[lo:hi] {
+			nd += c[1]
+			wb += c[2]
+		}
+		fmt.Fprintf(&sb, "%2.0f/%2.0f ", 100*wb/float64(hi-lo), 100*nd/float64(hi-lo))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Table3 reproduces the worked normalized-count example on the most
+// contended counter of the history-indexed gshare from Figure 5.
+func Table3(workload string, cfg Config) (analysis.CounterExample, error) {
+	src, err := Workload(workload, cfg)
+	if err != nil {
+		return analysis.CounterExample{}, err
+	}
+	st, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 8) }, src)
+	if err != nil {
+		return analysis.CounterExample{}, err
+	}
+	pcOf := pcIndex(src)
+	ex, ok := analysis.FindExample(st, pcOf)
+	if !ok {
+		return analysis.CounterExample{}, fmt.Errorf("experiments: workload %s produced no branches", workload)
+	}
+	return ex, nil
+}
+
+// pcIndex builds a static-id -> representative-PC map from a trace.
+func pcIndex(src trace.Source) func(uint32) uint64 {
+	pcs := map[uint32]uint64{}
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if _, seen := pcs[r.Static]; !seen {
+			pcs[r.Static] = r.PC &^ (1 << 63)
+		}
+	}
+	return func(s uint32) uint64 { return pcs[s] }
+}
+
+// RenderTable3 formats the counter example like the paper's Table 3.
+func RenderTable3(ex analysis.CounterExample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: normalized counts at counter %d (most destructive aliasing)\n\n", ex.Counter)
+	fmt.Fprintf(&b, "%-12s %10s %10s %6s %12s\n", "branch PC", "count", "taken", "class", "normalized")
+	rows := ex.Rows
+	if len(rows) > 12 {
+		rows = rows[:12]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "0x%-10x %10d %10d %6s %11.1f%%\n",
+			r.PC, r.Count, r.Taken, r.Class, 100*r.Normalized)
+	}
+	fmt.Fprintf(&b, "\ndominant class %s holds %.1f%% of accesses; WB holds %.1f%%\n",
+		ex.DominantClass, 100*ex.DominantShare, 100*ex.WBShare)
+	return b.String()
+}
+
+// Table4Result compares bias-class interruption counts between the
+// history-indexed gshare and the bi-mode scheme (the paper's Table 4).
+type Table4Result struct {
+	Workload string
+	// HistoryIndexed and BiMode hold interruption counts indexed by
+	// analysis.CatDominant/CatNonDominant/CatWB.
+	HistoryIndexed, BiMode [3]int
+	// Branches is the dynamic branch count, for rate context.
+	Branches int
+}
+
+// Table4 runs the interruption-count comparison.
+func Table4(workload string, cfg Config) (Table4Result, error) {
+	src, err := Workload(workload, cfg)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	h, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 8) }, src)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	b, err := analysis.RunStudy(func() predictor.Predictor {
+		return core.MustNew(core.DefaultConfig(7))
+	}, src)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	return Table4Result{
+		Workload:       workload,
+		HistoryIndexed: h.Interruptions,
+		BiMode:         b.Interruptions,
+		Branches:       h.Branches,
+	}, nil
+}
+
+// RenderTable4 formats the interruption comparison.
+func RenderTable4(t Table4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: bias-class interruption counts on %s (%d branches)\n\n", t.Workload, t.Branches)
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s\n", "scheme", "dominant", "non-dominant", "WB", "total")
+	row := func(name string, c [3]int) {
+		fmt.Fprintf(&b, "%-16s %12d %12d %12d %12d\n", name, c[0], c[1], c[2], c[0]+c[1]+c[2])
+	}
+	row("history-indexed", t.HistoryIndexed)
+	row("bi-mode", t.BiMode)
+	return b.String()
+}
+
+// ClassBreakdownPoint is one bar of Figures 7-8: one scheme at one size,
+// with misprediction attributed to the three bias classes.
+type ClassBreakdownPoint struct {
+	// Label matches the paper's bar labels, e.g. "gshare(8)" or
+	// "bi-mode(7)".
+	Label string
+	// Counters is the total second-level counter count.
+	Counters int
+	// SNT, ST and WB are misprediction contributions as fractions of all
+	// branches; their sum is the scheme's misprediction rate.
+	SNT, ST, WB float64
+}
+
+// Figures78 reproduces the misprediction-by-class comparison (Figure 7
+// for gcc, Figure 8 for go): at 256, 1K and 32K second-level counters it
+// compares an address-indexed gshare (few history bits), a history-
+// indexed gshare (full history), and the bi-mode scheme whose direction
+// banks total the same counter count.
+func Figures78(workload string, cfg Config) ([]ClassBreakdownPoint, error) {
+	src, err := Workload(workload, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// (size log2, few-history bits) pairs per the paper's bar labels.
+	sizes := []struct{ s, few int }{{8, 2}, {10, 4}, {15, 7}}
+	var out []ClassBreakdownPoint
+	for _, sz := range sizes {
+		sz := sz
+		mk := []struct {
+			label string
+			mk    func() predictor.Predictor
+		}{
+			{fmt.Sprintf("gshare(%d)", sz.few), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.few) }},
+			{fmt.Sprintf("gshare(%d)", sz.s), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.s) }},
+			{fmt.Sprintf("bi-mode(%d)", sz.s-1), func() predictor.Predictor { return core.MustNew(core.DefaultConfig(sz.s - 1)) }},
+		}
+		for _, m := range mk {
+			st, err := analysis.RunStudy(m.mk, src)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ClassBreakdownPoint{
+				Label:    m.label,
+				Counters: 1 << uint(sz.s),
+				SNT:      st.ClassRate(analysis.SNT),
+				ST:       st.ClassRate(analysis.ST),
+				WB:       st.ClassRate(analysis.WB),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFigures78 formats the class breakdown bars.
+func RenderFigures78(workload string, pts []ClassBreakdownPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Misprediction by bias class on %s (%% of all branches)\n\n", workload)
+	fmt.Fprintf(&b, "%-10s %-14s %8s %8s %8s %8s\n", "counters", "scheme", "SNT", "ST", "WB", "total")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-10d %-14s %8.2f %8.2f %8.2f %8.2f\n",
+			p.Counters, p.Label, 100*p.SNT, 100*p.ST, 100*p.WB, 100*(p.SNT+p.ST+p.WB))
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRivalsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := Config{Dynamic: 25000, MinSizeBits: 9, MaxSizeBits: 10}
+	rows := Rivals(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 size rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 8 {
+			t.Fatalf("want 8 schemes, got %d", len(row))
+		}
+		for _, p := range row {
+			if p.SPECRate <= 0 || p.SPECRate > 0.6 || p.IBSRate <= 0 || p.IBSRate > 0.6 {
+				t.Fatalf("%s: implausible rates %+v", p.Scheme, p)
+			}
+			if p.CostBytes <= 0 {
+				t.Fatalf("%s: missing cost", p.Scheme)
+			}
+		}
+	}
+	// Budgets must grow along the axis.
+	if rows[1][0].CostBytes <= rows[0][0].CostBytes {
+		t.Fatalf("cost axis not increasing")
+	}
+	text := RenderRivals(rows)
+	for _, want := range []string{"bi-mode", "e-gskew", "tournament", "IBS-Ultrix"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	if RenderRivals(nil) == "" {
+		t.Fatalf("empty render must still produce a header")
+	}
+}

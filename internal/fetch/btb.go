@@ -1,0 +1,132 @@
+// Package fetch models the processor front end around the direction
+// predictor: a set-associative branch target buffer (BTB), a return
+// address stack (RAS), and a fetch engine that charges realistic
+// penalties for every way the front end can lose cycles — wrong
+// conditional directions, unknown or stale targets, and return
+// mispredictions. It turns the paper's misprediction rates into the
+// fetch-bubble arithmetic that motivated the work.
+package fetch
+
+import (
+	"fmt"
+
+	"bimode/internal/trace"
+)
+
+// BTBEntry is one BTB way.
+type BTBEntry struct {
+	valid  bool
+	tag    uint32
+	target uint64
+	kind   trace.Kind
+	lru    uint32
+}
+
+// BTB is a set-associative branch target buffer with partial tags and
+// true-LRU replacement within each set.
+type BTB struct {
+	sets    [][]BTBEntry
+	setBits int
+	ways    int
+	tagBits int
+	clock   uint32
+	tagMask uint64
+	idxMask uint64
+	// Stats.
+	lookups, hits int
+}
+
+// NewBTB builds a BTB with 2^setBits sets of the given associativity and
+// tagBits-wide partial tags.
+func NewBTB(setBits, ways, tagBits int) *BTB {
+	if setBits < 0 || setBits > 20 {
+		panic(fmt.Sprintf("fetch: btb set width %d out of range [0,20]", setBits))
+	}
+	if ways < 1 || ways > 16 {
+		panic(fmt.Sprintf("fetch: btb associativity %d out of range [1,16]", ways))
+	}
+	if tagBits < 1 || tagBits > 32 {
+		panic(fmt.Sprintf("fetch: btb tag width %d out of range [1,32]", tagBits))
+	}
+	sets := make([][]BTBEntry, 1<<uint(setBits))
+	for i := range sets {
+		sets[i] = make([]BTBEntry, ways)
+	}
+	return &BTB{
+		sets:    sets,
+		setBits: setBits,
+		ways:    ways,
+		tagBits: tagBits,
+		tagMask: 1<<uint(tagBits) - 1,
+		idxMask: 1<<uint(setBits) - 1,
+	}
+}
+
+func (b *BTB) index(pc uint64) uint64 { return (pc >> 2) & b.idxMask }
+func (b *BTB) tag(pc uint64) uint32 {
+	return uint32((pc >> (2 + uint(b.setBits))) & b.tagMask)
+}
+
+// Lookup returns the predicted target and kind for pc. ok is false on a
+// miss (the front end does not know pc is a control transfer).
+func (b *BTB) Lookup(pc uint64) (target uint64, kind trace.Kind, ok bool) {
+	b.lookups++
+	set := b.sets[b.index(pc)]
+	tag := b.tag(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.clock++
+			set[i].lru = b.clock
+			b.hits++
+			return set[i].target, set[i].kind, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Update installs or refreshes the entry for pc.
+func (b *BTB) Update(pc uint64, target uint64, kind trace.Kind) {
+	set := b.sets[b.index(pc)]
+	tag := b.tag(pc)
+	b.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].target = target
+			set[i].kind = kind
+			set[i].lru = b.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = BTBEntry{valid: true, tag: tag, target: target, kind: kind, lru: b.clock}
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// Reset clears entries and statistics.
+func (b *BTB) Reset() {
+	for _, set := range b.sets {
+		for i := range set {
+			set[i] = BTBEntry{}
+		}
+	}
+	b.clock, b.lookups, b.hits = 0, 0, 0
+}
+
+// CostBits returns the storage cost: per entry a valid bit, the partial
+// tag, a 32-bit target field, 3 kind bits and an 8-bit LRU stamp.
+func (b *BTB) CostBits() int {
+	perEntry := 1 + b.tagBits + 32 + 3 + 8
+	return len(b.sets) * b.ways * perEntry
+}

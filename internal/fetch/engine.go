@@ -1,0 +1,186 @@
+package fetch
+
+import (
+	"fmt"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// Penalties gives the cycle cost of each front-end failure mode.
+type Penalties struct {
+	// DirectionMispredict is the pipeline refill after a wrong
+	// conditional direction (resolved at execute).
+	DirectionMispredict int
+	// TargetMispredict is the refill after fetching from a stale or
+	// wrong target (wrong BTB target, RAS miss, indirect miss).
+	TargetMispredict int
+	// BTBMiss is the smaller bubble when a taken transfer is not in the
+	// BTB at all (redirect at decode once the instruction is seen).
+	BTBMiss int
+}
+
+// DefaultPenalties models the paper era's pipelines.
+func DefaultPenalties() Penalties {
+	return Penalties{DirectionMispredict: 11, TargetMispredict: 11, BTBMiss: 3}
+}
+
+// Config assembles a front end.
+type Config struct {
+	// Direction is the conditional-branch direction predictor.
+	Direction predictor.Predictor
+	// BTBSetBits, BTBWays and BTBTagBits size the target buffer.
+	BTBSetBits, BTBWays, BTBTagBits int
+	// RASSize is the return address stack depth.
+	RASSize int
+	// Penalties is the cycle model; zero value uses DefaultPenalties.
+	Penalties Penalties
+}
+
+// Metrics aggregates one front-end simulation.
+type Metrics struct {
+	// Events counts all control transfers; Conditionals the subset.
+	Events, Conditionals int
+	// DirectionMisses counts wrong conditional directions.
+	DirectionMisses int
+	// TargetMisses counts wrong predicted targets on taken transfers
+	// that hit the BTB (stale target or aliased entry), plus wrong RAS
+	// and indirect targets.
+	TargetMisses int
+	// BTBMisses counts taken transfers absent from the BTB.
+	BTBMisses int
+	// RASMisses counts returns whose stack prediction was wrong or
+	// unavailable.
+	RASMisses int
+	// BubbleCycles is the penalty-weighted total.
+	BubbleCycles int
+	// BTBHitRate is the final buffer hit rate.
+	BTBHitRate float64
+}
+
+// DirectionRate returns wrong directions per conditional branch.
+func (m Metrics) DirectionRate() float64 {
+	if m.Conditionals == 0 {
+		return 0
+	}
+	return float64(m.DirectionMisses) / float64(m.Conditionals)
+}
+
+// BubblesPerKiloEvent returns penalty cycles per 1000 control transfers,
+// the front end's summary figure of merit.
+func (m Metrics) BubblesPerKiloEvent() float64 {
+	if m.Events == 0 {
+		return 0
+	}
+	return 1000 * float64(m.BubbleCycles) / float64(m.Events)
+}
+
+// String renders the metrics in one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%d events: dir %.2f%%, target-miss %d, btb-miss %d (hit %.1f%%), ras-miss %d, %.1f bubbles/1k",
+		m.Events, 100*m.DirectionRate(), m.TargetMisses, m.BTBMisses,
+		100*m.BTBHitRate, m.RASMisses, m.BubblesPerKiloEvent())
+}
+
+// Engine is an assembled front end.
+type Engine struct {
+	dir predictor.Predictor
+	btb *BTB
+	ras *RAS
+	pen Penalties
+}
+
+// NewEngine builds a front end from the configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Direction == nil {
+		panic("fetch: engine needs a direction predictor")
+	}
+	pen := cfg.Penalties
+	if pen == (Penalties{}) {
+		pen = DefaultPenalties()
+	}
+	return &Engine{
+		dir: cfg.Direction,
+		btb: NewBTB(cfg.BTBSetBits, cfg.BTBWays, cfg.BTBTagBits),
+		ras: NewRAS(cfg.RASSize),
+		pen: pen,
+	}
+}
+
+// CostBits totals the front end's predictor state.
+func (e *Engine) CostBits() int {
+	return e.dir.CostBits() + e.btb.CostBits() + e.ras.CostBits()
+}
+
+// Run processes a control-flow trace and returns the metrics.
+func (e *Engine) Run(src trace.ControlSource) Metrics {
+	var m Metrics
+	st := src.ControlFlow()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		m.Events++
+		switch rec.Kind {
+		case trace.KindBranch:
+			m.Conditionals++
+			predictedTaken := e.dir.Predict(rec.PC)
+			target, _, btbHit := e.btb.Lookup(rec.PC)
+			switch {
+			case predictedTaken != rec.Taken:
+				m.DirectionMisses++
+				m.BubbleCycles += e.pen.DirectionMispredict
+			case rec.Taken && !btbHit:
+				// Right direction but nowhere to fetch from.
+				m.BTBMisses++
+				m.BubbleCycles += e.pen.BTBMiss
+			case rec.Taken && target != rec.Target:
+				m.TargetMisses++
+				m.BubbleCycles += e.pen.TargetMispredict
+			}
+			e.dir.Update(rec.PC, rec.Taken)
+			if rec.Taken {
+				e.btb.Update(rec.PC, rec.Target, rec.Kind)
+			}
+
+		case trace.KindJump, trace.KindCall:
+			target, _, btbHit := e.btb.Lookup(rec.PC)
+			if !btbHit {
+				m.BTBMisses++
+				m.BubbleCycles += e.pen.BTBMiss
+			} else if target != rec.Target {
+				m.TargetMisses++
+				m.BubbleCycles += e.pen.TargetMispredict
+			}
+			e.btb.Update(rec.PC, rec.Target, rec.Kind)
+			if rec.Kind == trace.KindCall {
+				e.ras.Push(rec.PC + 4)
+			}
+
+		case trace.KindReturn:
+			predicted, ok := e.ras.Pop()
+			if !ok || predicted != rec.Target {
+				m.RASMisses++
+				m.BubbleCycles += e.pen.TargetMispredict
+			}
+
+		case trace.KindIndirect, trace.KindIndirectCall:
+			// Last-target prediction through the BTB.
+			target, _, btbHit := e.btb.Lookup(rec.PC)
+			if !btbHit {
+				m.BTBMisses++
+				m.BubbleCycles += e.pen.BTBMiss
+			} else if target != rec.Target {
+				m.TargetMisses++
+				m.BubbleCycles += e.pen.TargetMispredict
+			}
+			e.btb.Update(rec.PC, rec.Target, rec.Kind)
+			if rec.Kind == trace.KindIndirectCall {
+				e.ras.Push(rec.PC + 4)
+			}
+		}
+	}
+	m.BTBHitRate = e.btb.HitRate()
+	return m
+}

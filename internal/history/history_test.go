@@ -1,0 +1,140 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPushAndMask(t *testing.T) {
+	g := NewGlobal(4)
+	for _, taken := range []bool{true, false, true, true} {
+		g.Push(taken)
+	}
+	if g.Value() != 0b1011 {
+		t.Fatalf("history = %04b, want 1011", g.Value())
+	}
+	g.Push(false) // oldest bit (1) falls off
+	if g.Value() != 0b0110 {
+		t.Fatalf("history = %04b, want 0110", g.Value())
+	}
+}
+
+func TestGlobalZeroWidth(t *testing.T) {
+	g := NewGlobal(0)
+	g.Push(true)
+	g.Push(true)
+	if g.Value() != 0 {
+		t.Fatalf("zero-width history must stay 0, got %d", g.Value())
+	}
+}
+
+func TestGlobalSetMasks(t *testing.T) {
+	g := NewGlobal(3)
+	g.Set(0xFF)
+	if g.Value() != 7 {
+		t.Fatalf("Set must mask to width, got %d", g.Value())
+	}
+}
+
+func TestGlobalReset(t *testing.T) {
+	g := NewGlobal(8)
+	g.Push(true)
+	g.Reset()
+	if g.Value() != 0 {
+		t.Fatalf("reset must clear history")
+	}
+}
+
+func TestGlobalPanics(t *testing.T) {
+	for _, n := range []int{-1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGlobal(%d) must panic", n)
+				}
+			}()
+			NewGlobal(n)
+		}()
+	}
+}
+
+// TestGlobalMatchesReference: the register equals the masked bit string
+// of the outcome sequence under any inputs.
+func TestGlobalMatchesReference(t *testing.T) {
+	f := func(outcomes []bool, width uint8) bool {
+		n := int(width%MaxGlobalBits) + 1
+		g := NewGlobal(n)
+		var ref uint64
+		for _, o := range outcomes {
+			g.Push(o)
+			ref <<= 1
+			if o {
+				ref |= 1
+			}
+			ref &= 1<<uint(n) - 1
+		}
+		return g.Value() == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerAddressSeparatesBranches(t *testing.T) {
+	p := NewPerAddress(4, 6)
+	a, b := uint64(0x100), uint64(0x104) // distinct word-aligned PCs
+	p.Push(a, true)
+	p.Push(a, true)
+	p.Push(b, false)
+	if p.Value(a) != 0b11 {
+		t.Fatalf("history of a = %b, want 11", p.Value(a))
+	}
+	if p.Value(b) != 0 {
+		t.Fatalf("history of b = %b, want 0", p.Value(b))
+	}
+}
+
+func TestPerAddressAliases(t *testing.T) {
+	p := NewPerAddress(2, 4)
+	// PCs 2^2 * 4 bytes apart alias onto the same register.
+	a := uint64(0x100)
+	b := a + 4*(1<<2)
+	p.Push(a, true)
+	if p.Value(b) != 1 {
+		t.Fatalf("aliased PCs must share a register")
+	}
+}
+
+func TestPerAddressMask(t *testing.T) {
+	p := NewPerAddress(2, 3)
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		p.Push(pc, true)
+	}
+	if p.Value(pc) != 7 {
+		t.Fatalf("history must mask to 3 bits, got %b", p.Value(pc))
+	}
+}
+
+func TestPerAddressReset(t *testing.T) {
+	p := NewPerAddress(3, 4)
+	p.Push(0x20, true)
+	p.Reset()
+	if p.Value(0x20) != 0 {
+		t.Fatalf("reset must clear all registers")
+	}
+}
+
+func TestPerAddressPanics(t *testing.T) {
+	cases := [][2]int{{-1, 4}, {31, 4}, {4, 0}, {4, 64}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPerAddress(%d,%d) must panic", c[0], c[1])
+				}
+			}()
+			NewPerAddress(c[0], c[1])
+		}()
+	}
+}

@@ -1,0 +1,87 @@
+// Package predictor defines the interface every branch predictor in this
+// repository implements, together with the hardware cost model the paper
+// uses to place predictors on its size axis, and an introspection
+// interface that exposes which second-level counter a lookup consults
+// (required by the Section 4 bias analysis).
+package predictor
+
+// Predictor is a dynamic conditional-branch direction predictor.
+//
+// The simulation protocol is: for each dynamic conditional branch, call
+// Predict(pc) to obtain the predicted direction, then Update(pc, taken)
+// with the resolved outcome. Update must be called exactly once per
+// Predict, in order; predictors are free to keep speculative state between
+// the two calls. Implementations are not safe for concurrent use — the
+// sweep driver runs one predictor instance per goroutine instead.
+type Predictor interface {
+	// Name returns a short human-readable identifier, e.g. "bi-mode(7h)".
+	Name() string
+
+	// Predict returns the predicted direction (true = taken) for the
+	// conditional branch at pc.
+	Predict(pc uint64) bool
+
+	// Update trains the predictor with the resolved outcome of the branch
+	// at pc and advances any history registers.
+	Update(pc uint64, taken bool)
+
+	// Reset restores the predictor to its post-construction state.
+	Reset()
+
+	// CostBits returns the predictor's storage cost in bits of counter
+	// state. Following the paper, only prediction counters are charged;
+	// history registers are not.
+	CostBits() int
+}
+
+// CostBytes converts a predictor's cost to bytes, the unit of the paper's
+// size axis (0.25 KB ... 32 KB).
+func CostBytes(p Predictor) float64 { return float64(p.CostBits()) / 8 }
+
+// Indexed is implemented by predictors whose prediction comes from a
+// single identifiable counter in a second-level table. The Section 4
+// analysis uses it to attribute each dynamic branch to the counter it
+// exercised, building the per-counter substream statistics behind
+// Figures 5-8 and Tables 3-4.
+type Indexed interface {
+	// CounterID returns a stable identifier of the counter that
+	// Predict(pc) would consult right now (before Update). Identifiers
+	// must be dense in [0, NumCounters()).
+	CounterID(pc uint64) int
+
+	// NumCounters returns the number of distinct counter identifiers.
+	NumCounters() int
+}
+
+// Func adapts a pair of functions to the Predictor interface; used by
+// tests and by the static predictors.
+type Func struct {
+	NameStr   string
+	PredictFn func(pc uint64) bool
+	UpdateFn  func(pc uint64, taken bool)
+	ResetFn   func()
+	Cost      int
+}
+
+// Name implements Predictor.
+func (f *Func) Name() string { return f.NameStr }
+
+// Predict implements Predictor.
+func (f *Func) Predict(pc uint64) bool { return f.PredictFn(pc) }
+
+// Update implements Predictor.
+func (f *Func) Update(pc uint64, taken bool) {
+	if f.UpdateFn != nil {
+		f.UpdateFn(pc, taken)
+	}
+}
+
+// Reset implements Predictor.
+func (f *Func) Reset() {
+	if f.ResetFn != nil {
+		f.ResetFn()
+	}
+}
+
+// CostBits implements Predictor.
+func (f *Func) CostBits() int { return f.Cost }

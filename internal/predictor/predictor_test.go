@@ -1,0 +1,39 @@
+package predictor
+
+import "testing"
+
+func TestFuncAdapter(t *testing.T) {
+	calls := 0
+	resets := 0
+	f := &Func{
+		NameStr:   "probe",
+		PredictFn: func(pc uint64) bool { return pc&4 != 0 },
+		UpdateFn:  func(uint64, bool) { calls++ },
+		ResetFn:   func() { resets++ },
+		Cost:      12,
+	}
+	if f.Name() != "probe" || f.CostBits() != 12 {
+		t.Fatalf("metadata wrong")
+	}
+	if f.Predict(0x4) != true || f.Predict(0x8) != false {
+		t.Fatalf("predict fn not used")
+	}
+	f.Update(0, true)
+	f.Reset()
+	if calls != 1 || resets != 1 {
+		t.Fatalf("hooks not invoked")
+	}
+}
+
+func TestFuncAdapterNilHooks(t *testing.T) {
+	f := &Func{NameStr: "bare", PredictFn: func(uint64) bool { return true }}
+	f.Update(0, true) // must not panic
+	f.Reset()         // must not panic
+}
+
+func TestCostBytes(t *testing.T) {
+	f := &Func{NameStr: "c", PredictFn: func(uint64) bool { return true }, Cost: 20}
+	if CostBytes(f) != 2.5 {
+		t.Fatalf("CostBytes = %v, want 2.5", CostBytes(f))
+	}
+}

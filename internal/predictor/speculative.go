@@ -1,0 +1,28 @@
+package predictor
+
+// SpeculativeHistory is implemented by predictors whose global history
+// register can be managed speculatively, the way real front ends do it:
+// the predicted direction is shifted into the history immediately at
+// predict time (so back-to-back predictions see up-to-date history), a
+// checkpoint is taken per branch, and on a misprediction the history is
+// restored from the checkpoint and corrected.
+//
+// Predictors implementing this interface can be driven by
+// sim.RunSpeculative, which separates history management from counter
+// training: counters still train at resolution, but the history register
+// is maintained speculatively with repair.
+type SpeculativeHistory interface {
+	// HistoryValue returns the current history register contents.
+	HistoryValue() uint64
+	// SetHistory forces the history register contents (used to restore a
+	// checkpoint during repair).
+	SetHistory(v uint64)
+	// PushHistory shifts one outcome into the history register without
+	// touching any counters.
+	PushHistory(taken bool)
+	// UpdateCounters trains the prediction counters for the branch at pc
+	// with the resolved outcome, indexing with the supplied history
+	// snapshot (the history the prediction used), WITHOUT advancing the
+	// history register — the speculative driver owns the register.
+	UpdateCounters(pc uint64, history uint64, taken bool)
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "fmt"
+
+// PipelineModel converts misprediction rates into cycles-per-instruction
+// estimates, the "why it matters" arithmetic behind branch prediction
+// papers: every mispredicted branch costs a pipeline refill.
+type PipelineModel struct {
+	// BaseCPI is the machine's CPI with perfect branch prediction.
+	BaseCPI float64
+	// MispredictPenalty is the refill cost of one misprediction, in
+	// cycles (the paper era's deep pipelines: ~4-11; modern: ~15-20).
+	MispredictPenalty float64
+	// BranchFraction is the fraction of instructions that are
+	// conditional branches (typically ~0.15-0.20 for integer code).
+	BranchFraction float64
+}
+
+// DefaultPipeline models a Pentium Pro-class machine of the paper's era.
+func DefaultPipeline() PipelineModel {
+	return PipelineModel{BaseCPI: 1.0, MispredictPenalty: 11, BranchFraction: 0.18}
+}
+
+// CPI estimates cycles per instruction at the given misprediction rate.
+func (m PipelineModel) CPI(mispredictRate float64) float64 {
+	return m.BaseCPI + m.BranchFraction*mispredictRate*m.MispredictPenalty
+}
+
+// Speedup returns the relative performance of running at rate a instead
+// of rate b (>1 means a is faster).
+func (m PipelineModel) Speedup(a, b float64) float64 {
+	return m.CPI(b) / m.CPI(a)
+}
+
+// String renders the model parameters.
+func (m PipelineModel) String() string {
+	return fmt.Sprintf("pipeline(base=%.2f, penalty=%.0f, branches=%.0f%%)",
+		m.BaseCPI, m.MispredictPenalty, 100*m.BranchFraction)
+}

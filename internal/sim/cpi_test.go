@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPIModel(t *testing.T) {
+	m := PipelineModel{BaseCPI: 1, MispredictPenalty: 10, BranchFraction: 0.2}
+	if got := m.CPI(0); got != 1 {
+		t.Fatalf("perfect prediction CPI = %v", got)
+	}
+	// 5% misprediction: 1 + 0.2*0.05*10 = 1.1
+	if got := m.CPI(0.05); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("CPI(5%%) = %v, want 1.1", got)
+	}
+	// Halving the misprediction rate from 10% to 5% speeds up by 1.2/1.1.
+	if got := m.Speedup(0.05, 0.10); math.Abs(got-1.2/1.1) > 1e-12 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if DefaultPipeline().String() == "" {
+		t.Fatalf("String must render")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// RunDelayed simulates the pipeline reality the simple Predict/Update
+// protocol idealizes: a branch's outcome is not known at predict time —
+// it resolves only after `lag` further branches have been predicted. The
+// predictor therefore predicts with state that is `lag` updates stale.
+//
+// This models a machine that does NOT speculatively update its history
+// registers (the pessimistic end of the design space; real machines
+// checkpoint speculative history, landing between RunDelayed and Run).
+// The accuracy gap between Run and RunDelayed measures how sensitive a
+// predictor is to update latency — global-history schemes degrade because
+// their history register lags the fetch stream, while PC-indexed tables
+// barely notice.
+func RunDelayed(p predictor.Predictor, src trace.Source, lag int) Result {
+	if lag < 0 {
+		panic(fmt.Sprintf("sim: negative resolution lag %d", lag))
+	}
+	res := Result{
+		Predictor: fmt.Sprintf("%s/lag=%d", p.Name(), lag),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	type pending struct {
+		pc    uint64
+		taken bool
+	}
+	queue := make([]pending, 0, lag+1)
+	st := src.Stream()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		if p.Predict(rec.PC) != rec.Taken {
+			res.Mispredicts++
+		}
+		res.Branches++
+		queue = append(queue, pending{pc: rec.PC, taken: rec.Taken})
+		if len(queue) > lag {
+			head := queue[0]
+			queue = queue[1:]
+			p.Update(head.pc, head.taken)
+		}
+	}
+	// Drain outstanding resolutions (no more predictions depend on them,
+	// but completing keeps predictor state well-defined for reuse).
+	for _, h := range queue {
+		p.Update(h.pc, h.taken)
+	}
+	return res
+}
+
+// DelaySweep measures a predictor family's sensitivity to resolution lag:
+// one Result per lag value, over the same source.
+func DelaySweep(mk func() predictor.Predictor, src trace.Source, lags []int) []Result {
+	out := make([]Result, len(lags))
+	for i, lag := range lags {
+		out[i] = RunDelayed(mk(), src, lag)
+	}
+	return out
+}

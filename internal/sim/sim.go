@@ -1,0 +1,123 @@
+// Package sim drives predictors over branch streams and runs the
+// parameter sweeps behind the paper's figures: misprediction measurement,
+// parallel (predictor x workload) grids, and the exhaustive gshare.best
+// search of Section 3.1.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Predictor is the predictor's Name().
+	Predictor string
+	// Workload is the trace source's Name().
+	Workload string
+	// CostBytes is the predictor's storage cost in bytes.
+	CostBytes float64
+	// Branches is the number of dynamic conditional branches simulated.
+	Branches int
+	// Mispredicts is the number of wrong direction predictions.
+	Mispredicts int
+}
+
+// MispredictRate returns mispredictions per branch (0..1).
+func (r Result) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// Accuracy returns 1 - MispredictRate.
+func (r Result) Accuracy() float64 { return 1 - r.MispredictRate() }
+
+// String renders the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-24s %-12s %8.0fB  %9d branches  %6.2f%% mispredict",
+		r.Predictor, r.Workload, r.CostBytes, r.Branches, 100*r.MispredictRate())
+}
+
+// Run simulates p over a fresh stream of src: for every dynamic branch,
+// Predict then Update, counting mispredictions. The predictor is NOT reset
+// first; callers pass fresh or explicitly Reset predictors. Following the
+// paper, no warm-up exclusion is applied (its tables start weakly-taken
+// and the cold-start transient is part of the measurement).
+func Run(p predictor.Predictor, src trace.Source) Result {
+	res := Result{
+		Predictor: p.Name(),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	st := src.Stream()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		if p.Predict(rec.PC) != rec.Taken {
+			res.Mispredicts++
+		}
+		p.Update(rec.PC, rec.Taken)
+		res.Branches++
+	}
+	return res
+}
+
+// Job is one (predictor, workload) cell of a sweep grid. The predictor is
+// constructed inside the worker so each goroutine owns its state.
+type Job struct {
+	// Make constructs the predictor to run.
+	Make func() predictor.Predictor
+	// Source supplies the workload.
+	Source trace.Source
+}
+
+// RunAll executes the jobs across GOMAXPROCS workers and returns results
+// in job order.
+func RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = Run(jobs[i].Make(), jobs[i].Source)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// AverageRate returns the arithmetic mean misprediction rate of the
+// results, the aggregation the paper's Figure 2 uses.
+func AverageRate(results []Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range results {
+		sum += r.MispredictRate()
+	}
+	return sum / float64(len(results))
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// RunSpeculative drives a predictor the way a real front end does:
+// the PREDICTED direction is shifted into the global history immediately
+// (so back-to-back predictions see current history), a checkpoint is
+// taken per branch, and counters train at resolution (lag branches
+// later) using the history snapshot the prediction used. On a
+// misprediction the history register is restored from the checkpoint,
+// corrected with the real outcome, and — as a pipeline flush would — the
+// younger in-flight branches are refetched: they are re-predicted with
+// the repaired history, and the prediction a branch retires with is the
+// one that is scored.
+//
+// With lag 0 this is exactly equivalent to the idealized Run protocol
+// (asserted by tests); with lag > 0 the residual gap to Run is pure
+// delayed counter training, with the history damage of the pessimistic
+// RunDelayed model repaired.
+func RunSpeculative(p predictor.Predictor, src trace.Source, lag int) Result {
+	if lag < 0 {
+		panic(fmt.Sprintf("sim: negative resolution lag %d", lag))
+	}
+	sh, ok := p.(predictor.SpeculativeHistory)
+	if !ok {
+		panic(fmt.Sprintf("sim: predictor %s does not support speculative history", p.Name()))
+	}
+	res := Result{
+		Predictor: fmt.Sprintf("%s/spec-lag=%d", p.Name(), lag),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	type inflight struct {
+		pc         uint64
+		checkpoint uint64
+		predicted  bool
+		taken      bool
+	}
+	var queue []inflight
+
+	resolveHead := func() {
+		f := queue[0]
+		queue = queue[1:]
+		sh.UpdateCounters(f.pc, f.checkpoint, f.taken)
+		if f.predicted == f.taken {
+			return
+		}
+		res.Mispredicts++
+		// Flush: repair the history and refetch the younger branches
+		// with it.
+		sh.SetHistory(f.checkpoint)
+		sh.PushHistory(f.taken)
+		for i := range queue {
+			queue[i].checkpoint = sh.HistoryValue()
+			queue[i].predicted = p.Predict(queue[i].pc)
+			sh.PushHistory(queue[i].predicted)
+		}
+	}
+
+	st := src.Stream()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		ckpt := sh.HistoryValue()
+		pred := p.Predict(rec.PC)
+		res.Branches++
+		sh.PushHistory(pred) // speculative history update
+		queue = append(queue, inflight{pc: rec.PC, checkpoint: ckpt, predicted: pred, taken: rec.Taken})
+		if len(queue) > lag {
+			resolveHead()
+		}
+	}
+	for len(queue) > 0 {
+		resolveHead()
+	}
+	return res
+}

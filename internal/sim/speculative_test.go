@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+// TestSpeculativeZeroLagEqualsRun is the correctness invariant: with
+// immediate resolution, speculative-with-repair history management is
+// EXACTLY the idealized protocol.
+func TestSpeculativeZeroLagEqualsRun(t *testing.T) {
+	src := trace.Materialize(fixedSource(5000))
+	mks := []func() predictor.Predictor{
+		func() predictor.Predictor { return baselines.NewGshare(8, 8) },
+		func() predictor.Predictor { return baselines.NewGshare(10, 4) },
+		func() predictor.Predictor { return core.MustNew(core.DefaultConfig(7)) },
+	}
+	for _, mk := range mks {
+		ideal := Run(mk(), src)
+		spec := RunSpeculative(mk(), src, 0)
+		if ideal.Mispredicts != spec.Mispredicts {
+			t.Errorf("%s: speculative lag-0 (%d) != ideal (%d)",
+				ideal.Predictor, spec.Mispredicts, ideal.Mispredicts)
+		}
+	}
+}
+
+// TestSpeculativeBeatsDelayed: with lag on a realistic (aperiodic)
+// workload, speculative history management must recover most of what the
+// pessimistic stale-state model loses, and must land at or above the
+// ideal protocol.
+func TestSpeculativeBeatsDelayed(t *testing.T) {
+	p, ok := synth.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("gcc profile missing")
+	}
+	src := trace.Materialize(synth.MustWorkload(p.WithDynamic(80000)))
+	const lag = 8
+	spec := RunSpeculative(baselines.NewGshare(11, 11), src, lag)
+	stale := RunDelayed(baselines.NewGshare(11, 11), src, lag)
+	ideal := Run(baselines.NewGshare(11, 11), src)
+	if float64(spec.Mispredicts) > 1.1*float64(ideal.Mispredicts) {
+		t.Fatalf("speculative at lag %d (%d) should track ideal (%d) closely",
+			lag, spec.Mispredicts, ideal.Mispredicts)
+	}
+	if spec.Mispredicts >= stale.Mispredicts {
+		t.Fatalf("speculative (%d) should beat stale-state (%d) at lag %d",
+			spec.Mispredicts, stale.Mispredicts, lag)
+	}
+}
+
+func TestSpeculativePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("negative lag must panic")
+			}
+		}()
+		RunSpeculative(baselines.NewGshare(4, 4), fixedSource(10), -1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("non-speculative predictor must panic")
+			}
+		}()
+		RunSpeculative(baselines.NewSmith(4), fixedSource(10), 0)
+	}()
+}
+
+func TestSpeculativeCountsBranches(t *testing.T) {
+	src := trace.Materialize(fixedSource(1234))
+	res := RunSpeculative(core.MustNew(core.DefaultConfig(6)), src, 3)
+	if res.Branches != 1234 {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+}

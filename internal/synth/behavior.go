@@ -1,0 +1,196 @@
+package synth
+
+// Behavior models the outcome process of one static branch site. Outcome
+// is called once per dynamic execution of the site and may consult the
+// generator's true global outcome history (the outcomes of ALL branches
+// emitted so far, most recent in bit 0) — that is what makes correlated
+// sites learnable by global-history predictors and nothing else.
+type Behavior interface {
+	// Outcome returns the next dynamic direction of this site.
+	Outcome(global uint64, rng *RNG) bool
+	// Kind returns the behavior's class name for reporting.
+	Kind() string
+}
+
+// Biased is a Bernoulli branch: taken with fixed probability P. With P
+// near 0 or 1 it models error checks and guard branches (strongly biased);
+// with mid-range P it models data-dependent branches that no history can
+// predict (the paper's weakly biased class).
+type Biased struct {
+	// P is the taken probability.
+	P float64
+}
+
+// Outcome implements Behavior.
+func (b Biased) Outcome(_ uint64, rng *RNG) bool { return rng.Bool(b.P) }
+
+// Kind implements Behavior.
+func (b Biased) Kind() string {
+	if b.P >= 0.9 || b.P <= 0.1 {
+		return "biased"
+	}
+	return "weak"
+}
+
+// Loop is a loop back-edge: taken Trip-1 times, then not-taken once, then
+// the loop restarts. Jitter makes the trip count vary uniformly in
+// [Trip-Jitter, Trip+Jitter], modelling data-dependent loop bounds.
+// Short fixed trips are perfectly predictable with enough history.
+type Loop struct {
+	// Trip is the mean iteration count per loop entry (>= 1).
+	Trip int
+	// Jitter is the half-width of the uniform trip-count variation.
+	Jitter int
+
+	remaining int
+	armed     bool
+}
+
+// Outcome implements Behavior.
+func (l *Loop) Outcome(_ uint64, rng *RNG) bool {
+	if !l.armed {
+		trip := l.Trip
+		if l.Jitter > 0 {
+			trip += rng.Intn(2*l.Jitter+1) - l.Jitter
+		}
+		if trip < 1 {
+			trip = 1
+		}
+		l.remaining = trip
+		l.armed = true
+	}
+	l.remaining--
+	if l.remaining <= 0 {
+		l.armed = false
+		return false // loop exit
+	}
+	return true // back edge taken
+}
+
+// Kind implements Behavior.
+func (l *Loop) Kind() string { return "loop" }
+
+// RunBiased is a weakly biased branch with bursty behavior: outcomes come
+// in runs (TTTTNNNTT...) via a two-state Markov chain with stationary
+// taken-rate P and mean taken-run length Run. By outcome counts it is
+// weakly biased, but locally it is partially predictable — the shape real
+// data-dependent branches exhibit (consecutive loop iterations tend to
+// process similar data). Run <= 1 degenerates to i.i.d. Biased behavior.
+type RunBiased struct {
+	// P is the stationary taken probability.
+	P float64
+	// Run is the mean length of taken runs.
+	Run float64
+
+	cur  bool
+	init bool
+}
+
+// Outcome implements Behavior.
+func (r *RunBiased) Outcome(_ uint64, rng *RNG) bool {
+	if r.Run <= 1 {
+		return rng.Bool(r.P)
+	}
+	if !r.init {
+		r.cur = rng.Bool(r.P)
+		r.init = true
+		return r.cur
+	}
+	// Flip probabilities chosen so the stationary distribution is P and
+	// the mean taken-run is Run (clamped to keep both rates valid).
+	a := 1 / r.Run // taken -> not-taken
+	b := a * r.P / (1 - r.P)
+	if b > 1 {
+		b = 1
+	}
+	if r.cur {
+		if rng.Bool(a) {
+			r.cur = false
+		}
+	} else if rng.Bool(b) {
+		r.cur = true
+	}
+	return r.cur
+}
+
+// Kind implements Behavior.
+func (r *RunBiased) Kind() string { return "weak" }
+
+// Restarter is implemented by behaviors with per-activation phase; the
+// generator restarts them each time their function is entered, the way an
+// unrolled check restarts at the top of its procedure.
+type Restarter interface {
+	// Restart resets activation-local phase.
+	Restart()
+}
+
+// Pattern replays a fixed repeating outcome pattern (e.g. TTNTTN for an
+// unrolled stride-3 check). Perfectly predictable once the pattern fits in
+// the history register. The phase restarts on each function activation.
+type Pattern struct {
+	// Bits holds the pattern, bit 0 first.
+	Bits uint64
+	// Len is the pattern length in [1, 64].
+	Len int
+
+	pos int
+}
+
+// Restart implements Restarter.
+func (p *Pattern) Restart() { p.pos = 0 }
+
+// Outcome implements Behavior.
+func (p *Pattern) Outcome(_ uint64, _ *RNG) bool {
+	taken := p.Bits>>uint(p.pos)&1 != 0
+	p.pos++
+	if p.pos >= p.Len {
+		p.pos = 0
+	}
+	return taken
+}
+
+// Kind implements Behavior.
+func (p *Pattern) Kind() string { return "pattern" }
+
+// Correlated computes its outcome as a fixed random boolean function of
+// the last K global branch outcomes, flipped with probability Noise. This
+// is the if-then-else correlation that makes global-history schemes win on
+// integer codes [YehPatt93]: a predictor with at least K history bits can
+// learn the function table exactly; address-indexed schemes see an
+// apparently weakly biased stream.
+type Correlated struct {
+	// K is the number of recent global outcomes consulted (1..6).
+	K int
+	// Table holds one outcome bit per 2^K history pattern.
+	Table uint64
+	// Noise is the probability the functional outcome is inverted.
+	Noise float64
+}
+
+// NewCorrelated draws a random K-input boolean function with the given
+// taken-rate bias and noise.
+func NewCorrelated(k int, takenBias float64, noise float64, rng *RNG) *Correlated {
+	if k < 1 || k > 6 {
+		panic("synth: correlated K out of range [1,6]")
+	}
+	var table uint64
+	for i := 0; i < 1<<uint(k); i++ {
+		if rng.Bool(takenBias) {
+			table |= 1 << uint(i)
+		}
+	}
+	return &Correlated{K: k, Table: table, Noise: noise}
+}
+
+// Outcome implements Behavior.
+func (c *Correlated) Outcome(global uint64, rng *RNG) bool {
+	idx := global & (1<<uint(c.K) - 1)
+	taken := c.Table>>idx&1 != 0
+	if c.Noise > 0 && rng.Bool(c.Noise) {
+		taken = !taken
+	}
+	return taken
+}
+
+// Kind implements Behavior.
+func (c *Correlated) Kind() string { return "correlated" }

@@ -1,0 +1,208 @@
+package synth
+
+import "bimode/internal/trace"
+
+// Control-flow generation: the same calibrated program model, executed
+// with an explicit call stack and emitting full control-transfer events
+// (conditional branches with targets, calls, returns, tail jumps and
+// indirect transfers) so the fetch-engine substrate can evaluate branch
+// target buffers and return address stacks against workloads with the
+// same statistical structure as the direction traces.
+
+// Call-stack walk parameters.
+const (
+	cfMaxDepth     = 12   // call nesting bound
+	cfCallProb     = 0.45 // end-of-function: call a successor
+	cfReturnProb   = 0.55 // else, if the stack is non-empty: return
+	cfIndirectProb = 0.04 // a call/jump is through a register
+)
+
+// ControlFlow implements trace.ControlSource: it returns a stream of
+// control-transfer events over the workload's program. The stream is
+// deterministic for the workload's seed but distinct from the direction
+// stream (the walks draw from the generator independently).
+func (w *Workload) ControlFlow() trace.ControlStream {
+	return newCFGenerator(w.profile)
+}
+
+type cfFrame struct {
+	fn    int
+	retPC uint64 // return address the matching return must target
+}
+
+type cfGenerator struct {
+	profile Profile
+	rng     *RNG
+	sites   []*site
+	funcs   []function
+	global  uint64
+	emitted int
+	queue   []trace.ControlRecord
+	qpos    int
+	stack   []cfFrame
+	cur     int
+}
+
+func newCFGenerator(p Profile) *cfGenerator {
+	// The program (sites, layout, call graph) is built from the same seed
+	// as the direction walk, so the control-flow trace covers the SAME
+	// benchmark; only the walk's extra draws (call decisions) differ.
+	rng := NewRNG(p.Seed)
+	sites, funcs := buildProgram(p, rng)
+	return &cfGenerator{profile: p, rng: rng, sites: sites, funcs: funcs}
+}
+
+// pcOf strips the backward-bit marker: control-flow traces carry real
+// addresses and encode direction in the target instead.
+func pcOf(s *site) uint64 { return s.pc &^ backwardBit }
+
+// funcBase returns a function's entry address.
+func (g *cfGenerator) funcBase(fn int) uint64 {
+	return pcOf(g.sites[g.funcs[fn].sites[0]])
+}
+
+// condTarget synthesizes the taken target of a conditional site: loops
+// jump backward to the top of their body, other branches skip forward by
+// a site-determined distance.
+func (g *cfGenerator) condTarget(f function, pos int) uint64 {
+	s := g.sites[f.sites[pos]]
+	if s.isLoop {
+		return pcOf(g.sites[f.sites[pos-s.bodyLen]])
+	}
+	return pcOf(s) + 16 + uint64(s.static&3)*8
+}
+
+// emitCond evaluates one conditional site and queues its record.
+func (g *cfGenerator) emitCond(f function, pos int) bool {
+	s := g.sites[f.sites[pos]]
+	taken := s.behavior.Outcome(g.global, g.rng)
+	g.global = g.global<<1 | b2u(taken)
+	g.queue = append(g.queue, trace.ControlRecord{
+		PC:     pcOf(s),
+		Kind:   trace.KindBranch,
+		Taken:  taken,
+		Target: g.condTarget(f, pos),
+		Static: s.static,
+	})
+	return taken
+}
+
+// runFunction executes a function body, emitting its conditional
+// branches (with loop re-execution exactly as the direction walk does).
+func (g *cfGenerator) runFunction(fn int) {
+	f := g.funcs[fn]
+	for _, si := range f.sites {
+		if r, ok := g.sites[si].behavior.(Restarter); ok {
+			r.Restart()
+		}
+	}
+	for pos := 0; pos < len(f.sites); pos++ {
+		s := g.sites[f.sites[pos]]
+		if !s.isLoop {
+			g.emitCond(f, pos)
+			continue
+		}
+		const maxIters = 1 << 12
+		iters := 0
+		for g.emitCond(f, pos) {
+			if iters++; iters >= maxIters {
+				panic("synth: control-flow loop failed to terminate")
+			}
+			for b := pos - s.bodyLen; b < pos; b++ {
+				if body := g.sites[f.sites[b]]; !body.isLoop {
+					g.emitCond(f, b)
+				}
+			}
+		}
+	}
+}
+
+// funcExitPC is the address of the transfer instruction ending the
+// function (one slot past its last branch site).
+func (g *cfGenerator) funcExitPC(fn int) uint64 {
+	f := g.funcs[fn]
+	return pcOf(g.sites[f.sites[len(f.sites)-1]]) + 8
+}
+
+// transferStatic gives non-branch transfer records a stable static id
+// beyond the conditional sites' space.
+func (g *cfGenerator) transferStatic(fn int) uint32 {
+	return uint32(g.profile.Statics + fn)
+}
+
+// refill runs one function and then one end-of-function control
+// decision: call, return, or tail jump (possibly indirect).
+func (g *cfGenerator) refill() {
+	g.queue = g.queue[:0]
+	g.qpos = 0
+	g.runFunction(g.cur)
+
+	exitPC := g.funcExitPC(g.cur)
+	static := g.transferStatic(g.cur)
+	f := g.funcs[g.cur]
+
+	switch u := g.rng.Float64(); {
+	case u < cfCallProb && len(g.stack) < cfMaxDepth:
+		// Call a successor; the matching return targets exitPC+4.
+		callee := g.pickNext(f)
+		kind := trace.KindCall
+		if g.rng.Bool(cfIndirectProb) {
+			kind = trace.KindIndirectCall
+			callee = g.rng.Intn(len(g.funcs)) // function pointer
+		}
+		g.stack = append(g.stack, cfFrame{fn: g.cur, retPC: exitPC + 4})
+		g.queue = append(g.queue, trace.ControlRecord{
+			PC: exitPC, Kind: kind, Taken: true,
+			Target: g.funcBase(callee), Static: static,
+		})
+		g.cur = callee
+	case len(g.stack) > 0 && u < cfCallProb+cfReturnProb:
+		top := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		g.queue = append(g.queue, trace.ControlRecord{
+			PC: exitPC, Kind: trace.KindReturn, Taken: true,
+			Target: top.retPC, Static: static,
+		})
+		g.cur = top.fn
+	default:
+		callee := g.pickNext(f)
+		kind := trace.KindJump
+		if g.rng.Bool(cfIndirectProb) {
+			kind = trace.KindIndirect
+			callee = g.rng.Intn(len(g.funcs))
+		}
+		g.queue = append(g.queue, trace.ControlRecord{
+			PC: exitPC, Kind: kind, Taken: true,
+			Target: g.funcBase(callee), Static: static,
+		})
+		g.cur = callee
+	}
+}
+
+// pickNext draws a call-graph successor with the walk's usual skew.
+func (g *cfGenerator) pickNext(f function) int {
+	switch u := g.rng.Float64(); {
+	case u < nextProb0:
+		return f.next[0]
+	case u < nextProb1:
+		return f.next[1]
+	case u < nextProb2:
+		return f.next[2]
+	default:
+		return g.rng.Intn(len(g.funcs))
+	}
+}
+
+// Next implements trace.ControlStream.
+func (g *cfGenerator) Next() (trace.ControlRecord, bool) {
+	if g.emitted >= g.profile.Dynamic {
+		return trace.ControlRecord{}, false
+	}
+	for g.qpos >= len(g.queue) {
+		g.refill()
+	}
+	r := g.queue[g.qpos]
+	g.qpos++
+	g.emitted++
+	return r, true
+}

@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"testing"
+
+	"bimode/internal/trace"
+)
+
+func cfWorkload() *Workload {
+	p, _ := ProfileByName("perl")
+	return MustWorkload(p.WithDynamic(40000))
+}
+
+func TestControlFlowDeterminism(t *testing.T) {
+	w := cfWorkload()
+	s1, s2 := w.ControlFlow(), w.ControlFlow()
+	for i := 0; ; i++ {
+		r1, ok1 := s1.Next()
+		r2, ok2 := s2.Next()
+		if ok1 != ok2 {
+			t.Fatalf("length mismatch at %d", i)
+		}
+		if !ok1 {
+			break
+		}
+		if r1 != r2 {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, r1, r2)
+		}
+	}
+}
+
+func TestControlFlowBudgetAndKinds(t *testing.T) {
+	w := cfWorkload()
+	st := w.ControlFlow()
+	counts := map[trace.Kind]int{}
+	n := 0
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		counts[r.Kind]++
+		if r.PC&(1<<63) != 0 {
+			t.Fatalf("control-flow PCs must not carry the backward bit")
+		}
+		if r.Kind != trace.KindBranch && !r.Taken {
+			t.Fatalf("unconditional transfers are always taken")
+		}
+		if r.Target == 0 {
+			t.Fatalf("every transfer needs a target")
+		}
+	}
+	if n != 40000 {
+		t.Fatalf("events = %d, want 40000", n)
+	}
+	if counts[trace.KindBranch] < n/2 {
+		t.Fatalf("conditional branches should dominate: %v", counts)
+	}
+	for _, k := range []trace.Kind{trace.KindCall, trace.KindReturn, trace.KindJump} {
+		if counts[k] == 0 {
+			t.Fatalf("kind %v missing from the stream: %v", k, counts)
+		}
+	}
+}
+
+// TestControlFlowCallReturnDiscipline: every return's target must equal
+// the return address of the most recent unmatched call (PC+4), i.e. a
+// sufficiently deep RAS would be perfect.
+func TestControlFlowCallReturnDiscipline(t *testing.T) {
+	w := cfWorkload()
+	st := w.ControlFlow()
+	var stack []uint64
+	returns, matched := 0, 0
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		switch r.Kind {
+		case trace.KindCall, trace.KindIndirectCall:
+			stack = append(stack, r.PC+4)
+		case trace.KindReturn:
+			returns++
+			if len(stack) == 0 {
+				t.Fatalf("return without a pending call")
+			}
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r.Target == want {
+				matched++
+			}
+		}
+	}
+	if returns == 0 {
+		t.Fatalf("no returns in the stream")
+	}
+	if matched != returns {
+		t.Fatalf("%d of %d returns mismatched their call", returns-matched, returns)
+	}
+}
+
+// TestControlFlowLoopTargetsBackward: loop back-edges must target lower
+// addresses; other conditionals target forward.
+func TestControlFlowLoopTargetsBackward(t *testing.T) {
+	p, _ := ProfileByName("perl")
+	p = p.WithDynamic(20000)
+	rng := NewRNG(p.Seed)
+	sites, _ := buildProgram(p, rng)
+	isLoop := make(map[uint32]bool, len(sites))
+	for _, s := range sites {
+		isLoop[s.static] = s.isLoop
+	}
+	st := MustWorkload(p).ControlFlow()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if r.Kind != trace.KindBranch {
+			continue
+		}
+		if int(r.Static) >= len(sites) {
+			t.Fatalf("branch static %d out of site range", r.Static)
+		}
+		if isLoop[r.Static] {
+			if r.Target >= r.PC {
+				t.Fatalf("loop site %d target %x not backward of %x", r.Static, r.Target, r.PC)
+			}
+		} else if r.Target <= r.PC {
+			t.Fatalf("forward branch %d target %x not forward of %x", r.Static, r.Target, r.PC)
+		}
+	}
+}
+
+// TestControlFlowStackBounded: call depth must respect the generator's
+// bound.
+func TestControlFlowStackBounded(t *testing.T) {
+	w := cfWorkload()
+	st := w.ControlFlow()
+	depth, maxDepth := 0, 0
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		switch r.Kind {
+		case trace.KindCall, trace.KindIndirectCall:
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		case trace.KindReturn:
+			depth--
+		}
+	}
+	if maxDepth > cfMaxDepth {
+		t.Fatalf("call depth %d exceeded bound %d", maxDepth, cfMaxDepth)
+	}
+	if maxDepth < 2 {
+		t.Fatalf("call nesting too shallow to exercise a RAS: %d", maxDepth)
+	}
+}

@@ -1,0 +1,13 @@
+package synth
+
+// SiteKinds exposes the behavior class of every static site of a profile;
+// diagnostic helper used by calibration tooling and tests.
+func SiteKinds(p Profile) []string {
+	rng := NewRNG(p.Seed)
+	sites, _ := buildProgram(p, rng)
+	kinds := make([]string, len(sites))
+	for i, s := range sites {
+		kinds[i] = s.behavior.Kind()
+	}
+	return kinds
+}

@@ -1,0 +1,324 @@
+package synth
+
+import (
+	"fmt"
+
+	"bimode/internal/trace"
+)
+
+// backwardBit marks loop back-edges in generated PCs; it matches
+// baselines.BackwardBit (duplicated here to keep synth free of predictor
+// imports; the equality is asserted by a test).
+const backwardBit uint64 = 1 << 63
+
+// site is one static branch site of a generated program.
+type site struct {
+	pc       uint64
+	static   uint32
+	behavior Behavior
+	isLoop   bool
+	bodyLen  int // for loops: number of immediately preceding sites re-executed per iteration
+}
+
+// function is an ordered run of branch sites executed sequentially per
+// call, the way a compiler lays out a procedure. Sequential execution is
+// what gives each branch a small, repeating set of preceding-outcome
+// patterns — the property that makes global history useful in real
+// programs and that an unstructured random walk destroys.
+type function struct {
+	sites []int  // indices into the site table, in layout order
+	next  [3]int // call-graph successors, most likely first
+}
+
+// Call-graph transition probabilities: successors are strongly skewed so
+// call sequences repeat, keeping cross-function history patterns
+// repetitive the way real call sites do. The remainder (escapeProb) jumps
+// to a uniformly random function, modelling indirect calls and keeping
+// the whole program reachable.
+const (
+	nextProb0  = 0.80
+	nextProb1  = 0.95 // cumulative
+	nextProb2  = 0.99 // cumulative; remainder escapes
+	escapeProb = 1 - nextProb2
+)
+
+// Workload is a deterministic synthetic benchmark; it implements
+// trace.Source, regenerating the identical stream on every Stream call.
+type Workload struct {
+	profile Profile
+}
+
+// NewWorkload validates the profile and wraps it as a trace source.
+func NewWorkload(p Profile) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{profile: p}, nil
+}
+
+// MustWorkload is NewWorkload for known-valid profiles; panics on error.
+func MustWorkload(p Profile) *Workload {
+	w, err := NewWorkload(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Name implements trace.Source.
+func (w *Workload) Name() string { return w.profile.Name }
+
+// Profile returns the workload's parameters.
+func (w *Workload) Profile() Profile { return w.profile }
+
+// StaticCount implements trace.Source.
+func (w *Workload) StaticCount() int { return w.profile.Statics }
+
+// Stream implements trace.Source.
+func (w *Workload) Stream() trace.Stream { return newGenerator(w.profile) }
+
+// buildProgram lays out the static program: sites with behaviors and
+// clustered PCs, grouped into functions.
+func buildProgram(p Profile, rng *RNG) ([]*site, []function) {
+	sites := make([]*site, p.Statics)
+	var funcs []function
+
+	// Address layout: functions are packed back-to-back with irregular
+	// padding, branch instructions every 8 bytes inside a function. Only
+	// low PC bits reach the predictors; irregular spacing decorrelates
+	// same-offset sites of different functions the way real linkers do
+	// (regular power-of-two strides would alias them systematically).
+	base := uint64(0x10000)
+	var cur function
+	var pc uint64 // next branch address within the current function
+
+	flush := func() {
+		if len(cur.sites) > 0 {
+			funcs = append(funcs, cur)
+			base = pc + uint64(16+8*rng.Intn(40))
+			cur = function{}
+		}
+	}
+
+	funcSize := 6 + rng.Intn(26)
+	pc = base
+	// Functions have a prevailing branch polarity (error paths cluster
+	// not-taken, data paths taken, ...); most biased sites follow it.
+	// Direction clustering within a function keeps nearby aliases mostly
+	// harmless, as in real code.
+	funcTaken := rng.Bool(p.TakenShare)
+	siteDir := func() bool {
+		if rng.Bool(0.25) {
+			return !funcTaken
+		}
+		return funcTaken
+	}
+	for i := range sites {
+		if len(cur.sites) >= funcSize {
+			flush()
+			funcSize = 6 + rng.Intn(26)
+			funcTaken = rng.Bool(p.TakenShare)
+			pc = base
+		}
+		s := &site{pc: pc, static: uint32(i)}
+		// Real branches sit 3-8 instructions apart, not back to back.
+		pc += uint64(8 * (2 + rng.Intn(6)))
+
+		u := rng.Float64()
+		switch {
+		// A loop needs at least one preceding site in the function to act
+		// as its body; fall through to the other classes otherwise.
+		case u < p.FracLoop && len(cur.sites) > 0:
+			s.isLoop = true
+			s.pc |= backwardBit
+			// Loop trips are bimodal, as in real integer code: tight
+			// fixed-trip inner loops whose exits global history can learn,
+			// and longer loops whose single exit misprediction is
+			// amortized over many iterations. A minority of each have
+			// data-dependent (jittered) bounds.
+			var trip int
+			if rng.Bool(0.6) {
+				trip = 2 + rng.Intn(6) // short: 2..7
+			} else {
+				trip = p.LoopTrip + rng.Intn(2*p.LoopTrip) // long
+			}
+			jitter := 0
+			if rng.Bool(0.1) {
+				jitter = p.LoopJitter
+				if jitter > trip-1 {
+					jitter = trip - 1
+				}
+			}
+			s.behavior = &Loop{Trip: trip, Jitter: jitter}
+			body := 1 + poissonish(p.BodyMean, rng)
+			if body > len(cur.sites) {
+				body = len(cur.sites)
+			}
+			s.bodyLen = body
+		case u < p.FracLoop+p.FracCorrelated:
+			k := p.CorrK - 1 + rng.Intn(3)
+			if k < 1 {
+				k = 1
+			}
+			if k > 6 {
+				k = 6
+			}
+			// Correlated branches still lean one way overall (their
+			// function table is biased), so a PC-indexed choice predictor
+			// can classify them even though only history predicts them.
+			bias := rng.Range(0.7, 0.9)
+			if !siteDir() {
+				bias = 1 - bias
+			}
+			s.behavior = NewCorrelated(k, bias, p.CorrNoise, rng)
+		case u < p.FracLoop+p.FracCorrelated+p.FracPattern:
+			length := 2 + rng.Intn(6)
+			s.behavior = &Pattern{Bits: rng.Uint64(), Len: length}
+		case u < p.FracLoop+p.FracCorrelated+p.FracPattern+p.FracWeak:
+			pw := rng.Range(p.WeakLo, p.WeakHi)
+			if p.WeakRun > 1 {
+				s.behavior = &RunBiased{P: pw, Run: float64(p.WeakRun)}
+			} else {
+				s.behavior = Biased{P: pw}
+			}
+		default:
+			pTaken := rng.Range(p.StrongLo, p.StrongHi)
+			if !siteDir() {
+				pTaken = 1 - pTaken // biased not-taken
+			}
+			s.behavior = Biased{P: pTaken}
+		}
+		cur.sites = append(cur.sites, i)
+		sites[i] = s
+	}
+	flush()
+
+	// Wire the call graph: each function gets three successors drawn with
+	// Zipf preference, so a few hub functions (library routines, hot
+	// kernels) are called from everywhere and call sequences repeat.
+	hubs := newAliasTable(zipfWeights(len(funcs), p.ZipfTheta, rng))
+	for i := range funcs {
+		for j := range funcs[i].next {
+			funcs[i].next[j] = hubs.sample(rng)
+		}
+	}
+	return sites, funcs
+}
+
+// poissonish draws a small non-negative count with the given mean; a
+// geometric approximation is fine for body sizes.
+func poissonish(mean float64, rng *RNG) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	p := mean / (1 + mean)
+	for n < 6 && rng.Bool(p) {
+		n++
+	}
+	return n
+}
+
+// generator emits the dynamic branch stream by a Markov walk over the
+// call graph, executing each function's branches in order; it implements
+// trace.Stream.
+type generator struct {
+	profile Profile
+	rng     *RNG
+	sites   []*site
+	funcs   []function
+	cur     int    // current function in the call-graph walk
+	global  uint64 // true outcome history of ALL emitted branches
+	emitted int
+	queue   []trace.Record
+	qpos    int
+}
+
+func newGenerator(p Profile) *generator {
+	rng := NewRNG(p.Seed)
+	sites, funcs := buildProgram(p, rng)
+	return &generator{
+		profile: p,
+		rng:     rng,
+		sites:   sites,
+		funcs:   funcs,
+	}
+}
+
+// emit evaluates one site and appends its record to the queue.
+func (g *generator) emit(s *site) bool {
+	taken := s.behavior.Outcome(g.global, g.rng)
+	g.global = g.global<<1 | b2u(taken)
+	g.queue = append(g.queue, trace.Record{PC: s.pc, Static: s.static, Taken: taken})
+	return taken
+}
+
+// refill generates one function call: every site in order; loop sites
+// re-execute their body until the back edge falls through. The walk then
+// advances to a call-graph successor (or, rarely, an "indirect call" to a
+// uniformly random function).
+func (g *generator) refill() {
+	g.queue = g.queue[:0]
+	g.qpos = 0
+	f := g.funcs[g.cur]
+	for _, si := range f.sites {
+		if r, ok := g.sites[si].behavior.(Restarter); ok {
+			r.Restart()
+		}
+	}
+	switch u := g.rng.Float64(); {
+	case u < nextProb0:
+		g.cur = f.next[0]
+	case u < nextProb1:
+		g.cur = f.next[1]
+	case u < nextProb2:
+		g.cur = f.next[2]
+	default:
+		g.cur = g.rng.Intn(len(g.funcs))
+	}
+	for pos := 0; pos < len(f.sites); pos++ {
+		s := g.sites[f.sites[pos]]
+		if !s.isLoop {
+			g.emit(s)
+			continue
+		}
+		// The body (the preceding bodyLen sites) has executed once by
+		// fallthrough; each taken back edge re-executes it.
+		const maxIters = 1 << 12 // safety bound; trips are far smaller
+		iters := 0
+		for g.emit(s) {
+			if iters++; iters >= maxIters {
+				panic(fmt.Sprintf("synth: loop site %d failed to terminate", s.static))
+			}
+			for b := pos - s.bodyLen; b < pos; b++ {
+				// Nested loop sites are not re-executed as plain branches:
+				// stepping their trip counters out of context would inject
+				// phase noise no real program produces.
+				if body := g.sites[f.sites[b]]; !body.isLoop {
+					g.emit(body)
+				}
+			}
+		}
+	}
+}
+
+// Next implements trace.Stream.
+func (g *generator) Next() (trace.Record, bool) {
+	if g.emitted >= g.profile.Dynamic {
+		return trace.Record{}, false
+	}
+	for g.qpos >= len(g.queue) {
+		g.refill()
+	}
+	r := g.queue[g.qpos]
+	g.qpos++
+	g.emitted++
+	return r, true
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

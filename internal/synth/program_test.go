@@ -1,0 +1,253 @@
+package synth
+
+import (
+	"testing"
+
+	"bimode/internal/trace"
+)
+
+func testProfile() Profile {
+	p, ok := ProfileByName("gcc")
+	if !ok {
+		panic("gcc profile missing")
+	}
+	return p.WithDynamic(50000)
+}
+
+func TestProfilesAllValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 14 {
+		t.Fatalf("want 14 profiles, got %d", len(ps))
+	}
+	spec, ibs := 0, 0
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		switch p.Suite {
+		case SuiteSPEC:
+			spec++
+		case SuiteIBS:
+			ibs++
+		default:
+			t.Errorf("profile %s has unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if spec != 6 || ibs != 8 {
+		t.Fatalf("suite split %d/%d, want 6/8", spec, ibs)
+	}
+}
+
+func TestProfileStaticsMatchPaperTable2(t *testing.T) {
+	want := map[string]int{
+		"compress": 482, "gcc": 16035, "go": 5112, "xlisp": 636,
+		"perl": 1974, "vortex": 6599, "groff": 6333, "gs": 12852,
+		"mpeg_play": 5598, "nroff": 5249, "real_gcc": 17361,
+		"sdet": 5310, "verilog": 4636, "video_play": 4606,
+	}
+	for name, statics := range want {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Errorf("missing profile %s", name)
+			continue
+		}
+		if p.Statics != statics {
+			t.Errorf("%s statics = %d, want %d (paper Table 2)", name, p.Statics, statics)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, ok := ProfileByName("spice"); ok {
+		t.Fatalf("unknown profile must return ok=false")
+	}
+}
+
+func TestProfileValidationErrors(t *testing.T) {
+	base := testProfile()
+	mods := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Statics = 0 },
+		func(p *Profile) { p.Dynamic = 0 },
+		func(p *Profile) { p.FracLoop = 0.9; p.FracWeak = 0.9 },
+		func(p *Profile) { p.FracWeak = -0.1 },
+		func(p *Profile) { p.StrongLo = 0.4 },
+		func(p *Profile) { p.StrongLo = 0.99; p.StrongHi = 0.98 },
+		func(p *Profile) { p.WeakLo = 0.9; p.WeakHi = 0.2 },
+		func(p *Profile) { p.LoopTrip = 0 },
+		func(p *Profile) { p.WeakRun = 0 },
+		func(p *Profile) { p.CorrK = 9 },
+		func(p *Profile) { p.ZipfTheta = 5 },
+	}
+	for i, mod := range mods {
+		p := base
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mod %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	w := MustWorkload(testProfile())
+	s1, s2 := w.Stream(), w.Stream()
+	for i := 0; ; i++ {
+		r1, ok1 := s1.Next()
+		r2, ok2 := s2.Next()
+		if ok1 != ok2 {
+			t.Fatalf("streams diverge in length at %d", i)
+		}
+		if !ok1 {
+			break
+		}
+		if r1 != r2 {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, r1, r2)
+		}
+	}
+}
+
+func TestWorkloadRespectsDynamicBudget(t *testing.T) {
+	w := MustWorkload(testProfile())
+	n := 0
+	st := w.Stream()
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 50000 {
+		t.Fatalf("generated %d branches, want exactly 50000", n)
+	}
+}
+
+func TestWorkloadStaticIDsInRange(t *testing.T) {
+	w := MustWorkload(testProfile())
+	st := w.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if int(r.Static) >= w.StaticCount() {
+			t.Fatalf("static %d out of range %d", r.Static, w.StaticCount())
+		}
+		if r.PC&3 != 0 {
+			t.Fatalf("pc %x not word aligned", r.PC)
+		}
+	}
+}
+
+func TestBackwardBitOnlyOnLoops(t *testing.T) {
+	p := testProfile()
+	rng := NewRNG(p.Seed)
+	sites, _ := buildProgram(p, rng)
+	for _, s := range sites {
+		if s.isLoop != (s.pc&backwardBit != 0) {
+			t.Fatalf("backward bit must mark exactly the loop sites")
+		}
+		if s.isLoop && s.bodyLen < 1 {
+			t.Fatalf("loop site without body")
+		}
+	}
+}
+
+func TestBuildProgramBehaviorMix(t *testing.T) {
+	p := testProfile()
+	p.Statics = 10000
+	rng := NewRNG(p.Seed)
+	sites, funcs := buildProgram(p, rng)
+	if len(sites) != 10000 {
+		t.Fatalf("site count wrong")
+	}
+	counts := map[string]int{}
+	for _, s := range sites {
+		counts[s.behavior.Kind()]++
+	}
+	// Loops can be displaced at function starts, so allow slack.
+	frac := func(k string) float64 { return float64(counts[k]) / 10000 }
+	if f := frac("loop"); f < p.FracLoop-0.05 || f > p.FracLoop+0.02 {
+		t.Errorf("loop fraction %v, want ~%v", f, p.FracLoop)
+	}
+	if f := frac("correlated"); f < p.FracCorrelated-0.03 || f > p.FracCorrelated+0.03 {
+		t.Errorf("correlated fraction %v, want ~%v", f, p.FracCorrelated)
+	}
+	total := 0
+	for _, f := range funcs {
+		total += len(f.sites)
+		for _, nx := range f.next {
+			if nx < 0 || nx >= len(funcs) {
+				t.Fatalf("successor out of range")
+			}
+		}
+	}
+	if total != 10000 {
+		t.Fatalf("functions do not partition sites: %d", total)
+	}
+}
+
+func TestSiteKinds(t *testing.T) {
+	p := testProfile()
+	kinds := SiteKinds(p)
+	if len(kinds) != p.Statics {
+		t.Fatalf("kinds length %d, want %d", len(kinds), p.Statics)
+	}
+	valid := map[string]bool{"biased": true, "weak": true, "loop": true, "correlated": true, "pattern": true}
+	for i, k := range kinds {
+		if !valid[k] {
+			t.Fatalf("site %d has unknown kind %q", i, k)
+		}
+	}
+}
+
+func TestGoProfileIsWeaklyBiasedHeavy(t *testing.T) {
+	// The go benchmark's defining property (paper Section 4.4): about
+	// half its dynamic branches are weakly biased.
+	p, _ := ProfileByName("go")
+	p = p.WithDynamic(200000)
+	kinds := SiteKinds(p)
+	st := MustWorkload(p).Stream()
+	weak, n := 0, 0
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		if kinds[r.Static] == "weak" {
+			weak++
+		}
+	}
+	f := float64(weak) / float64(n)
+	if f < 0.30 || f > 0.65 {
+		t.Fatalf("go weak dynamic share = %v, want roughly half", f)
+	}
+}
+
+func TestNewWorkloadRejectsInvalid(t *testing.T) {
+	p := testProfile()
+	p.Statics = 0
+	if _, err := NewWorkload(p); err == nil {
+		t.Fatalf("invalid profile must be rejected")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("MustWorkload must panic on invalid profile")
+			}
+		}()
+		MustWorkload(p)
+	}()
+}
+
+func TestWithHelpers(t *testing.T) {
+	p := testProfile()
+	if p.WithDynamic(7).Dynamic != 7 || p.WithSeed(9).Seed != 9 {
+		t.Fatalf("With helpers must override fields")
+	}
+	if p.Dynamic == 7 {
+		t.Fatalf("With helpers must not mutate the receiver")
+	}
+}
+
+var _ trace.Source = (*Workload)(nil)

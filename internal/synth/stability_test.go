@@ -1,0 +1,56 @@
+package synth
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// streamChecksum hashes the first n records of a workload's stream.
+func streamChecksum(t *testing.T, name string, n int) uint64 {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("missing profile %s", name)
+	}
+	p = p.WithDynamic(n)
+	h := fnv.New64a()
+	st := MustWorkload(p).Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		var buf [13]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(r.PC >> (8 * i))
+		}
+		for i := 0; i < 4; i++ {
+			buf[8+i] = byte(r.Static >> (8 * i))
+		}
+		if r.Taken {
+			buf[12] = 1
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestStreamStability pins the calibrated benchmark streams bit-for-bit.
+// EXPERIMENTS.md's measured numbers depend on these exact streams: any
+// change to the generator, the PRNG, or the profiles is a recalibration
+// and must update both the checksums here and the recorded results.
+func TestStreamStability(t *testing.T) {
+	want := map[string]uint64{
+		"gcc":      0xca23fd0f24244c4f,
+		"go":       0x260c56d484ddf788,
+		"compress": 0x6b098a3e3e73f661,
+		"vortex":   0xee1b3d56a711114c,
+		"sdet":     0x5932459f05e722fc,
+	}
+	for name, sum := range want {
+		if got := streamChecksum(t, name, 10000); got != sum {
+			t.Errorf("%s stream changed: checksum %#x, want %#x (recalibration? update EXPERIMENTS.md too)",
+				name, got, sum)
+		}
+	}
+}

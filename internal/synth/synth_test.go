@@ -1,0 +1,287 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds should diverge")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if v := r.Range(2, 5); v < 2 || v >= 5 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnProperty(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int(bound)%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBoolFrequency(t *testing.T) {
+	r := NewRNG(99)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %v", rate)
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 2, 4, 8}
+	at := newAliasTable(weights)
+	r := NewRNG(5)
+	counts := make([]int, 4)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[at.sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 15
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("weight %d: frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestAliasTablePanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newAliasTable(%v) must panic", w)
+				}
+			}()
+			newAliasTable(w)
+		}()
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	r := NewRNG(11)
+	w := zipfWeights(100, 1.0, r)
+	if len(w) != 100 {
+		t.Fatalf("want 100 weights")
+	}
+	// The multiset of weights must be exactly {1/k^theta}.
+	sum := 0.0
+	for _, v := range w {
+		if v <= 0 || v > 1 {
+			t.Fatalf("weight out of range: %v", v)
+		}
+		sum += v
+	}
+	want := 0.0
+	for k := 1; k <= 100; k++ {
+		want += 1 / float64(k)
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("weight sum %v, want harmonic %v", sum, want)
+	}
+}
+
+func TestBiasedBehavior(t *testing.T) {
+	r := NewRNG(3)
+	b := Biased{P: 0.9}
+	taken := 0
+	for i := 0; i < 10000; i++ {
+		if b.Outcome(0, r) {
+			taken++
+		}
+	}
+	if rate := float64(taken) / 10000; rate < 0.88 || rate > 0.92 {
+		t.Fatalf("Biased(0.9) rate = %v", rate)
+	}
+	if (Biased{P: 0.95}).Kind() != "biased" || (Biased{P: 0.5}).Kind() != "weak" {
+		t.Fatalf("Biased kinds wrong")
+	}
+}
+
+func TestLoopBehaviorFixedTrip(t *testing.T) {
+	r := NewRNG(4)
+	l := &Loop{Trip: 4}
+	// Expect repeating T,T,T,N.
+	for rep := 0; rep < 5; rep++ {
+		for i := 0; i < 3; i++ {
+			if !l.Outcome(0, r) {
+				t.Fatalf("rep %d iter %d: want taken", rep, i)
+			}
+		}
+		if l.Outcome(0, r) {
+			t.Fatalf("rep %d: want not-taken exit", rep)
+		}
+	}
+	if l.Kind() != "loop" {
+		t.Fatalf("kind wrong")
+	}
+}
+
+func TestLoopBehaviorTripOne(t *testing.T) {
+	r := NewRNG(4)
+	l := &Loop{Trip: 1}
+	for i := 0; i < 5; i++ {
+		if l.Outcome(0, r) {
+			t.Fatalf("trip-1 loop must always exit")
+		}
+	}
+}
+
+func TestLoopJitterBounds(t *testing.T) {
+	r := NewRNG(8)
+	l := &Loop{Trip: 6, Jitter: 3}
+	for rep := 0; rep < 50; rep++ {
+		iters := 0
+		for l.Outcome(0, r) {
+			iters++
+			if iters > 10 {
+				t.Fatalf("trip exceeded Trip+Jitter")
+			}
+		}
+		if iters+1 < 3 {
+			t.Fatalf("trip below Trip-Jitter: %d", iters+1)
+		}
+	}
+}
+
+func TestPatternBehavior(t *testing.T) {
+	p := &Pattern{Bits: 0b0101, Len: 4}
+	want := []bool{true, false, true, false, true, false, true, false}
+	for i, w := range want {
+		if got := p.Outcome(0, nil); got != w {
+			t.Fatalf("pos %d: got %v want %v", i, got, w)
+		}
+	}
+	p.Outcome(0, nil) // advance off phase
+	p.Restart()
+	if got := p.Outcome(0, nil); got != true {
+		t.Fatalf("restart must rewind the pattern")
+	}
+}
+
+func TestCorrelatedBehavior(t *testing.T) {
+	r := NewRNG(6)
+	c := NewCorrelated(3, 0.5, 0, r)
+	// Zero noise: outcome is a pure function of the low 3 history bits.
+	for hist := uint64(0); hist < 8; hist++ {
+		first := c.Outcome(hist, r)
+		for i := 0; i < 10; i++ {
+			if c.Outcome(hist, r) != first {
+				t.Fatalf("noise-free correlated must be deterministic per pattern")
+			}
+		}
+	}
+	if c.Kind() != "correlated" {
+		t.Fatalf("kind wrong")
+	}
+}
+
+func TestCorrelatedPanics(t *testing.T) {
+	for _, k := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCorrelated(%d,...) must panic", k)
+				}
+			}()
+			NewCorrelated(k, 0.5, 0, NewRNG(1))
+		}()
+	}
+}
+
+func TestRunBiasedStationaryAndRuns(t *testing.T) {
+	r := NewRNG(13)
+	rb := &RunBiased{P: 0.5, Run: 8}
+	taken, switches, prev := 0, 0, false
+	const n = 50000
+	for i := 0; i < n; i++ {
+		cur := rb.Outcome(0, r)
+		if cur {
+			taken++
+		}
+		if i > 0 && cur != prev {
+			switches++
+		}
+		prev = cur
+	}
+	rate := float64(taken) / n
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("stationary rate = %v, want ~0.5", rate)
+	}
+	meanRun := float64(n) / float64(switches+1)
+	if meanRun < 6 || meanRun > 10 {
+		t.Fatalf("mean run = %v, want ~8", meanRun)
+	}
+	if rb.Kind() != "weak" {
+		t.Fatalf("kind wrong")
+	}
+}
+
+func TestRunBiasedDegeneratesToIID(t *testing.T) {
+	r := NewRNG(14)
+	rb := &RunBiased{P: 0.3, Run: 1}
+	taken := 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if rb.Outcome(0, r) {
+			taken++
+		}
+	}
+	if rate := float64(taken) / n; rate < 0.27 || rate > 0.33 {
+		t.Fatalf("iid RunBiased rate = %v, want ~0.3", rate)
+	}
+}

@@ -1,0 +1,94 @@
+package synth
+
+import "math"
+
+// aliasTable implements Walker's alias method for O(1) sampling from a
+// fixed discrete distribution; the walk generator uses it to draw branch
+// sites with Zipf-like frequencies, the heavy-tailed shape real programs
+// exhibit (a few hot branches account for most dynamic executions).
+type aliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+// newAliasTable builds an alias table for the (unnormalized) weights.
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("synth: alias table needs at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("synth: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("synth: weights sum to zero")
+	}
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// sample draws one index.
+func (t *aliasTable) sample(rng *RNG) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// zipfWeights returns n weights w_rank = 1/rank^theta assigned to sites
+// through a random permutation, so a site's frequency is independent of
+// its behavior class and table position.
+func zipfWeights(n int, theta float64, rng *RNG) []float64 {
+	w := make([]float64, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Fisher-Yates shuffle.
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for rank0, site := range perm {
+		w[site] = 1 / math.Pow(float64(rank0+1), theta)
+	}
+	return w
+}

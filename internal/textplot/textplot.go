@@ -1,0 +1,169 @@
+// Package textplot renders small ASCII line charts and stacked-area
+// summaries so the experiment commands can show the paper's figures in a
+// terminal without any graphics dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Y holds one value per X position; NaN skips a point.
+	Y []float64
+}
+
+// Chart is a simple line chart over shared categorical X labels.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabels name the positions on the X axis.
+	XLabels []string
+	// YLabel names the Y axis (e.g. "mispredict %").
+	YLabel string
+	// Series are the lines to draw.
+	Series []Series
+	// Height is the number of plot rows (default 16).
+	Height int
+}
+
+// markers cycles through per-series point markers.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Render draws the chart into a string.
+func (c Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	cols := len(c.XLabels)
+	if cols == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the range slightly so extreme points don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	const colWidth = 6
+	width := cols * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := func(i int) int { return i*colWidth + colWidth/2 }
+
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		prevRow, prevCol := -1, -1
+		for i, v := range s.Y {
+			if i >= cols || math.IsNaN(v) {
+				prevRow = -1
+				continue
+			}
+			r, col := rowOf(v), colOf(i)
+			// Connect to the previous point with a sparse vertical trail.
+			if prevRow >= 0 {
+				steps := prevRow - r
+				dir := 1
+				if steps < 0 {
+					steps = -steps
+					dir = -1
+				}
+				for k := 1; k < steps; k++ {
+					rr := r + dir*k
+					cc := prevCol + (col-prevCol)*k/(steps+1)
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[r][col] = m
+			prevRow, prevCol = r, col
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yVal := hi - (hi-lo)*float64(i)/float64(height-1)
+		label := " "
+		if i%4 == 0 || i == height-1 {
+			label = fmt.Sprintf("%6.2f", yVal)
+		} else {
+			label = strings.Repeat(" ", 6)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	b.WriteString("        ")
+	for _, xl := range c.XLabels {
+		fmt.Fprintf(&b, "%-*s", colWidth, truncate(xl, colWidth-1))
+	}
+	b.WriteString("\n")
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "        (y: %s)\n", c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal bar of the given fraction (0..1).
+func Bar(label string, frac float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(width)))
+	return fmt.Sprintf("%-14s |%s%s| %5.1f%%", label,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n), 100*frac)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 0 {
+		return ""
+	}
+	return s[:n]
+}

@@ -1,0 +1,66 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenders(t *testing.T) {
+	c := Chart{
+		Title:   "demo",
+		XLabels: []string{"a", "b", "c"},
+		YLabel:  "percent",
+		Series: []Series{
+			{Name: "up", Y: []float64{1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "up", "down", "percent", "a", "o", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartHandlesNaNAndEmpty(t *testing.T) {
+	c := Chart{XLabels: []string{"a", "b"}, Series: []Series{{Name: "s", Y: []float64{math.NaN(), 5}}}}
+	if out := c.Render(); out == "" {
+		t.Fatalf("NaN chart must still render")
+	}
+	empty := Chart{Title: "none"}
+	if !strings.Contains(empty.Render(), "no data") {
+		t.Fatalf("empty chart must say so")
+	}
+	flat := Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Y: []float64{2, 2}}}}
+	if flat.Render() == "" {
+		t.Fatalf("flat series must render")
+	}
+	allNaN := Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Y: []float64{math.NaN()}}}}
+	if allNaN.Render() == "" {
+		t.Fatalf("all-NaN series must render")
+	}
+}
+
+func TestBar(t *testing.T) {
+	b := Bar("dominant", 0.5, 10)
+	if !strings.Contains(b, "#####") || !strings.Contains(b, "50.0%") {
+		t.Fatalf("bar wrong: %q", b)
+	}
+	if !strings.Contains(Bar("x", -1, 10), "0.0%") {
+		t.Fatalf("bar must clamp negative")
+	}
+	if !strings.Contains(Bar("x", 2, 10), "100.0%") {
+		t.Fatalf("bar must clamp above 1")
+	}
+	if Bar("x", 0.5, 0) == "" {
+		t.Fatalf("zero width must use default")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("hello", 3) != "hel" || truncate("hi", 5) != "hi" || truncate("x", 0) != "" {
+		t.Fatalf("truncate wrong")
+	}
+}

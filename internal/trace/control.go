@@ -1,0 +1,80 @@
+package trace
+
+// Control-flow trace types: the richer event stream the fetch-engine
+// substrate consumes. Where Record covers conditional branch directions
+// only (all the paper needs), ControlRecord covers every control-transfer
+// instruction — conditional branches with their taken targets, direct and
+// indirect jumps, calls and returns — so branch target buffers and return
+// address stacks can be evaluated too.
+
+// Kind classifies a control-transfer instruction.
+type Kind uint8
+
+// Control-transfer kinds.
+const (
+	// KindBranch is a conditional direct branch.
+	KindBranch Kind = iota
+	// KindJump is an unconditional direct jump.
+	KindJump
+	// KindCall is a direct call (pushes a return address).
+	KindCall
+	// KindReturn is a return (pops the return address stack).
+	KindReturn
+	// KindIndirect is an indirect jump (register target, no return).
+	KindIndirect
+	// KindIndirectCall is an indirect call (register target, pushes a
+	// return address).
+	KindIndirectCall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBranch:
+		return "branch"
+	case KindJump:
+		return "jump"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindIndirect:
+		return "indirect"
+	case KindIndirectCall:
+		return "indirect-call"
+	default:
+		return "unknown"
+	}
+}
+
+// ControlRecord is one dynamic control-transfer instruction.
+type ControlRecord struct {
+	// PC is the instruction address.
+	PC uint64
+	// Kind classifies the instruction.
+	Kind Kind
+	// Taken is the direction of conditional branches; true for all
+	// always-taken kinds.
+	Taken bool
+	// Target is the destination when the transfer is taken (the
+	// fallthrough address is PC+4 by convention).
+	Target uint64
+	// Static identifies the static site (conditional branches reuse the
+	// direction trace's identifiers; other kinds get their own space).
+	Static uint32
+}
+
+// ControlStream is a single pass over a control-flow trace.
+type ControlStream interface {
+	// Next returns the next control-transfer event; ok is false at the
+	// end of the trace.
+	Next() (ControlRecord, bool)
+}
+
+// ControlSource produces identical fresh control-flow streams.
+type ControlSource interface {
+	// Name identifies the workload.
+	Name() string
+	// ControlFlow returns a fresh stream positioned at the first event.
+	ControlFlow() ControlStream
+}

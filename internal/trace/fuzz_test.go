@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the binary trace decoder never panics or hangs on
+// malformed input, and that valid traces it accepts round-trip.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and some mutations.
+	m := NewMemory("seed", 3, []Record{
+		{PC: 0x1000, Static: 0, Taken: true},
+		{PC: 0x1008, Static: 2, Taken: false},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("BMT1"))
+	f.Add([]byte("BMT1\x00\x00\x00"))
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Anything accepted must re-serialize and re-read identically.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round-trip of accepted trace failed: %v", err)
+		}
+		if again.Len() != got.Len() || again.Name() != got.Name() {
+			t.Fatalf("round-trip changed shape")
+		}
+		for i := range got.Records() {
+			if got.Records()[i] != again.Records()[i] {
+				t.Fatalf("round-trip changed record %d", i)
+			}
+		}
+	})
+}

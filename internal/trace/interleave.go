@@ -1,0 +1,58 @@
+package trace
+
+import "fmt"
+
+// Interleave builds a source that round-robins between workloads in
+// fixed quanta of dynamic branches, the way the paper's IBS-Ultrix traces
+// mix kernel and user activity (they were captured across the whole
+// machine) and the way context switches interleave processes. Each
+// input's PCs are offset into a disjoint address region and its static
+// ids into a disjoint id range, so the MERGED trace is well-formed; the
+// predictors still collide through their limited index bits, which is
+// the effect being studied.
+func Interleave(name string, quantum int, sources ...Source) (*Memory, error) {
+	if quantum < 1 {
+		return nil, fmt.Errorf("trace: interleave quantum %d must be positive", quantum)
+	}
+	if len(sources) < 2 {
+		return nil, fmt.Errorf("trace: interleaving needs at least two sources")
+	}
+
+	streams := make([]Stream, len(sources))
+	staticBase := make([]uint32, len(sources))
+	pcBase := make([]uint64, len(sources))
+	totalStatics := 0
+	for i, src := range sources {
+		streams[i] = src.Stream()
+		staticBase[i] = uint32(totalStatics)
+		totalStatics += src.StaticCount()
+		// 256 MB of address space per source keeps regions disjoint
+		// while leaving low index bits untouched.
+		pcBase[i] = uint64(i) << 28
+	}
+
+	var recs []Record
+	live := len(streams)
+	for live > 0 {
+		for i := range streams {
+			if streams[i] == nil {
+				continue
+			}
+			for k := 0; k < quantum; k++ {
+				r, ok := streams[i].Next()
+				if !ok {
+					streams[i] = nil
+					live--
+					break
+				}
+				backward := r.PC & (1 << 63)
+				recs = append(recs, Record{
+					PC:     (r.PC&^(1<<63) + pcBase[i]) | backward,
+					Static: r.Static + staticBase[i],
+					Taken:  r.Taken,
+				})
+			}
+		}
+	}
+	return NewMemory(name, totalStatics, recs), nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import "testing"
+
+func mkSource(name string, statics int, n int, taken bool) *Memory {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{PC: uint64(0x1000 + 4*(i%statics)), Static: uint32(i % statics), Taken: taken}
+	}
+	return NewMemory(name, statics, recs)
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := mkSource("a", 2, 10, true)
+	b := mkSource("b", 3, 10, false)
+	m, err := Interleave("mix", 5, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 20 {
+		t.Fatalf("merged length = %d, want 20", m.Len())
+	}
+	if m.StaticCount() != 5 {
+		t.Fatalf("merged statics = %d, want 5", m.StaticCount())
+	}
+	recs := m.Records()
+	// First quantum from a (taken), second from b (not taken).
+	for i := 0; i < 5; i++ {
+		if !recs[i].Taken {
+			t.Fatalf("record %d should come from source a", i)
+		}
+		if recs[5+i].Taken {
+			t.Fatalf("record %d should come from source b", 5+i)
+		}
+	}
+	// Sources must not share static ids or PC regions.
+	seenA, seenB := map[uint32]bool{}, map[uint32]bool{}
+	for _, r := range recs {
+		if r.Taken {
+			seenA[r.Static] = true
+			if r.PC>>28 != 0 {
+				t.Fatalf("source a PC region wrong: %x", r.PC)
+			}
+		} else {
+			seenB[r.Static] = true
+			if r.PC>>28 != 1 {
+				t.Fatalf("source b PC region wrong: %x", r.PC)
+			}
+		}
+	}
+	for s := range seenA {
+		if seenB[s] {
+			t.Fatalf("static id %d shared between sources", s)
+		}
+	}
+}
+
+func TestInterleaveUnevenLengths(t *testing.T) {
+	a := mkSource("a", 2, 4, true)
+	b := mkSource("b", 2, 12, false)
+	m, err := Interleave("mix", 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 16 {
+		t.Fatalf("merged length = %d, want 16", m.Len())
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	a := mkSource("a", 1, 4, true)
+	if _, err := Interleave("x", 0, a, a); err == nil {
+		t.Fatalf("zero quantum must fail")
+	}
+	if _, err := Interleave("x", 4, a); err == nil {
+		t.Fatalf("single source must fail")
+	}
+}
+
+func TestInterleavePreservesBackwardBit(t *testing.T) {
+	recs := []Record{{PC: 0x100 | 1<<63, Static: 0, Taken: true}}
+	a := NewMemory("a", 1, recs)
+	b := mkSource("b", 1, 1, false)
+	m, err := Interleave("mix", 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records()[0].PC&(1<<63) == 0 {
+		t.Fatalf("backward bit lost in interleaving")
+	}
+}

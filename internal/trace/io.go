@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("BMT1"):
+//
+//	header:  magic "BMT1" | uvarint staticCount | uvarint recordCount |
+//	         name length uvarint | name bytes
+//	records: per record, uvarint static<<1|taken followed by the zig-zag
+//	         encoded difference of the PC from the previous record's PC.
+//
+// Delta-encoding the PC keeps traces small (branch working sets are
+// clustered), and varints make the format self-delimiting.
+
+const magic = "BMT1"
+
+// ErrBadFormat reports a malformed or truncated trace file.
+var ErrBadFormat = errors.New("trace: malformed trace data")
+
+// Write serializes a materialized trace to w in the binary format.
+func Write(w io.Writer, m *Memory) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(m.statics)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(m.recs))); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(m.name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(m.name); err != nil {
+		return err
+	}
+	prevPC := uint64(0)
+	for _, r := range m.recs {
+		v := uint64(r.Static) << 1
+		if r.Taken {
+			v |= 1
+		}
+		if err := putUvarint(v); err != nil {
+			return err
+		}
+		if err := putUvarint(zigzag(int64(r.PC - prevPC))); err != nil {
+			return err
+		}
+		prevPC = r.PC
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace previously written by Write.
+func Read(r io.Reader) (*Memory, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+	}
+	statics, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading static count: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrBadFormat, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	// Preallocation is capped: count is untrusted input and records are
+	// appended (and validated) one at a time anyway.
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	recs := make([]Record, 0, prealloc)
+	prevPC := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		static := v >> 1
+		if static >= statics {
+			return nil, fmt.Errorf("%w: record %d site %d >= static count %d", ErrBadFormat, i, static, statics)
+		}
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d pc: %w", i, err)
+		}
+		pc := prevPC + uint64(unzigzag(delta))
+		prevPC = pc
+		recs = append(recs, Record{PC: pc, Static: uint32(static), Taken: v&1 != 0})
+	}
+	return NewMemory(string(nameBuf), int(statics), recs), nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

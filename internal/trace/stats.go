@@ -1,0 +1,47 @@
+package trace
+
+// Stats summarizes a branch trace: the quantities the paper's Table 2
+// reports per benchmark, plus the taken rate.
+type Stats struct {
+	// Name is the workload name.
+	Name string
+	// StaticBranches is the number of distinct static branch sites that
+	// actually appeared in the stream (Table 2, "static conditional
+	// branches").
+	StaticBranches int
+	// DynamicBranches is the number of dynamic conditional branches
+	// (Table 2, "dynamic conditional branches").
+	DynamicBranches int
+	// Taken is the number of dynamic branches that were taken.
+	Taken int
+}
+
+// TakenRate returns the fraction of dynamic branches that were taken.
+func (s Stats) TakenRate() float64 {
+	if s.DynamicBranches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.DynamicBranches)
+}
+
+// Collect runs a fresh stream of src to completion and gathers statistics.
+func Collect(src Source) Stats {
+	seen := make([]bool, src.StaticCount())
+	s := Stats{Name: src.Name()}
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		s.DynamicBranches++
+		if r.Taken {
+			s.Taken++
+		}
+		if int(r.Static) < len(seen) && !seen[r.Static] {
+			seen[r.Static] = true
+			s.StaticBranches++
+		}
+	}
+	return s
+}

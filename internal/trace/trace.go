@@ -1,0 +1,110 @@
+// Package trace defines the branch-trace representation shared by the
+// workload generators, the simulator, and the analysis tooling, together
+// with a compact binary on-disk format.
+//
+// The paper's traces (IBS-Ultrix hardware-monitor traces and SPEC CINT95
+// ATOM traces) record, per dynamic conditional branch, the branch address
+// and its outcome; that is exactly what a Record carries. Branch sites
+// additionally carry a stable dense identifier so the Section 4 analysis
+// can attribute substreams to static branches without hashing PCs.
+package trace
+
+// Record is one dynamic conditional branch.
+type Record struct {
+	// PC is the branch instruction address. Word-aligned; bit 63 may carry
+	// the backward-branch flag consumed by the static BTFN predictor (see
+	// baselines.BackwardBit) and is masked off by table indexing because
+	// indices use low bits only.
+	PC uint64
+	// Static is the dense identifier of the static branch site this
+	// dynamic branch belongs to, in [0, trace's StaticCount).
+	Static uint32
+	// Taken is the resolved branch direction.
+	Taken bool
+}
+
+// Stream is a source of dynamic branches. Implementations are single-use
+// and not safe for concurrent use; obtain a fresh Stream per simulation
+// from a Source.
+type Stream interface {
+	// Next returns the next dynamic branch. ok is false when the stream is
+	// exhausted.
+	Next() (rec Record, ok bool)
+}
+
+// Source produces identical fresh Streams on demand, allowing the
+// multi-pass analyses (Figures 7-8) and parallel sweeps to replay one
+// workload many times.
+type Source interface {
+	// Name identifies the workload, e.g. "gcc".
+	Name() string
+	// StaticCount returns the number of static branch sites that can
+	// appear in the stream (the bound on Record.Static).
+	StaticCount() int
+	// Stream returns a fresh stream positioned at the first branch. The
+	// stream contents are identical on every call.
+	Stream() Stream
+}
+
+// SliceStream adapts an in-memory record slice to the Stream interface.
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream returns a Stream over recs.
+func NewSliceStream(recs []Record) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Memory is an in-memory Source: a named, fully materialized trace.
+type Memory struct {
+	name    string
+	statics int
+	recs    []Record
+}
+
+// NewMemory returns an in-memory Source over recs. statics must bound
+// every Record.Static.
+func NewMemory(name string, statics int, recs []Record) *Memory {
+	return &Memory{name: name, statics: statics, recs: recs}
+}
+
+// Name implements Source.
+func (m *Memory) Name() string { return m.name }
+
+// StaticCount implements Source.
+func (m *Memory) StaticCount() int { return m.statics }
+
+// Stream implements Source.
+func (m *Memory) Stream() Stream { return NewSliceStream(m.recs) }
+
+// Len returns the number of dynamic branches in the trace.
+func (m *Memory) Len() int { return len(m.recs) }
+
+// Records exposes the underlying records; callers must not mutate them.
+func (m *Memory) Records() []Record { return m.recs }
+
+// Materialize drains a Source into an in-memory trace, which is cheaper to
+// replay than regenerating. Traces at this repository's default scale
+// (2M branches x 16 bytes) fit comfortably in memory.
+func Materialize(src Source) *Memory {
+	recs := make([]Record, 0, 1<<20)
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	return NewMemory(src.Name(), src.StaticCount(), recs)
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Record {
+	return []Record{
+		{PC: 0x1000, Static: 0, Taken: true},
+		{PC: 0x1008, Static: 1, Taken: false},
+		{PC: 0x1000, Static: 0, Taken: true},
+		{PC: 1 << 63, Static: 2, Taken: false}, // backward-bit PC
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	st := NewSliceStream(sample())
+	var got []Record
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 4 || got[0].PC != 0x1000 || got[3].Static != 2 {
+		t.Fatalf("stream replay wrong: %+v", got)
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatalf("exhausted stream must keep returning ok=false")
+	}
+}
+
+func TestMemorySource(t *testing.T) {
+	m := NewMemory("demo", 3, sample())
+	if m.Name() != "demo" || m.StaticCount() != 3 || m.Len() != 4 {
+		t.Fatalf("memory metadata wrong")
+	}
+	// Two streams must be identical and independent.
+	s1, s2 := m.Stream(), m.Stream()
+	r1, _ := s1.Next()
+	r1b, _ := s1.Next()
+	r2, _ := s2.Next()
+	if r1 != r2 || r1b == r2 {
+		t.Fatalf("streams must be independent replays")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	m := NewMemory("demo", 3, sample())
+	m2 := Materialize(m)
+	if m2.Len() != m.Len() || m2.Name() != "demo" {
+		t.Fatalf("materialize must preserve contents")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	s := Collect(NewMemory("demo", 3, sample()))
+	if s.DynamicBranches != 4 || s.StaticBranches != 3 || s.Taken != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TakenRate() != 0.5 {
+		t.Fatalf("taken rate = %v", s.TakenRate())
+	}
+	if (Stats{}).TakenRate() != 0 {
+		t.Fatalf("empty stats taken rate must be 0")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := NewMemory("demo-trace", 3, sample())
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "demo-trace" || got.StaticCount() != 3 || got.Len() != 4 {
+		t.Fatalf("roundtrip metadata wrong: %s %d %d", got.Name(), got.StaticCount(), got.Len())
+	}
+	for i, r := range got.Records() {
+		if r != m.Records()[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, r, m.Records()[i])
+		}
+	}
+}
+
+// TestRoundTripProperty: arbitrary record sequences survive the binary
+// format bit-for-bit.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint32, takens []bool) bool {
+		n := len(pcs)
+		if len(takens) < n {
+			n = len(takens)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{PC: uint64(pcs[i]), Static: uint32(i), Taken: takens[i]}
+		}
+		statics := n
+		if statics == 0 {
+			statics = 1
+		}
+		m := NewMemory("prop", statics, recs)
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != n {
+			return false
+		}
+		for i, r := range got.Records() {
+			if r != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Fatalf("bad magic must fail")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	m := NewMemory("x", 2, sample())
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatalf("truncated trace must fail")
+	}
+	if _, err := Read(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatalf("truncated header must fail")
+	}
+}
+
+func TestReadRejectsOutOfRangeStatic(t *testing.T) {
+	// statics declared as 1 but a record references site 2.
+	m := NewMemory("x", 1, []Record{{PC: 4, Static: 2, Taken: true}})
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatalf("static id out of declared range must fail")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 12345, -12345, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag roundtrip of %d gave %d", v, got)
+		}
+	}
+}

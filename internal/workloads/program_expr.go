@@ -1,0 +1,207 @@
+package workloads
+
+// runExpr is an instrumented compiler front end in miniature: it
+// tokenizes, parses (recursive descent with precedence climbing) and
+// evaluates randomly generated arithmetic/comparison expressions over a
+// small variable environment. Token-dispatch and precedence branches give
+// the highly correlated if-then-else structure typical of gcc-style code.
+
+type exprToken struct {
+	kind byte // 'n' number, 'v' variable, or the operator/paren character
+	val  int64
+	name byte
+}
+
+type exprState struct {
+	t    *Tracer
+	toks []exprToken
+	pos  int
+	vars [8]int64
+
+	// branch sites
+	lexLoop, lexDigit, lexAlpha, lexSpace Site
+	atEnd, isNum, isVar, isParen, isNeg   Site
+	precLoop, precMul, precCmp            Site
+	divZero, cmpTrue                      Site
+}
+
+func runExpr(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+	s := &exprState{t: t}
+	s.lexLoop = t.Site("expr.lex.loop", true)
+	s.lexDigit = t.Site("expr.lex.digit", false)
+	s.lexAlpha = t.Site("expr.lex.alpha", false)
+	s.lexSpace = t.Site("expr.lex.space", false)
+	s.atEnd = t.Site("expr.parse.atEnd", false)
+	s.isNum = t.Site("expr.parse.isNum", false)
+	s.isVar = t.Site("expr.parse.isVar", false)
+	s.isParen = t.Site("expr.parse.isParen", false)
+	s.isNeg = t.Site("expr.parse.isNeg", false)
+	s.precLoop = t.Site("expr.parse.precLoop", true)
+	s.precMul = t.Site("expr.parse.precMul", false)
+	s.precCmp = t.Site("expr.parse.precCmp", false)
+	s.divZero = t.Site("expr.eval.divZero", false)
+	s.cmpTrue = t.Site("expr.eval.cmpTrue", false)
+
+	for round := 0; round < 256 && !t.Full(); round++ {
+		src := genExpr(rng, 0)
+		s.lex(src)
+		s.pos = 0
+		for i := range s.vars {
+			s.vars[i] = int64(rng.Intn(100) - 50)
+		}
+		s.parseExpr(0)
+	}
+}
+
+// genExpr emits a random expression string with nested parens.
+func genExpr(rng *ProgramRNG, depth int) []byte {
+	var out []byte
+	var term func(d int)
+	term = func(d int) {
+		switch {
+		case d < 3 && rng.Bool(0.3):
+			out = append(out, '(')
+			term(d + 1)
+			ops := []byte{'+', '-', '*', '/', '<', '>'}
+			out = append(out, ops[rng.Intn(len(ops))])
+			term(d + 1)
+			out = append(out, ')')
+		case rng.Bool(0.5):
+			out = append(out, byte('a'+rng.Intn(8)))
+		default:
+			n := rng.Intn(1000)
+			if n == 0 {
+				n = 7
+			}
+			for _, c := range []byte{byte('0' + n/100), byte('0' + n/10%10), byte('0' + n%10)} {
+				out = append(out, c)
+			}
+		}
+	}
+	term(depth)
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		ops := []byte{'+', '-', '*', '/', '<', '>'}
+		out = append(out, ' ', ops[rng.Intn(len(ops))], ' ')
+		term(depth)
+	}
+	return out
+}
+
+func (s *exprState) lex(src []byte) {
+	s.toks = s.toks[:0]
+	i := 0
+	for s.lexLoop.Taken(i < len(src)) {
+		c := src[i]
+		if s.lexSpace.Taken(c == ' ') {
+			i++
+			continue
+		}
+		if s.lexDigit.Taken(c >= '0' && c <= '9') {
+			v := int64(0)
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				v = v*10 + int64(src[i]-'0')
+				i++
+			}
+			s.toks = append(s.toks, exprToken{kind: 'n', val: v})
+			continue
+		}
+		if s.lexAlpha.Taken(c >= 'a' && c <= 'h') {
+			s.toks = append(s.toks, exprToken{kind: 'v', name: c})
+			i++
+			continue
+		}
+		s.toks = append(s.toks, exprToken{kind: c})
+		i++
+	}
+}
+
+func (s *exprState) peek() byte {
+	if s.pos >= len(s.toks) {
+		return 0
+	}
+	return s.toks[s.pos].kind
+}
+
+// prec returns operator binding power; 0 means not an operator.
+func prec(op byte) int {
+	switch op {
+	case '<', '>':
+		return 1
+	case '+', '-':
+		return 2
+	case '*', '/':
+		return 3
+	}
+	return 0
+}
+
+// parseExpr is precedence-climbing parse+eval fused, as a one-pass
+// interpreter would do it.
+func (s *exprState) parseExpr(minPrec int) int64 {
+	lhs := s.parsePrimary()
+	for {
+		op := s.peek()
+		p := prec(op)
+		if !s.precLoop.Taken(p != 0 && p >= minPrec) {
+			return lhs
+		}
+		s.pos++
+		rhs := s.parseExpr(p + 1)
+		if s.precMul.Taken(op == '*' || op == '/') {
+			if op == '*' {
+				lhs *= rhs
+			} else if s.divZero.Taken(rhs == 0) {
+				lhs = 0
+			} else {
+				lhs /= rhs
+			}
+		} else if s.precCmp.Taken(op == '<' || op == '>') {
+			var res bool
+			if op == '<' {
+				res = lhs < rhs
+			} else {
+				res = lhs > rhs
+			}
+			if s.cmpTrue.Taken(res) {
+				lhs = 1
+			} else {
+				lhs = 0
+			}
+		} else if op == '+' {
+			lhs += rhs
+		} else {
+			lhs -= rhs
+		}
+	}
+}
+
+func (s *exprState) parsePrimary() int64 {
+	if s.atEnd.Taken(s.pos >= len(s.toks)) {
+		return 0
+	}
+	tok := s.toks[s.pos]
+	if s.isNum.Taken(tok.kind == 'n') {
+		s.pos++
+		return tok.val
+	}
+	if s.isVar.Taken(tok.kind == 'v') {
+		s.pos++
+		return s.vars[tok.name-'a']
+	}
+	if s.isParen.Taken(tok.kind == '(') {
+		s.pos++
+		v := s.parseExpr(1)
+		if s.pos < len(s.toks) && s.toks[s.pos].kind == ')' {
+			s.pos++
+		}
+		return v
+	}
+	if s.isNeg.Taken(tok.kind == '-') {
+		s.pos++
+		return -s.parsePrimary()
+	}
+	s.pos++
+	return 0
+}

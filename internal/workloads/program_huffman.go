@@ -1,0 +1,131 @@
+package workloads
+
+// runHuffman is an instrumented Huffman coder: it builds a frequency-
+// sorted code tree over generated text (heap operations, tree walks) and
+// then encodes and decodes the text bit by bit. Tree-descent branches
+// follow the source's symbol distribution — biased but data-dependent —
+// while the heap maintenance branches mirror sortbench's comparisons.
+func runHuffman(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+
+	heapLoop := t.Site("huff.heap.loop", true)
+	heapLess := t.Site("huff.heap.less", false)
+	buildLoop := t.Site("huff.build.loop", true)
+	walkLeft := t.Site("huff.walk.left", false)
+	walkLeaf := t.Site("huff.walk.leaf", false)
+	encLoop := t.Site("huff.enc.loop", true)
+	decLoop := t.Site("huff.dec.loop", true)
+	decBit := t.Site("huff.dec.bit", false)
+
+	const nsym = 24
+	type node struct {
+		freq        int
+		sym         int
+		left, right int // indices; -1 for leaves
+	}
+
+	for round := 0; round < 64 && !t.Full(); round++ {
+		// Skewed symbol frequencies (Zipf-ish), plus noise.
+		text := make([]int, 2048)
+		for i := range text {
+			s := 0
+			for s < nsym-1 && rng.Bool(0.6) {
+				s++
+			}
+			text[i] = s
+		}
+		freq := make([]int, nsym)
+		for _, s := range text {
+			freq[s]++
+		}
+
+		// Build the tree with a hand-rolled min-heap of node indices.
+		nodes := make([]node, 0, 2*nsym)
+		heap := make([]int, 0, nsym)
+		siftUp := func(i int) {
+			for i > 0 {
+				parent := (i - 1) / 2
+				if !heapLess.Taken(nodes[heap[i]].freq < nodes[heap[parent]].freq) {
+					return
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+		}
+		siftDown := func(i int) {
+			for {
+				c := 2*i + 1
+				if !heapLoop.Taken(c < len(heap)) {
+					return
+				}
+				if c+1 < len(heap) && nodes[heap[c+1]].freq < nodes[heap[c]].freq {
+					c++
+				}
+				if nodes[heap[c]].freq >= nodes[heap[i]].freq {
+					return
+				}
+				heap[i], heap[c] = heap[c], heap[i]
+				i = c
+			}
+		}
+		for s := 0; s < nsym; s++ {
+			nodes = append(nodes, node{freq: freq[s] + 1, sym: s, left: -1, right: -1})
+			heap = append(heap, s)
+			siftUp(len(heap) - 1)
+		}
+		for buildLoop.Taken(len(heap) > 1) {
+			a := heap[0]
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			siftDown(0)
+			b := heap[0]
+			nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, left: a, right: b})
+			heap[0] = len(nodes) - 1
+			siftDown(0)
+		}
+		root := heap[0]
+
+		// Derive codes by walking the tree.
+		codes := make([][]byte, nsym)
+		var walk func(n int, prefix []byte)
+		walk = func(n int, prefix []byte) {
+			if walkLeaf.Taken(nodes[n].left < 0) {
+				codes[nodes[n].sym] = append([]byte(nil), prefix...)
+				return
+			}
+			if walkLeft.Taken(len(prefix)%2 == 0) {
+				walk(nodes[n].left, append(prefix, 0))
+				walk(nodes[n].right, append(prefix, 1))
+			} else {
+				walk(nodes[n].right, append(prefix, 1))
+				walk(nodes[n].left, append(prefix, 0))
+			}
+		}
+		walk(root, nil)
+
+		// Encode, then decode and spot-check.
+		var bits []byte
+		for i := 0; encLoop.Taken(i < len(text)); i++ {
+			bits = append(bits, codes[text[i]]...)
+			if t.Full() {
+				return
+			}
+		}
+		pos, decoded := 0, 0
+		for decLoop.Taken(pos < len(bits) && decoded < len(text)) {
+			n := root
+			for nodes[n].left >= 0 && pos < len(bits) {
+				if decBit.Taken(bits[pos] == 1) {
+					n = nodes[n].right
+				} else {
+					n = nodes[n].left
+				}
+				pos++
+			}
+			decoded++
+			if t.Full() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+// runLisp is an instrumented list interpreter in the spirit of xlisp:
+// it evaluates generated programs over cons cells with an
+// association-list environment. Type-dispatch, environment-walk and
+// recursion-depth branches dominate, with the strongly repetitive
+// structure interpreters exhibit.
+
+type lispCell struct {
+	atom bool
+	num  int64
+	sym  byte
+	car  *lispCell
+	cdr  *lispCell
+}
+
+type lispState struct {
+	t   *Tracer
+	env []struct {
+		sym byte
+		val int64
+	}
+
+	evalAtom, evalNum, evalSym Site
+	envLoop, envHit            Site
+	opDispatch, opIf, opAdd    Site
+	ifTrue                     Site
+	listLoop                   Site
+	depthGuard                 Site
+}
+
+func runLisp(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+	s := &lispState{t: t}
+	s.evalAtom = t.Site("lisp.eval.atom", false)
+	s.evalNum = t.Site("lisp.eval.num", false)
+	s.evalSym = t.Site("lisp.eval.sym", false)
+	s.envLoop = t.Site("lisp.env.loop", true)
+	s.envHit = t.Site("lisp.env.hit", false)
+	s.opDispatch = t.Site("lisp.op.dispatch", false)
+	s.opIf = t.Site("lisp.op.if", false)
+	s.opAdd = t.Site("lisp.op.add", false)
+	s.ifTrue = t.Site("lisp.if.true", false)
+	s.listLoop = t.Site("lisp.list.loop", true)
+	s.depthGuard = t.Site("lisp.depth.guard", false)
+
+	for round := 0; round < 512 && !t.Full(); round++ {
+		// Fresh environment of 6 bindings.
+		s.env = s.env[:0]
+		for i := 0; i < 6; i++ {
+			s.env = append(s.env, struct {
+				sym byte
+				val int64
+			}{sym: byte('a' + i), val: int64(rng.Intn(20) - 10)})
+		}
+		prog := genLisp(rng, 0)
+		s.eval(prog, 0)
+	}
+}
+
+// genLisp builds a random expression tree: (op arg arg ...) forms with
+// if/+/*/sum-list operators, numbers and symbols at the leaves.
+func genLisp(rng *ProgramRNG, depth int) *lispCell {
+	if depth >= 4 || rng.Bool(0.35) {
+		if rng.Bool(0.5) {
+			return &lispCell{atom: true, num: int64(rng.Intn(40) - 20)}
+		}
+		return &lispCell{atom: true, sym: byte('a' + rng.Intn(6)), num: -1}
+	}
+	ops := []byte{'+', '*', '?', 'l'} // ? = if, l = list-sum
+	op := ops[rng.Intn(len(ops))]
+	head := &lispCell{atom: true, sym: op, num: -2}
+	n := 2 + rng.Intn(3)
+	if op == '?' {
+		n = 3
+	}
+	cells := []*lispCell{head}
+	for i := 0; i < n; i++ {
+		cells = append(cells, genLisp(rng, depth+1))
+	}
+	// Build the cons chain.
+	var list *lispCell
+	for i := len(cells) - 1; i >= 0; i-- {
+		list = &lispCell{car: cells[i], cdr: list}
+	}
+	return list
+}
+
+func (s *lispState) lookup(sym byte) int64 {
+	for i := 0; s.envLoop.Taken(i < len(s.env)); i++ {
+		if s.envHit.Taken(s.env[i].sym == sym) {
+			return s.env[i].val
+		}
+	}
+	return 0
+}
+
+func (s *lispState) eval(c *lispCell, depth int) int64 {
+	if s.depthGuard.Taken(depth > 32 || c == nil) {
+		return 0
+	}
+	if s.evalAtom.Taken(c.atom) {
+		if s.evalNum.Taken(c.num != -1 || c.sym == 0) {
+			return c.num
+		}
+		if s.evalSym.Taken(c.sym >= 'a' && c.sym <= 'f') {
+			return s.lookup(c.sym)
+		}
+		return 0
+	}
+	// Application form: car is the operator atom.
+	op := c.car
+	if op == nil || !op.atom {
+		return s.eval(op, depth+1)
+	}
+	if s.opDispatch.Taken(op.num == -2) {
+		switch {
+		case s.opIf.Taken(op.sym == '?'):
+			cond := s.eval(argN(c, 1), depth+1)
+			if s.ifTrue.Taken(cond > 0) {
+				return s.eval(argN(c, 2), depth+1)
+			}
+			return s.eval(argN(c, 3), depth+1)
+		case s.opAdd.Taken(op.sym == '+'):
+			sum := int64(0)
+			for a := c.cdr; s.listLoop.Taken(a != nil); a = a.cdr {
+				sum += s.eval(a.car, depth+1)
+			}
+			return sum
+		case op.sym == '*':
+			prod := int64(1)
+			for a := c.cdr; s.listLoop.Taken(a != nil); a = a.cdr {
+				prod *= s.eval(a.car, depth+1)
+				if prod > 1<<20 || prod < -(1<<20) {
+					prod %= 9973
+				}
+			}
+			return prod
+		default: // 'l': sum of evaluated list with guard
+			sum := int64(0)
+			for a := c.cdr; s.listLoop.Taken(a != nil); a = a.cdr {
+				v := s.eval(a.car, depth+1)
+				if v > 0 {
+					sum += v
+				} else {
+					sum -= v
+				}
+			}
+			return sum
+		}
+	}
+	return 0
+}
+
+// argN returns the nth element of an application form (0 = operator).
+func argN(c *lispCell, n int) *lispCell {
+	for i := 0; i < n && c != nil; i++ {
+		c = c.cdr
+	}
+	if c == nil {
+		return nil
+	}
+	return c.car
+}

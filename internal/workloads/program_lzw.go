@@ -1,0 +1,103 @@
+package workloads
+
+// runLZW is an instrumented LZW compressor in the spirit of SPEC's
+// compress: it compresses Markov-generated text through a hand-rolled
+// open-addressing dictionary, emitting real branch decisions for hash
+// probing, dictionary hits, code-width growth, and the text generator's
+// own character-class logic.
+func runLZW(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+
+	// Branch sites, declared up front so ids are stable across rounds.
+	genSpace := t.Site("lzw.gen.space", false)
+	genUpper := t.Site("lzw.gen.upper", false)
+	scanLoop := t.Site("lzw.scan.loop", true)
+	probeLoop := t.Site("lzw.probe.loop", true)
+	probeHit := t.Site("lzw.probe.hit", false)
+	probeEmpty := t.Site("lzw.probe.empty", false)
+	dictFull := t.Site("lzw.dict.full", false)
+	widthGrow := t.Site("lzw.width.grow", false)
+	flushCheck := t.Site("lzw.flush", false)
+
+	// Markov-ish text: word lengths and letter frequencies give the
+	// compressor realistic repetition to find.
+	text := make([]byte, 8192)
+	wordLen := 0
+	for i := range text {
+		if genSpace.Taken(wordLen > 2 && rng.Bool(0.25)) {
+			text[i] = ' '
+			wordLen = 0
+			continue
+		}
+		wordLen++
+		c := byte('a' + rng.Intn(16)) // skewed small alphabet
+		if genUpper.Taken(wordLen == 1 && rng.Bool(0.12)) {
+			c -= 'a' - 'A'
+		}
+		text[i] = c
+	}
+
+	const (
+		tableSize = 1 << 12
+		maxCodes  = 1 << 11
+	)
+	type entry struct {
+		prefix int32
+		ch     byte
+		code   int32
+	}
+	table := make([]entry, tableSize)
+	for i := range table {
+		table[i].code = -1
+	}
+	nextCode := int32(256)
+	codeWidth := 9
+	outputBits := 0
+
+	hash := func(prefix int32, ch byte) int {
+		return int((uint32(prefix)*31 + uint32(ch)) & (tableSize - 1))
+	}
+
+	prefix := int32(text[0])
+	for i := 1; scanLoop.Taken(i < len(text)); i++ {
+		if t.Full() {
+			return
+		}
+		ch := text[i]
+		h := hash(prefix, ch)
+		found := int32(-1)
+		for probes := 0; probeLoop.Taken(probes < tableSize); probes++ {
+			e := table[h]
+			if probeEmpty.Taken(e.code < 0) {
+				break
+			}
+			if probeHit.Taken(e.prefix == prefix && e.ch == ch) {
+				found = e.code
+				break
+			}
+			h = (h + 1) & (tableSize - 1)
+		}
+		if found >= 0 {
+			prefix = found
+			continue
+		}
+		// Emit code for prefix, add (prefix, ch) to dictionary.
+		outputBits += codeWidth
+		if !dictFull.Taken(nextCode >= maxCodes) {
+			table[h] = entry{prefix: prefix, ch: ch, code: nextCode}
+			if widthGrow.Taken(nextCode == 1<<uint(codeWidth)-1) {
+				codeWidth++
+			}
+			nextCode++
+		} else if flushCheck.Taken(outputBits > 1<<16) {
+			// Dictionary flush, as compress does when ratio degrades.
+			for j := range table {
+				table[j].code = -1
+			}
+			nextCode = 256
+			codeWidth = 9
+			outputBits = 0
+		}
+		prefix = int32(ch)
+	}
+}

@@ -1,0 +1,130 @@
+package workloads
+
+// runPlayout is an instrumented game-playout kernel in the spirit of the
+// go benchmark: random playouts on a small board with legality checks,
+// neighbor-pattern heuristics and capture detection. Move-choice branches
+// depend on evolving board state and are intrinsically weakly biased,
+// reproducing why go is the paper's hardest benchmark.
+
+const playoutSize = 11 // board is playoutSize x playoutSize
+
+type playoutState struct {
+	t     *Tracer
+	board [playoutSize * playoutSize]int8 // 0 empty, 1 black, 2 white
+
+	moveLoop, cellEmpty, heurNeighbor, heurEdge Site
+	tryCapture, captureHit, libLoop, libFound   Site
+	passCheck, gameLoop                         Site
+}
+
+func runPlayout(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+	s := &playoutState{t: t}
+	s.moveLoop = t.Site("playout.move.loop", true)
+	s.cellEmpty = t.Site("playout.cell.empty", false)
+	s.heurNeighbor = t.Site("playout.heur.neighbor", false)
+	s.heurEdge = t.Site("playout.heur.edge", false)
+	s.tryCapture = t.Site("playout.try.capture", false)
+	s.captureHit = t.Site("playout.capture.hit", false)
+	s.libLoop = t.Site("playout.lib.loop", true)
+	s.libFound = t.Site("playout.lib.found", false)
+	s.passCheck = t.Site("playout.pass", false)
+	s.gameLoop = t.Site("playout.game.loop", true)
+
+	for game := 0; game < 64 && !t.Full(); game++ {
+		for i := range s.board {
+			s.board[i] = 0
+		}
+		color := int8(1)
+		passes := 0
+		for move := 0; s.gameLoop.Taken(move < 200 && passes < 2); move++ {
+			if s.playMove(rng, color) {
+				passes = 0
+			} else {
+				passes++
+			}
+			if s.passCheck.Taken(passes >= 2) {
+				break
+			}
+			color = 3 - color
+		}
+	}
+}
+
+// playMove tries up to 16 random cells, applying pattern heuristics, and
+// plays the first acceptable one. Returns false on pass.
+func (s *playoutState) playMove(rng *ProgramRNG, color int8) bool {
+	for try := 0; s.moveLoop.Taken(try < 16); try++ {
+		idx := rng.Intn(len(s.board))
+		if !s.cellEmpty.Taken(s.board[idx] == 0) {
+			continue
+		}
+		x, y := idx%playoutSize, idx/playoutSize
+		// Heuristic: prefer cells adjacent to friendly stones...
+		friendly := s.countNeighbors(x, y, color)
+		if s.heurNeighbor.Taken(friendly >= 3) {
+			continue // avoid filling own eyes
+		}
+		// ...and avoid the first line unless contact.
+		onEdge := x == 0 || y == 0 || x == playoutSize-1 || y == playoutSize-1
+		if s.heurEdge.Taken(onEdge && friendly == 0 && rng.Bool(0.7)) {
+			continue
+		}
+		s.board[idx] = color
+		// Capture check on enemy neighbors.
+		enemy := 3 - color
+		if s.tryCapture.Taken(s.countNeighbors(x, y, enemy) > 0) {
+			s.captureAround(x, y, enemy)
+		}
+		return true
+	}
+	return false
+}
+
+func (s *playoutState) countNeighbors(x, y int, color int8) int {
+	n := 0
+	for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		nx, ny := x+d[0], y+d[1]
+		if nx < 0 || ny < 0 || nx >= playoutSize || ny >= playoutSize {
+			continue
+		}
+		if s.board[ny*playoutSize+nx] == color {
+			n++
+		}
+	}
+	return n
+}
+
+// captureAround removes adjacent enemy stones that have no liberties in a
+// small flood-filled region (a cheap approximation of real capture).
+func (s *playoutState) captureAround(x, y int, enemy int8) {
+	for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		nx, ny := x+d[0], y+d[1]
+		if nx < 0 || ny < 0 || nx >= playoutSize || ny >= playoutSize {
+			continue
+		}
+		idx := ny*playoutSize + nx
+		if s.board[idx] != enemy {
+			continue
+		}
+		if s.captureHit.Taken(!s.hasLiberty(nx, ny)) {
+			s.board[idx] = 0
+		}
+	}
+}
+
+// hasLiberty scans the stone's 8-neighborhood for an empty cell.
+func (s *playoutState) hasLiberty(x, y int) bool {
+	for dy := -1; s.libLoop.Taken(dy <= 1); dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := x+dx, y+dy
+			if nx < 0 || ny < 0 || nx >= playoutSize || ny >= playoutSize {
+				continue
+			}
+			if s.libFound.Taken(s.board[ny*playoutSize+nx] == 0) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package workloads
+
+// runRegex is an instrumented backtracking pattern matcher (a tiny glob/
+// regex engine supporting literals, '.', '*', and character classes) run
+// over generated text. Matcher branches are deeply input-correlated:
+// the same pattern positions succeed or fail depending on recent text,
+// the structure that gives grep-like codes their branch behavior.
+
+type rxNode struct {
+	kind byte // 'c' literal, '.' any, '[' class, '*' star (wraps prev)
+	ch   byte
+	set  [8]uint32 // class bitmap
+	sub  int       // for '*': index of the repeated node
+}
+
+type rxState struct {
+	t     *Tracer
+	prog  []rxNode
+	text  []byte
+	depth int
+
+	matchLoop, litHit, anyHit, classHit Site
+	starTry, starBack                   Site
+	scanLoop, found                     Site
+	depthGuard                          Site
+}
+
+func runRegex(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+	s := &rxState{t: t}
+	s.matchLoop = t.Site("regex.match.loop", true)
+	s.litHit = t.Site("regex.lit.hit", false)
+	s.anyHit = t.Site("regex.any.hit", false)
+	s.classHit = t.Site("regex.class.hit", false)
+	s.starTry = t.Site("regex.star.try", false)
+	s.starBack = t.Site("regex.star.back", true)
+	s.scanLoop = t.Site("regex.scan.loop", true)
+	s.found = t.Site("regex.found", false)
+	s.depthGuard = t.Site("regex.depth.guard", false)
+
+	alphabet := []byte("abcdef")
+	for round := 0; round < 128 && !t.Full(); round++ {
+		// Generate text with embedded repeats so patterns sometimes match.
+		s.text = s.text[:0]
+		for len(s.text) < 512 {
+			if rng.Bool(0.3) {
+				s.text = append(s.text, 'a', 'b', 'c')
+			} else {
+				s.text = append(s.text, alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		// Generate a small pattern.
+		s.prog = s.prog[:0]
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			switch {
+			case rng.Bool(0.2):
+				s.prog = append(s.prog, rxNode{kind: '.'})
+			case rng.Bool(0.25):
+				var node rxNode
+				node.kind = '['
+				for k := 0; k < 2+rng.Intn(3); k++ {
+					c := alphabet[rng.Intn(len(alphabet))]
+					node.set[c>>5] |= 1 << (c & 31)
+				}
+				s.prog = append(s.prog, node)
+			default:
+				s.prog = append(s.prog, rxNode{kind: 'c', ch: alphabet[rng.Intn(len(alphabet))]})
+			}
+			// Star-wrap the node occasionally.
+			if rng.Bool(0.25) && len(s.prog) > 0 {
+				s.prog = append(s.prog, rxNode{kind: '*', sub: len(s.prog) - 1})
+			}
+		}
+
+		// Scan: try to match at every text position.
+		for pos := 0; s.scanLoop.Taken(pos < len(s.text)); pos++ {
+			s.depth = 0
+			if s.found.Taken(s.match(0, pos)) {
+				pos += 2 // skip ahead after a hit, as grep -o would
+			}
+			if t.Full() {
+				return
+			}
+		}
+	}
+}
+
+// match reports whether prog[pi:] matches text starting at ti, with
+// backtracking for stars.
+func (s *rxState) match(pi, ti int) bool {
+	if s.depthGuard.Taken(s.depth > 64) {
+		return false
+	}
+	s.depth++
+	defer func() { s.depth-- }()
+
+	for s.matchLoop.Taken(pi < len(s.prog)) {
+		node := s.prog[pi]
+		// A star node consumed greedily with backtracking.
+		if pi+1 < len(s.prog) && s.prog[pi+1].kind == '*' {
+			star := s.prog[pi+1]
+			// Count maximal run of the starred node.
+			run := 0
+			for ti+run < len(s.text) && s.single(s.prog[star.sub], s.text[ti+run]) {
+				run++
+			}
+			if s.starTry.Taken(run > 0) {
+				for k := run; s.starBack.Taken(k >= 0); k-- {
+					if s.match(pi+2, ti+k) {
+						return true
+					}
+				}
+				return false
+			}
+			pi += 2
+			continue
+		}
+		if node.kind == '*' { // orphan star (pattern generator artifact): skip
+			pi++
+			continue
+		}
+		if ti >= len(s.text) || !s.single(node, s.text[ti]) {
+			return false
+		}
+		pi++
+		ti++
+	}
+	return true
+}
+
+// single matches one node against one byte, recording the class-specific
+// branch sites.
+func (s *rxState) single(n rxNode, c byte) bool {
+	switch n.kind {
+	case 'c':
+		return s.litHit.Taken(n.ch == c)
+	case '.':
+		return s.anyHit.Taken(true)
+	case '[':
+		return s.classHit.Taken(n.set[c>>5]&(1<<(c&31)) != 0)
+	default:
+		return false
+	}
+}

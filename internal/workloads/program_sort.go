@@ -1,0 +1,150 @@
+package workloads
+
+// runSort is an instrumented sorting and searching kernel: quicksort with
+// an insertion-sort cutoff, heapsort, and binary search over the sorted
+// result. Comparison branches on random data are the canonical weakly
+// biased (hard) branches; the loop and cutoff branches are strongly
+// biased, giving a natural mixed stream.
+
+type sortState struct {
+	t *Tracer
+
+	qsSmall, qsLess, qsSwap       Site
+	insLoop, insShift             Site
+	heapLoop, heapChild, heapLess Site
+	bsLoop, bsLess, bsFound       Site
+	outerLoop                     Site
+}
+
+func runSort(t *Tracer, seed uint64, _ int) {
+	rng := NewProgramRNG(seed)
+	s := &sortState{t: t}
+	s.qsSmall = t.Site("sort.qs.small", false)
+	s.qsLess = t.Site("sort.qs.less", false)
+	s.qsSwap = t.Site("sort.qs.swap", false)
+	s.insLoop = t.Site("sort.ins.loop", true)
+	s.insShift = t.Site("sort.ins.shift", false)
+	s.heapLoop = t.Site("sort.heap.loop", true)
+	s.heapChild = t.Site("sort.heap.child", false)
+	s.heapLess = t.Site("sort.heap.less", false)
+	s.bsLoop = t.Site("sort.bs.loop", true)
+	s.bsLess = t.Site("sort.bs.less", false)
+	s.bsFound = t.Site("sort.bs.found", false)
+	s.outerLoop = t.Site("sort.outer", true)
+
+	for round := 0; s.outerLoop.Taken(round < 64) && !t.Full(); round++ {
+		n := 256 + rng.Intn(256)
+		a := make([]int32, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(1 << 16))
+		}
+		b := make([]int32, n)
+		copy(b, a)
+
+		s.quicksort(a, 0, len(a)-1)
+		s.heapsort(b)
+
+		for q := 0; q < 64; q++ {
+			s.binarySearch(a, int32(rng.Intn(1<<16)))
+		}
+	}
+}
+
+func (s *sortState) quicksort(a []int32, lo, hi int) {
+	for lo < hi {
+		if s.qsSmall.Taken(hi-lo < 12) {
+			s.insertion(a, lo, hi)
+			return
+		}
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s.qsLess.Taken(a[i] < pivot) {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if s.qsSwap.Taken(i <= j) {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			s.quicksort(a, lo, j)
+			lo = i
+		} else {
+			s.quicksort(a, i, hi)
+			hi = j
+		}
+	}
+}
+
+func (s *sortState) insertion(a []int32, lo, hi int) {
+	for i := lo + 1; s.insLoop.Taken(i <= hi); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= lo && s.insShift.Taken(a[j] > v) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func (s *sortState) heapsort(a []int32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		s.sift(a, i, n)
+	}
+	for end := n - 1; s.heapLoop.Taken(end > 0); end-- {
+		a[0], a[end] = a[end], a[0]
+		s.sift(a, 0, end)
+	}
+}
+
+func (s *sortState) sift(a []int32, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if s.heapChild.Taken(child+1 < n && a[child+1] > a[child]) {
+			child++
+		}
+		if s.heapLess.Taken(a[root] >= a[child]) {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+func (s *sortState) binarySearch(a []int32, key int32) int {
+	lo, hi := 0, len(a)
+	for s.bsLoop.Taken(lo < hi) {
+		mid := (lo + hi) / 2
+		if s.bsFound.Taken(a[mid] == key) {
+			return mid
+		}
+		if s.bsLess.Taken(a[mid] < key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return -1
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+// Tracer records the branch decisions of an instrumented program. A
+// program declares each static branch site once (Site) and then routes
+// every dynamic decision through Site.Taken, which records the outcome and
+// passes the value through so instrumentation reads naturally:
+//
+//	if probe.Taken(key == want) { ... }
+type Tracer struct {
+	recs    []trace.Record
+	ids     map[string]uint32
+	pcs     []uint64
+	nextPC  uint64
+	limit   int
+	reached bool
+}
+
+// newTracer returns a tracer that stops a program politely once limit
+// records exist (programs poll Full between work units).
+func newTracer(limit int) *Tracer {
+	return &Tracer{ids: map[string]uint32{}, nextPC: 0x40000, limit: limit}
+}
+
+// Site declares (or looks up) a static branch site by name. backward
+// marks loop back-edges for the BTFN static predictor.
+type Site struct {
+	t        *Tracer
+	id       uint32
+	pc       uint64
+	backward bool
+}
+
+// Site returns the site registered under name, creating it on first use.
+// Sites get word-spaced synthetic PCs in registration order, clustered the
+// way a compiler lays out a function's branches.
+func (t *Tracer) Site(name string, backward bool) Site {
+	id, ok := t.ids[name]
+	if !ok {
+		id = uint32(len(t.pcs))
+		t.ids[name] = id
+		t.pcs = append(t.pcs, t.nextPC)
+		t.nextPC += 8
+		if len(t.pcs)%16 == 0 {
+			t.nextPC += 0x100 // new "function" cluster
+		}
+	}
+	pc := t.pcs[id]
+	if backward {
+		pc |= 1 << 63 // baselines.BackwardBit
+	}
+	return Site{t: t, id: id, pc: pc, backward: backward}
+}
+
+// Taken records the branch outcome and returns it, so the call can sit
+// directly inside an if condition.
+func (s Site) Taken(cond bool) bool {
+	t := s.t
+	t.recs = append(t.recs, trace.Record{PC: s.pc, Static: s.id, Taken: cond})
+	if len(t.recs) >= t.limit {
+		t.reached = true
+	}
+	return cond
+}
+
+// Full reports whether the tracer has collected its branch budget;
+// programs check it between work units and stop early.
+func (t *Tracer) Full() bool { return t.reached }
+
+// programSource adapts an instrumented program to trace.Source. The
+// program is run (over as many rounds as needed) at Stream time and the
+// records replayed; results are cached after the first run since the
+// program is deterministic.
+type programSource struct {
+	prog    program
+	dynamic int
+	seed    uint64
+	cached  *trace.Memory
+}
+
+func newProgramSource(p program, dynamic int, seed uint64) *programSource {
+	return &programSource{prog: p, dynamic: dynamic, seed: seed}
+}
+
+// Name implements trace.Source.
+func (ps *programSource) Name() string { return ps.prog.name }
+
+// StaticCount implements trace.Source.
+func (ps *programSource) StaticCount() int { return ps.materialize().StaticCount() }
+
+// Stream implements trace.Source.
+func (ps *programSource) Stream() trace.Stream { return ps.materialize().Stream() }
+
+func (ps *programSource) materialize() *trace.Memory {
+	if ps.cached != nil {
+		return ps.cached
+	}
+	t := newTracer(ps.dynamic)
+	for round := 0; !t.Full(); round++ {
+		before := len(t.recs)
+		ps.prog.run(t, ps.seed+uint64(round)*0x9E3779B9, round)
+		if len(t.recs) == before {
+			panic(fmt.Sprintf("workloads: program %s emitted no branches in round %d", ps.prog.name, round))
+		}
+	}
+	recs := t.recs
+	if len(recs) > ps.dynamic {
+		recs = recs[:ps.dynamic]
+	}
+	ps.cached = trace.NewMemory(ps.prog.name, len(ps.pcsOf(t)), recs)
+	return ps.cached
+}
+
+func (ps *programSource) pcsOf(t *Tracer) []uint64 { return t.pcs }
+
+// ProgramRNG is re-exported so program implementations share the
+// deterministic generator used everywhere else.
+type ProgramRNG = synth.RNG
+
+// NewProgramRNG seeds a deterministic generator for program inputs.
+func NewProgramRNG(seed uint64) *ProgramRNG { return synth.NewRNG(seed) }

@@ -1,0 +1,286 @@
+// Package zoo constructs predictors from compact spec strings, giving the
+// command-line tools and examples a uniform way to name any predictor in
+// the repository.
+//
+// Spec grammar: name[:key=val[,key=val...]]  — for example:
+//
+//	smith:a=12              Smith predictor, 2^12 counters
+//	gshare:i=12,h=12        single-PHT gshare (paper's gshare.1PHT)
+//	gshare:i=12,h=8         multi-PHT gshare (16 PHTs)
+//	gselect:a=6,h=6         gselect
+//	gag:h=12                GAg
+//	gas:h=10,s=2            GAs with 4 PHTs
+//	pag:b=10,h=10           PAg
+//	pas:b=10,h=8,s=2        PAs
+//	bimode:b=11             bi-mode, banks 2^11, defaults c=b, h=b
+//	bimode:c=10,b=11,h=9    bi-mode, fully spelled out
+//	trimode:b=10            tri-mode extension (third bank for WB branches)
+//	filter:i=12,h=12,f=10,m=32  PHT-interference filter [ChangEversPatt96]
+//	agree:i=12,h=12,b=10    agree predictor
+//	gskew:b=10,h=10         gskew (add p=1 for e-gskew partial update)
+//	yags:c=11,e=10,h=10,t=6 YAGS
+//	alpha:s=12              Alpha 21264-style tournament (PAs | GAg)
+//	loopgshare:i=12,l=8     gshare with a loop-termination side predictor
+//	taken | not-taken | btfn  static predictors
+package zoo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bimode/internal/baselines"
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+)
+
+// params holds parsed key=value options with presence tracking so unknown
+// and missing keys can be reported precisely.
+type params struct {
+	spec string
+	vals map[string]int
+	used map[string]bool
+}
+
+func parseParams(spec, opts string) (*params, error) {
+	p := &params{spec: spec, vals: map[string]int{}, used: map[string]bool{}}
+	if opts == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return nil, fmt.Errorf("zoo: %q: option %q is not key=value", spec, kv)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("zoo: %q: option %q: %v", spec, kv, err)
+		}
+		if _, dup := p.vals[key]; dup {
+			return nil, fmt.Errorf("zoo: %q: duplicate option %q", spec, key)
+		}
+		p.vals[key] = n
+	}
+	return p, nil
+}
+
+// get returns a required parameter.
+func (p *params) get(key string) (int, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return 0, fmt.Errorf("zoo: %q: missing required option %q", p.spec, key)
+	}
+	p.used[key] = true
+	return v, nil
+}
+
+// getDefault returns an optional parameter.
+func (p *params) getDefault(key string, def int) int {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	p.used[key] = true
+	return v
+}
+
+// leftover reports the first unconsumed option, if any.
+func (p *params) leftover() error {
+	for k := range p.vals {
+		if !p.used[k] {
+			return fmt.Errorf("zoo: %q: unknown option %q", p.spec, k)
+		}
+	}
+	return nil
+}
+
+// New builds a predictor from a spec string. Construction panics from
+// invalid widths are converted to errors.
+func New(spec string) (p predictor.Predictor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("zoo: %q: %v", spec, r)
+		}
+	}()
+
+	name, opts, _ := strings.Cut(spec, ":")
+	pr, perr := parseParams(spec, opts)
+	if perr != nil {
+		return nil, perr
+	}
+
+	switch name {
+	case "taken", "not-taken", "btfn":
+		p = baselines.NewStatic(name)
+	case "smith":
+		a, err := pr.get("a")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewSmith(a)
+	case "gshare":
+		i, err := pr.get("i")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewGshare(i, pr.getDefault("h", i))
+	case "gselect":
+		a, err := pr.get("a")
+		if err != nil {
+			return nil, err
+		}
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewGselect(a, h)
+	case "gag":
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewGAg(h)
+	case "gas":
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		s, err := pr.get("s")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewGAs(h, s)
+	case "pag":
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewPAg(b, h)
+	case "pas":
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		s, err := pr.get("s")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewPAs(b, h, s)
+	case "bimode":
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			ChoiceBits:  pr.getDefault("c", b),
+			BankBits:    b,
+			HistoryBits: pr.getDefault("h", b),
+		}
+		cfg.FullChoiceUpdate = pr.getDefault("fullchoice", 0) != 0
+		cfg.UpdateBothBanks = pr.getDefault("bothbanks", 0) != 0
+		bm, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p = bm
+	case "trimode":
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			ChoiceBits:  pr.getDefault("c", b),
+			BankBits:    b,
+			HistoryBits: pr.getDefault("h", b),
+		}
+		tm, err := core.NewTriMode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p = tm
+	case "filter":
+		i, err := pr.get("i")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewFilter(i, pr.getDefault("h", i), pr.getDefault("f", i-2), uint8(pr.getDefault("m", 32)))
+	case "agree":
+		i, err := pr.get("i")
+		if err != nil {
+			return nil, err
+		}
+		h := pr.getDefault("h", i)
+		p = baselines.NewAgree(i, h, pr.getDefault("b", i))
+	case "gskew":
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewGskew(b, pr.getDefault("h", b), pr.getDefault("p", 0) != 0)
+	case "alpha":
+		s, err := pr.get("s")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewAlpha21264Style(s)
+	case "loopgshare":
+		i, err := pr.get("i")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewWithLoopOverride(
+			baselines.NewGshare(i, pr.getDefault("h", i)), pr.getDefault("l", i-4))
+	case "yags":
+		c, err := pr.get("c")
+		if err != nil {
+			return nil, err
+		}
+		e, err := pr.get("e")
+		if err != nil {
+			return nil, err
+		}
+		p = baselines.NewYAGS(c, e, pr.getDefault("h", e), pr.getDefault("t", 6))
+	default:
+		return nil, fmt.Errorf("zoo: unknown predictor %q (see package zoo docs for the spec grammar)", name)
+	}
+	if err := pr.leftover(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error; for specs fixed at compile time.
+func MustNew(spec string) predictor.Predictor {
+	p, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Known lists one example spec per predictor family, for help text.
+func Known() []string {
+	return []string{
+		"taken", "not-taken", "btfn",
+		"smith:a=12",
+		"gshare:i=12,h=12", "gshare:i=12,h=8",
+		"gselect:a=6,h=6",
+		"gag:h=12", "gas:h=10,s=2", "pag:b=10,h=10", "pas:b=10,h=8,s=2",
+		"bimode:b=11", "bimode:c=10,b=11,h=9",
+		"trimode:b=10",
+		"filter:i=12,h=12,f=10,m=32",
+		"agree:i=12,h=12,b=10",
+		"gskew:b=10,h=10", "gskew:b=10,h=10,p=1",
+		"yags:c=11,e=10,h=10,t=6",
+		"alpha:s=12",
+		"loopgshare:i=12,l=8",
+	}
+}

@@ -1,0 +1,100 @@
+package zoo
+
+import (
+	"strings"
+	"testing"
+
+	"bimode/internal/predictor"
+)
+
+func TestAllKnownSpecsBuild(t *testing.T) {
+	for _, spec := range Known() {
+		p, err := New(spec)
+		if err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+			continue
+		}
+		// Exercise the predictor lightly.
+		pc := uint64(0x1230)
+		for i := 0; i < 10; i++ {
+			p.Predict(pc)
+			p.Update(pc, i%3 == 0)
+		}
+		p.Reset()
+		if p.CostBits() < 0 {
+			t.Errorf("spec %q: negative cost", spec)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	g, err := New("gshare:i=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.Name(), "1PHT") {
+		t.Fatalf("gshare history should default to the index width: %s", g.Name())
+	}
+	b, err := New("bimode:b=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "bi-mode(9c,9b,9h)" {
+		t.Fatalf("bimode defaults wrong: %s", b.Name())
+	}
+}
+
+func TestSpecAblationFlags(t *testing.T) {
+	b, err := New("bimode:b=8,fullchoice=1,bothbanks=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Name(), "fullchoice") || !strings.Contains(b.Name(), "bothbanks") {
+		t.Fatalf("ablation flags not honored: %s", b.Name())
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                   // unknown empty name
+		"oracle",             // unknown predictor
+		"smith",              // missing a
+		"smith:a",            // not key=value
+		"smith:a=x",          // non-integer
+		"smith:a=4,a=5",      // duplicate
+		"smith:a=4,z=1",      // unknown option
+		"gshare:i=4,h=9",     // h > i
+		"gshare:i=99",        // width out of range
+		"bimode:b=0",         // bank width invalid
+		"gselect:a=5",        // missing h
+		"pas:b=4,h=4",        // missing s
+		"yags:c=4",           // missing e
+		"gskew:b=1",          // bank too small
+		"agree:i=4,h=4,b=99", // bias width invalid
+		"bimode:b=8,c=40",    // choice width invalid
+	}
+	for _, spec := range bad {
+		if _, err := New(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew must panic on bad spec")
+		}
+	}()
+	MustNew("nonsense")
+}
+
+func TestStaticSpecs(t *testing.T) {
+	for _, spec := range []string{"taken", "not-taken", "btfn"} {
+		p, err := New(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		var _ predictor.Predictor = p
+	}
+}
