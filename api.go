@@ -23,6 +23,17 @@ type Predictor = predictor.Predictor
 // counter a lookup consults; the bias analysis requires it.
 type Indexed = predictor.Indexed
 
+// Stepper is the optional fused-step capability: Step(pc, taken) behaves
+// exactly like Predict then Update, returning the prediction. The
+// simulator uses it to halve per-branch interface dispatch; implement it
+// on custom predictors to opt into the fast path.
+type Stepper = predictor.Stepper
+
+// BatchRunner is the optional whole-trace capability: RunBatch simulates
+// a record slice in one call and returns the misprediction count. The
+// simulator prefers it over Stepper when the workload is materialized.
+type BatchRunner = predictor.BatchRunner
+
 // BiMode is the paper's predictor.
 type BiMode = core.BiMode
 
@@ -76,9 +87,16 @@ func Materialize(src Source) Source { return trace.Materialize(src) }
 // Result summarizes one simulation run.
 type Result = sim.Result
 
-// Run simulates a predictor over a fresh stream of the source and
-// returns misprediction statistics.
+// Run simulates a predictor over the source and returns misprediction
+// statistics, taking the batched/fused fast path when the source and
+// predictor offer the capabilities (see Stepper, BatchRunner); results
+// are bit-identical to the generic loop either way.
 func Run(p Predictor, src Source) Result { return sim.Run(p, src) }
+
+// RunGeneric is Run restricted to the base Predict/Update stream loop,
+// ignoring all fast-path capabilities; it is the reference the
+// equivalence tests compare Run against.
+func RunGeneric(p Predictor, src Source) Result { return sim.RunGeneric(p, src) }
 
 // Job is one (predictor, workload) cell of a parallel sweep.
 type Job = sim.Job

@@ -1,0 +1,173 @@
+// Command simbench measures simulation-engine throughput (branches/sec)
+// for the generic Predict/Update loop vs the batched capability fast
+// path over the SPEC suite, and writes the comparison as JSON. The
+// committed BENCH_sim.json at the repository root is this command's
+// output and serves as the baseline for future performance work.
+//
+// Usage:
+//
+//	simbench                          # default specs, write BENCH_sim.json
+//	simbench -o bench.json -reps 5
+//	simbench -specs bimode:b=11 -n 100000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"bimode/internal/experiments"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultSpecs covers each fast-path tier: full BatchRunner loops
+// (bi-mode, gshare, smith), fused Steppers (tri-mode, GAs), and the
+// generic loop as the common baseline.
+const defaultSpecs = "bimode:b=11,trimode:b=10,gshare:i=12;h=12,smith:a=12,gas:h=10;s=2"
+
+// defaultDynamic keeps each workload's record slice (16 B/branch)
+// cache-resident so the measurement reflects the engines rather than
+// DRAM bandwidth; see internal/sim/throughput_bench_test.go.
+const defaultDynamic = 1 << 18
+
+// Result is one spec's generic-vs-batched comparison, suite-aggregated.
+type Result struct {
+	Spec                  string  `json:"spec"`
+	Predictor             string  `json:"predictor"`
+	GenericBranchesPerSec float64 `json:"generic_branches_per_sec"`
+	BatchedBranchesPerSec float64 `json:"batched_branches_per_sec"`
+	Speedup               float64 `json:"speedup"`
+	Branches              int     `json:"branches"`
+	Mispredicts           int     `json:"mispredicts"`
+}
+
+// Report is the top-level BENCH_sim.json document.
+type Report struct {
+	Suite              string   `json:"suite"`
+	Workloads          []string `json:"workloads"`
+	DynamicPerWorkload int      `json:"dynamic_per_workload"`
+	Reps               int      `json:"reps"`
+	GoVersion          string   `json:"go_version"`
+	GOARCH             string   `json:"goarch"`
+	Results            []Result `json:"results"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simbench", flag.ContinueOnError)
+	var (
+		out   = fs.String("o", "BENCH_sim.json", "output JSON file")
+		specs = fs.String("specs", defaultSpecs, "comma-separated predictor specs (use ';' for spec-internal separators)")
+		n     = fs.Int("n", defaultDynamic, "dynamic branches per SPEC workload")
+		reps  = fs.Int("reps", 3, "repetitions per measurement (best is kept)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 || *reps <= 0 {
+		return fmt.Errorf("-n and -reps must be positive")
+	}
+
+	srcs := experiments.SuiteSources(synth.SuiteSPEC, experiments.Config{Dynamic: *n})
+	if len(srcs) == 0 {
+		return fmt.Errorf("no SPEC workloads")
+	}
+	var names []string
+	for _, p := range synth.Profiles() {
+		if p.Suite == synth.SuiteSPEC {
+			names = append(names, p.Name)
+		}
+	}
+
+	rep := Report{
+		Suite:              synth.SuiteSPEC,
+		Workloads:          names,
+		DynamicPerWorkload: *n,
+		Reps:               *reps,
+		GoVersion:          runtime.Version(),
+		GOARCH:             runtime.GOARCH,
+	}
+
+	for _, raw := range strings.Split(*specs, ",") {
+		spec := strings.ReplaceAll(strings.TrimSpace(raw), ";", ",")
+		if spec == "" {
+			continue
+		}
+		p, err := zoo.New(spec)
+		if err != nil {
+			return err
+		}
+		genSecs, genMiss, branches := measure(sim.RunGeneric, spec, srcs, *reps)
+		batSecs, batMiss, _ := measure(sim.Run, spec, srcs, *reps)
+		if genMiss != batMiss {
+			return fmt.Errorf("%s: engines disagree: generic %d mispredicts, batched %d", spec, genMiss, batMiss)
+		}
+		r := Result{
+			Spec:                  spec,
+			Predictor:             p.Name(),
+			GenericBranchesPerSec: float64(branches) / genSecs,
+			BatchedBranchesPerSec: float64(branches) / batSecs,
+			Branches:              branches,
+			Mispredicts:           batMiss,
+		}
+		r.Speedup = r.BatchedBranchesPerSec / r.GenericBranchesPerSec
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-20s generic %6.1f Mbr/s  batched %6.1f Mbr/s  speedup %.2fx\n",
+			spec, r.GenericBranchesPerSec/1e6, r.BatchedBranchesPerSec/1e6, r.Speedup)
+	}
+
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no specs to measure")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// measure runs the given engine for one spec over every source, reps
+// times per workload, keeping each workload's best (minimum) wall time
+// so the first pass's cold-cache cost is excluded. It returns the summed
+// best times alongside the suite totals, which are identical across reps
+// because the predictor is reset before every pass.
+func measure(engine func(p predictor.Predictor, src trace.Source) sim.Result, spec string, srcs []trace.Source, reps int) (secs float64, mispredicts, branches int) {
+	p := zoo.MustNew(spec)
+	total := time.Duration(0)
+	for _, src := range srcs {
+		best := time.Duration(1<<63 - 1)
+		var res sim.Result
+		for rep := 0; rep < reps; rep++ {
+			p.Reset()
+			start := time.Now()
+			res = engine(p, src)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		total += best
+		mispredicts += res.Mispredicts
+		branches += res.Branches
+	}
+	return total.Seconds(), mispredicts, branches
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimbenchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	err := run([]string{"-o", out, "-n", "20000", "-reps", "1",
+		"-specs", "bimode:b=8,gshare:i=10;h=10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.GenericBranchesPerSec <= 0 || r.BatchedBranchesPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", r.Spec, r)
+		}
+		if r.Branches != 6*20000 {
+			t.Errorf("%s: branches = %d, want %d (6 SPEC workloads x 20000)", r.Spec, r.Branches, 6*20000)
+		}
+		if r.Mispredicts <= 0 || r.Mispredicts >= r.Branches {
+			t.Errorf("%s: implausible mispredict count %d", r.Spec, r.Mispredicts)
+		}
+	}
+	if len(rep.Workloads) != 6 {
+		t.Errorf("got %d workloads, want 6", len(rep.Workloads))
+	}
+}
+
+func TestSimbenchErrors(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Error("expected error for -n 0")
+	}
+	if err := run([]string{"-specs", "nosuch:x=1", "-n", "1000"}); err == nil {
+		t.Error("expected error for unknown spec")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

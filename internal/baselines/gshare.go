@@ -5,6 +5,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/trace"
 )
 
 // Gshare is McFarling's gshare predictor [McFarling93] in the generalized
@@ -74,6 +75,50 @@ func (g *Gshare) Predict(pc uint64) bool { return g.table.Taken(g.index(pc)) }
 func (g *Gshare) Update(pc uint64, taken bool) {
 	g.table.Update(g.index(pc), taken)
 	g.ghr.Push(taken)
+}
+
+// Step implements predictor.Stepper: Predict and Update fused so the
+// XOR index is computed once per branch.
+func (g *Gshare) Step(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	pred := g.table.Taken(i)
+	g.table.Update(i, taken)
+	g.ghr.Push(taken)
+	return pred
+}
+
+// RunBatch implements predictor.BatchRunner: the whole-trace loop with
+// the counter array and history register in locals, branch-free per
+// record — the counter step goes through counter.SatNext2 because its
+// condition is trace data the host CPU cannot predict. The table is
+// two-bit by construction (NewGshare), so the prediction is the counter's
+// high bit and the LUT matches counter.Table.Update exactly.
+func (g *Gshare) RunBatch(recs []trace.Record) int {
+	tab := g.table.Raw()
+	if len(tab) == 0 {
+		return 0 // unreachable; lets the compiler drop bounds checks
+	}
+	idxMask := uint64(len(tab) - 1)
+	h := g.ghr.Value()
+	var hMask uint64
+	if n := g.ghr.Bits(); n > 0 {
+		hMask = 1<<uint(n) - 1
+	}
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		var tk uint8
+		if r.Taken {
+			tk = 1
+		}
+		idx := ((r.PC >> 2) ^ h) & idxMask
+		v := tab[idx]
+		miss += int(v>>1 ^ tk)
+		tab[idx] = counter.SatNext2[(tk<<2|v)&7]
+		h = (h<<1 | uint64(tk)) & hMask
+	}
+	g.ghr.Set(h)
+	return miss
 }
 
 // Reset implements predictor.Predictor.
@@ -148,6 +193,16 @@ func (g *Gselect) Predict(pc uint64) bool { return g.table.Taken(g.index(pc)) }
 func (g *Gselect) Update(pc uint64, taken bool) {
 	g.table.Update(g.index(pc), taken)
 	g.ghr.Push(taken)
+}
+
+// Step implements predictor.Stepper: Predict and Update fused so the
+// concatenated index is computed once per branch.
+func (g *Gselect) Step(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	pred := g.table.Taken(i)
+	g.table.Update(i, taken)
+	g.ghr.Push(taken)
+	return pred
 }
 
 // Reset implements predictor.Predictor.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bimode/internal/counter"
+	"bimode/internal/trace"
 )
 
 // Smith is the classic bimodal predictor [Smith81]: a table of two-bit
@@ -40,6 +41,40 @@ func (s *Smith) Predict(pc uint64) bool { return s.table.Taken(s.index(pc)) }
 
 // Update implements predictor.Predictor.
 func (s *Smith) Update(pc uint64, taken bool) { s.table.Update(s.index(pc), taken) }
+
+// Step implements predictor.Stepper: Predict and Update fused so the
+// table index is computed once per branch.
+func (s *Smith) Step(pc uint64, taken bool) bool {
+	i := s.index(pc)
+	pred := s.table.Taken(i)
+	s.table.Update(i, taken)
+	return pred
+}
+
+// RunBatch implements predictor.BatchRunner: the whole-trace loop over
+// the raw counter array, branch-free per record (see counter.SatNext2).
+// The table is two-bit by construction (NewSmith), so the prediction is
+// the counter's high bit and the LUT matches counter.Table.Update exactly.
+func (s *Smith) RunBatch(recs []trace.Record) int {
+	tab := s.table.Raw()
+	if len(tab) == 0 {
+		return 0 // unreachable; lets the compiler drop bounds checks
+	}
+	mask := uint64(len(tab) - 1)
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		var tk uint8
+		if r.Taken {
+			tk = 1
+		}
+		idx := (r.PC >> 2) & mask
+		v := tab[idx]
+		miss += int(v>>1 ^ tk)
+		tab[idx] = counter.SatNext2[(tk<<2|v)&7]
+	}
+	return miss
+}
 
 // Reset implements predictor.Predictor.
 func (s *Smith) Reset() { s.table.Reset() }

@@ -110,6 +110,21 @@ func (t *TwoLevel) Update(pc uint64, taken bool) {
 	}
 }
 
+// Step implements predictor.Stepper: Predict and Update fused so the
+// first-level pattern is read and the second-level index computed once
+// per branch, for all four variants (GAg/GAs/PAg/PAs).
+func (t *TwoLevel) Step(pc uint64, taken bool) bool {
+	i := t.index(pc)
+	pred := t.table.Taken(i)
+	t.table.Update(i, taken)
+	if t.perAddr {
+		t.bht.Push(pc, taken)
+	} else {
+		t.ghr.Push(taken)
+	}
+	return pred
+}
+
 // Reset implements predictor.Predictor.
 func (t *TwoLevel) Reset() {
 	t.table.Reset()

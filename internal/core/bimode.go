@@ -30,6 +30,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/trace"
 )
 
 // Bank identifiers for the two direction predictors.
@@ -91,6 +92,11 @@ type BiMode struct {
 	ghr     *history.Global
 	chMask  uint64
 	dirMask uint64
+	// dirScratch is a lazily allocated contiguous view of both direction
+	// banks (not-taken bank first) used by RunBatch so bank selection is
+	// index arithmetic instead of a data-dependent branch; it is copied
+	// from and back to the banks at the batch boundaries.
+	dirScratch []uint8
 }
 
 // New returns a bi-mode predictor for the given configuration.
@@ -181,6 +187,123 @@ func (b *BiMode) Update(pc uint64, taken bool) {
 	}
 
 	b.ghr.Push(taken)
+}
+
+// Step implements predictor.Stepper: Predict and Update fused into one
+// call that computes the choice and direction indices once and reads the
+// consulted counters once, instead of the two passes the split protocol
+// pays.
+func (b *BiMode) Step(pc uint64, taken bool) bool {
+	ci := b.choiceIndex(pc)
+	di := b.dirIndex(pc)
+	choiceTaken := b.choice.Taken(ci)
+	sel := bankFor(choiceTaken)
+	pred := b.banks[sel].Taken(di)
+
+	b.banks[sel].Update(di, taken)
+	if b.cfg.UpdateBothBanks {
+		b.banks[1-sel].Update(di, taken)
+	}
+	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && pred == taken) {
+		b.choice.Update(ci, taken)
+	}
+	b.ghr.Push(taken)
+	return pred
+}
+
+// choiceNext2[hold<<3|outcome<<2|v] is the choice counter transition
+// under the paper's partial update rule: the saturating step when hold=0,
+// the unchanged value when hold=1 (choice wrong about the bias but the
+// selected bank predicted correctly).
+var choiceNext2 = [16]uint8{
+	0, 0, 1, 2, 1, 2, 3, 3, // hold=0: counter.SatNext2
+	0, 1, 2, 3, 0, 1, 2, 3, // hold=1: identity
+}
+
+// RunBatch implements predictor.BatchRunner: the whole-trace loop with the
+// choice table, a contiguous two-bank direction view and the history
+// register held in locals, so the per-branch work is branch-free slice
+// arithmetic — the only conditional branch left is the record loop itself.
+// Counter transitions go through lookup tables (counter.SatNext2,
+// choiceNext2) and bank selection is index arithmetic, because every one
+// of those conditions depends on trace data the host CPU cannot predict.
+// All three tables are two-bit by construction (New), so the taken
+// threshold is the counter's high bit and the LUT transitions match
+// counter.Table.Update exactly. The paper's partial choice update becomes
+// the bit expression hold = (choiceBit^outcome) & ^(predBit^outcome).
+func (b *BiMode) RunBatch(recs []trace.Record) int {
+	if b.cfg.FullChoiceUpdate || b.cfg.UpdateBothBanks {
+		return b.runBatchAblation(recs)
+	}
+	choice := b.choice.Raw()
+	bankNT := b.banks[BankNotTaken].Raw()
+	bankT := b.banks[BankTaken].Raw()
+	n := len(bankNT)
+	if b.dirScratch == nil {
+		b.dirScratch = make([]uint8, 2*n)
+	}
+	dir := b.dirScratch
+	if len(choice) == 0 || len(dir) == 0 {
+		return 0 // unreachable (tables are non-empty); lets the compiler drop bounds checks
+	}
+	copy(dir[:n], bankNT)
+	copy(dir[n:], bankT)
+
+	chMask := uint64(len(choice) - 1)
+	dirMask := uint64(n - 1)
+	bankSize := uint64(n)
+	allMask := uint64(len(dir) - 1)
+	h := b.ghr.Value()
+	var hMask uint64
+	if nb := b.ghr.Bits(); nb > 0 {
+		hMask = 1<<uint(nb) - 1
+	}
+
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		addr := r.PC >> 2
+		var tk uint8
+		if r.Taken {
+			tk = 1
+		}
+
+		ci := addr & chMask
+		cv := choice[ci]
+		choiceBit := cv >> 1 // 1 = steer to the taken bank
+
+		// Bank selection as an index offset (multiply, not a branch).
+		di := ((addr^h)&dirMask + uint64(choiceBit)*bankSize) & allMask
+		dv := dir[di]
+		predBit := dv >> 1
+		miss += int(predBit ^ tk)
+
+		// Selected bank always learns the outcome.
+		dir[di] = counter.SatNext2[(tk<<2|dv)&7]
+
+		// Choice predictor: the paper's partial update rule.
+		hold := (choiceBit ^ tk) & (predBit ^ tk ^ 1)
+		choice[ci] = choiceNext2[(hold<<3|tk<<2|cv)&15]
+
+		h = (h<<1 | uint64(tk)) & hMask
+	}
+	copy(bankNT, dir[:n])
+	copy(bankT, dir[n:])
+	b.ghr.Set(h)
+	return miss
+}
+
+// runBatchAblation is RunBatch for the ablation configurations
+// (FullChoiceUpdate / UpdateBothBanks); the paper's design takes the
+// tight loop above.
+func (b *BiMode) runBatchAblation(recs []trace.Record) int {
+	miss := 0
+	for _, r := range recs {
+		if b.Step(r.PC, r.Taken) != r.Taken {
+			miss++
+		}
+	}
+	return miss
 }
 
 // Reset implements predictor.Predictor, restoring the paper's

@@ -120,6 +120,25 @@ func (t *TriMode) Update(pc uint64, taken bool) {
 	t.ghr.Push(taken)
 }
 
+// Step implements predictor.Stepper: the fused Predict+Update, computing
+// the choice and direction indices once and classifying the choice
+// counter once per branch.
+func (t *TriMode) Step(pc uint64, taken bool) bool {
+	ci := t.choiceIndex(pc)
+	di := t.dirIndex(pc)
+	v := t.choice.Value(ci)
+	bank := t.classify(v)
+	pred := t.banks[bank].Taken(di)
+
+	t.banks[bank].Update(di, taken)
+	choiceTaken := v >= 4
+	if bank == bankWeak || !(choiceTaken != taken && pred == taken) {
+		t.choice.Update(ci, taken)
+	}
+	t.ghr.Push(taken)
+	return pred
+}
+
 // Reset implements predictor.Predictor.
 func (t *TriMode) Reset() {
 	t.choice.Reset()

@@ -65,3 +65,10 @@ const (
 	WeakTaken      uint8 = 2
 	StrongTaken    uint8 = 3
 )
+
+// SatNext2[outcome<<2|v] is the saturating two-bit counter transition:
+// v-1 clamped at 0 for a not-taken outcome (rows 0-3), v+1 clamped at 3
+// for a taken outcome (rows 4-7). Fused simulation loops use it instead
+// of Update so the counter step is a table load rather than a
+// data-dependent branch the host CPU cannot predict.
+var SatNext2 = [8]uint8{0, 0, 1, 2, 1, 2, 3, 3}

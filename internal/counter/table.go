@@ -38,6 +38,12 @@ func NewTwoBit(n int, init uint8) *Table { return NewTable(n, 2, init) }
 // Len returns the number of counters in the table.
 func (t *Table) Len() int { return len(t.entries) }
 
+// Raw exposes the backing counter array for fused simulation loops that
+// cannot afford a method call per access. Callers own the update
+// discipline: every write must keep entries within [0, 2^Bits-1], exactly
+// as Update would. Reads see live state; the slice aliases the table.
+func (t *Table) Raw() []uint8 { return t.entries }
+
 // Bits returns the width of each counter.
 func (t *Table) Bits() int { return t.bits }
 

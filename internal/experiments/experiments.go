@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"bimode/internal/synth"
 	"bimode/internal/trace"
@@ -34,18 +35,45 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// SuiteSources materializes the named suite's workloads once so every
-// simulation replays the same in-memory traces.
+// suiteMemo caches materialized suites across SuiteSources calls, keyed by
+// the two parameters that determine the trace contents. cmd/paper,
+// cmd/sweep and the benchmarks all sweep the same suites repeatedly;
+// without the memo each call regenerated identical multi-million-branch
+// traces from scratch.
+var suiteMemo = struct {
+	sync.Mutex
+	m map[suiteKey][]*trace.Memory
+}{m: map[suiteKey][]*trace.Memory{}}
+
+type suiteKey struct {
+	suite   string
+	dynamic int
+}
+
+// SuiteSources materializes the named suite's workloads once per (suite,
+// Dynamic) and memoizes the result process-wide, so every simulation
+// replays the same immutable in-memory traces. Callers receive a fresh
+// slice; the traces themselves are shared and must not be mutated.
 func SuiteSources(suite string, cfg Config) []trace.Source {
-	var out []trace.Source
-	for _, p := range synth.Profiles() {
-		if p.Suite != suite {
-			continue
+	key := suiteKey{suite: suite, dynamic: cfg.Dynamic}
+	suiteMemo.Lock()
+	defer suiteMemo.Unlock()
+	mems, ok := suiteMemo.m[key]
+	if !ok {
+		for _, p := range synth.Profiles() {
+			if p.Suite != suite {
+				continue
+			}
+			if cfg.Dynamic > 0 {
+				p = p.WithDynamic(cfg.Dynamic)
+			}
+			mems = append(mems, trace.Materialize(synth.MustWorkload(p)))
 		}
-		if cfg.Dynamic > 0 {
-			p = p.WithDynamic(cfg.Dynamic)
-		}
-		out = append(out, trace.Materialize(synth.MustWorkload(p)))
+		suiteMemo.m[key] = mems
+	}
+	out := make([]trace.Source, len(mems))
+	for i, m := range mems {
+		out[i] = m
 	}
 	return out
 }

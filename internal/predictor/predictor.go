@@ -5,6 +5,8 @@
 // (required by the Section 4 bias analysis).
 package predictor
 
+import "bimode/internal/trace"
+
 // Predictor is a dynamic conditional-branch direction predictor.
 //
 // The simulation protocol is: for each dynamic conditional branch, call
@@ -37,6 +39,32 @@ type Predictor interface {
 // CostBytes converts a predictor's cost to bytes, the unit of the paper's
 // size axis (0.25 KB ... 32 KB).
 func CostBytes(p Predictor) float64 { return float64(p.CostBits()) / 8 }
+
+// Stepper is the optional fused-step capability behind the simulator's
+// fast path. Step must behave exactly like Predict(pc) immediately
+// followed by Update(pc, taken), returning what Predict would have
+// returned — one call per dynamic branch instead of two, computing each
+// table index once. Implementations must keep Step, Predict and Update
+// interchangeable call-for-call: a stream driven through Step must leave
+// the predictor in the same state, and produce the same predictions, as
+// the same stream driven through Predict+Update (the differential test in
+// internal/sim enforces this for every registered predictor).
+type Stepper interface {
+	// Step predicts the branch at pc, trains with the resolved outcome and
+	// advances history, returning the prediction made before training.
+	Step(pc uint64, taken bool) bool
+}
+
+// BatchRunner is the optional whole-trace capability: a predictor that
+// runs an entire record slice in one fully inlined loop, touching its
+// tables directly instead of through per-branch method calls. RunBatch
+// must be observationally identical to calling Step (equivalently
+// Predict+Update) on every record in order and counting mispredictions.
+type BatchRunner interface {
+	// RunBatch simulates every record in order and returns the number of
+	// wrong direction predictions.
+	RunBatch(recs []trace.Record) (mispredicts int)
+}
 
 // Indexed is implemented by predictors whose prediction comes from a
 // single identifiable counter in a second-level table. The Section 4

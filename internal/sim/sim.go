@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 
@@ -44,12 +45,95 @@ func (r Result) String() string {
 		r.Predictor, r.Workload, r.CostBytes, r.Branches, 100*r.MispredictRate())
 }
 
-// Run simulates p over a fresh stream of src: for every dynamic branch,
-// Predict then Update, counting mispredictions. The predictor is NOT reset
-// first; callers pass fresh or explicitly Reset predictors. Following the
-// paper, no warm-up exclusion is applied (its tables start weakly-taken
-// and the cold-start transient is part of the measurement).
+// Run simulates p over src, counting mispredictions. The predictor is NOT
+// reset first; callers pass fresh or explicitly Reset predictors.
+// Following the paper, no warm-up exclusion is applied (its tables start
+// weakly-taken and the cold-start transient is part of the measurement).
+//
+// Run dispatches on optional capabilities, strongest first, falling back
+// to the generic Predict/Update stream loop so every Predictor works:
+//
+//	source implements trace.Batched (a materialized trace):
+//	    predictor.BatchRunner  -> one fully inlined whole-trace call
+//	    predictor.Stepper      -> one fused call per branch over the slice
+//	    otherwise              -> Predict+Update over the slice
+//	source streams only:
+//	    predictor.Stepper      -> one fused call per branch
+//	    otherwise              -> the generic loop (see RunGeneric)
+//
+// Every path produces bit-identical Mispredicts (enforced by
+// TestFastPathEquivalence); the capabilities are an optimization, never a
+// semantic fork.
 func Run(p predictor.Predictor, src trace.Source) Result {
+	res := Result{
+		Predictor: p.Name(),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	if b, ok := src.(trace.Batched); ok {
+		recs := b.Records()
+		res.Branches = len(recs)
+		res.Mispredicts = runRecords(p, recs)
+		return res
+	}
+	st := src.Stream()
+	if stepper, ok := p.(predictor.Stepper); ok {
+		for {
+			rec, ok := st.Next()
+			if !ok {
+				break
+			}
+			if stepper.Step(rec.PC, rec.Taken) != rec.Taken {
+				res.Mispredicts++
+			}
+			res.Branches++
+		}
+		return res
+	}
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		if p.Predict(rec.PC) != rec.Taken {
+			res.Mispredicts++
+		}
+		p.Update(rec.PC, rec.Taken)
+		res.Branches++
+	}
+	return res
+}
+
+// runRecords simulates a flat record slice with the fastest capability p
+// offers.
+func runRecords(p predictor.Predictor, recs []trace.Record) int {
+	if br, ok := p.(predictor.BatchRunner); ok {
+		return br.RunBatch(recs)
+	}
+	miss := 0
+	if stepper, ok := p.(predictor.Stepper); ok {
+		for _, r := range recs {
+			if stepper.Step(r.PC, r.Taken) != r.Taken {
+				miss++
+			}
+		}
+		return miss
+	}
+	for _, r := range recs {
+		if p.Predict(r.PC) != r.Taken {
+			miss++
+		}
+		p.Update(r.PC, r.Taken)
+	}
+	return miss
+}
+
+// RunGeneric simulates p over a fresh stream of src using only the base
+// Predictor interface — Predict then Update per branch through the Stream,
+// ignoring every fast-path capability. It is the reference implementation
+// the differential tests compare Run against; measurement semantics are
+// identical.
+func RunGeneric(p predictor.Predictor, src trace.Source) Result {
 	res := Result{
 		Predictor: p.Name(),
 		Workload:  src.Name(),
@@ -80,9 +164,13 @@ type Job struct {
 }
 
 // RunAll executes the jobs across GOMAXPROCS workers and returns results
-// in job order.
+// in job order. Each distinct Source is materialized once up front and the
+// in-memory trace shared (read-only) by every worker, so an N-predictor
+// sweep over one workload regenerates the trace once instead of N times
+// and every cell takes the batched fast path.
 func RunAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
+	shared := sharedSources(jobs)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -97,7 +185,7 @@ func RunAll(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = Run(jobs[i].Make(), jobs[i].Source)
+				results[i] = Run(jobs[i].Make(), shared[i])
 			}
 		}()
 	}
@@ -107,6 +195,40 @@ func RunAll(jobs []Job) []Result {
 	close(next)
 	wg.Wait()
 	return results
+}
+
+// sharedSources maps each job to a materialized trace, deduplicating
+// identical sources by interface identity. Sources whose dynamic type is
+// not comparable cannot be used as memo keys and are materialized
+// individually.
+func sharedSources(jobs []Job) []trace.Source {
+	out := make([]trace.Source, len(jobs))
+	var memo map[trace.Source]*trace.Memory
+	for i, j := range jobs {
+		src := j.Source
+		if src == nil {
+			continue
+		}
+		if m, ok := src.(*trace.Memory); ok {
+			out[i] = m
+			continue
+		}
+		if !reflect.TypeOf(src).Comparable() {
+			out[i] = trace.Materialize(src)
+			continue
+		}
+		if m, ok := memo[src]; ok {
+			out[i] = m
+			continue
+		}
+		m := trace.Materialize(src)
+		if memo == nil {
+			memo = map[trace.Source]*trace.Memory{}
+		}
+		memo[src] = m
+		out[i] = m
+	}
+	return out
 }
 
 // AverageRate returns the arithmetic mean misprediction rate of the

@@ -74,6 +74,10 @@ func (w *Workload) Profile() Profile { return w.profile }
 // StaticCount implements trace.Source.
 func (w *Workload) StaticCount() int { return w.profile.Statics }
 
+// Len implements trace.Sized: the generator emits exactly the profile's
+// dynamic branch count, so Materialize can preallocate exactly.
+func (w *Workload) Len() int { return w.profile.Dynamic }
+
 // Stream implements trace.Source.
 func (w *Workload) Stream() trace.Stream { return newGenerator(w.profile) }
 

@@ -32,6 +32,24 @@ type Stream interface {
 	Next() (rec Record, ok bool)
 }
 
+// Batched is the optional Source capability behind the simulator's fast
+// path: a source whose entire trace is available as one flat slice, so a
+// simulation loop can range over records instead of paying an interface
+// call per branch. *Memory implements it. The returned slice must be
+// identical to what Stream would produce and must not be mutated by
+// callers.
+type Batched interface {
+	// Records returns the full trace in stream order.
+	Records() []Record
+}
+
+// Sized is the optional Source capability of knowing the trace length
+// without draining a stream; Materialize uses it to preallocate exactly.
+type Sized interface {
+	// Len returns the number of dynamic branches a fresh Stream yields.
+	Len() int
+}
+
 // Source produces identical fresh Streams on demand, allowing the
 // multi-pass analyses (Figures 7-8) and parallel sweeps to replay one
 // workload many times.
@@ -95,9 +113,21 @@ func (m *Memory) Records() []Record { return m.recs }
 
 // Materialize drains a Source into an in-memory trace, which is cheaper to
 // replay than regenerating. Traces at this repository's default scale
-// (2M branches x 16 bytes) fit comfortably in memory.
+// (2M branches x 16 bytes) fit comfortably in memory. A *Memory source is
+// returned as-is (it is already materialized and immutable); sources
+// implementing Sized get an exact preallocation instead of growth
+// doublings.
 func Materialize(src Source) *Memory {
-	recs := make([]Record, 0, 1<<20)
+	if m, ok := src.(*Memory); ok {
+		return m
+	}
+	capacity := 1 << 20
+	if s, ok := src.(Sized); ok {
+		if n := s.Len(); n >= 0 {
+			capacity = n
+		}
+	}
+	recs := make([]Record, 0, capacity)
 	st := src.Stream()
 	for {
 		r, ok := st.Next()

@@ -97,6 +97,10 @@ func (ps *programSource) StaticCount() int { return ps.materialize().StaticCount
 // Stream implements trace.Source.
 func (ps *programSource) Stream() trace.Stream { return ps.materialize().Stream() }
 
+// Len implements trace.Sized: the tracer runs the program until exactly
+// `dynamic` branches are recorded (materialize truncates any overshoot).
+func (ps *programSource) Len() int { return ps.dynamic }
+
 func (ps *programSource) materialize() *trace.Memory {
 	if ps.cached != nil {
 		return ps.cached
