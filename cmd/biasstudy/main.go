@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bimode/internal/analysis"
@@ -24,13 +25,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "biasstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("biasstudy", flag.ContinueOnError)
 	var (
 		wl      = fs.String("w", "gcc", "workload name")
@@ -53,22 +54,22 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("%s on %s: %d branches, %.2f%% mispredict, %d counters touched, %d substreams\n\n",
+	fmt.Fprintf(out, "%s on %s: %d branches, %.2f%% mispredict, %d counters touched, %d substreams\n\n",
 		study.Predictor, study.Workload, study.Branches,
 		100*study.MispredictRate(), len(study.Counters), len(study.Substreams))
 
 	d, nd, w := study.AreaShares()
-	fmt.Println("bias breakdown (dynamic-weighted area shares, cf. Figures 5-6):")
-	fmt.Println(textplot.Bar("dominant", d, 40))
-	fmt.Println(textplot.Bar("non-dominant", nd, 40))
-	fmt.Println(textplot.Bar("WB", w, 40))
+	fmt.Fprintln(out, "bias breakdown (dynamic-weighted area shares, cf. Figures 5-6):")
+	fmt.Fprintln(out, textplot.Bar("dominant", d, 40))
+	fmt.Fprintln(out, textplot.Bar("non-dominant", nd, 40))
+	fmt.Fprintln(out, textplot.Bar("WB", w, 40))
 
-	fmt.Println("\nmisprediction by bias class (cf. Figures 7-8):")
+	fmt.Fprintln(out, "\nmisprediction by bias class (cf. Figures 7-8):")
 	for _, c := range []analysis.Class{analysis.SNT, analysis.ST, analysis.WB} {
-		fmt.Println(textplot.Bar(c.String(), study.ClassRate(c), 40))
+		fmt.Fprintln(out, textplot.Bar(c.String(), study.ClassRate(c), 40))
 	}
 
-	fmt.Printf("\nbias-class interruptions (cf. Table 4): dominant=%d non-dominant=%d WB=%d\n",
+	fmt.Fprintf(out, "\nbias-class interruptions (cf. Table 4): dominant=%d non-dominant=%d WB=%d\n",
 		study.Interruptions[analysis.CatDominant],
 		study.Interruptions[analysis.CatNonDominant],
 		study.Interruptions[analysis.CatWB])
@@ -85,14 +86,14 @@ func run(args []string) error {
 		}
 	}
 	if ex, ok := analysis.FindExample(study, func(s uint32) uint64 { return pcs[s] }); ok {
-		fmt.Printf("\nmost contended counter (cf. Table 3): counter %d, dominant %s %.1f%%, WB %.1f%%\n",
+		fmt.Fprintf(out, "\nmost contended counter (cf. Table 3): counter %d, dominant %s %.1f%%, WB %.1f%%\n",
 			ex.Counter, ex.DominantClass, 100*ex.DominantShare, 100*ex.WBShare)
 		rows := ex.Rows
 		if len(rows) > 8 {
 			rows = rows[:8]
 		}
 		for _, r := range rows {
-			fmt.Printf("  pc=0x%-8x count=%-8d taken=%-8d class=%-4s normalized=%5.1f%%\n",
+			fmt.Fprintf(out, "  pc=0x%-8x count=%-8d taken=%-8d class=%-4s normalized=%5.1f%%\n",
 				r.PC, r.Count, r.Taken, r.Class, 100*r.Normalized)
 		}
 	}

@@ -1,16 +1,42 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
+// TestStudyGshare is the smoke test: the Section 4 study on a tiny
+// workload must render every section of the report.
 func TestStudyGshare(t *testing.T) {
-	if err := run([]string{"-w", "xlisp", "-p", "gshare:i=8,h=8", "-n", "30000"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-w", "xlisp", "-p", "gshare:i=8,h=8", "-n", "30000"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"gshare.1PHT(8) on xlisp", "% mispredict",
+		"bias breakdown", "dominant", "WB",
+		"misprediction by bias class", "bias-class interruptions",
+		"most contended counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "#") {
+		t.Error("output has no rendered bars")
 	}
 }
 
 func TestStudyBiMode(t *testing.T) {
-	if err := run([]string{"-w", "compress", "-p", "bimode:b=7", "-n", "30000"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-w", "compress", "-p", "bimode:b=7", "-n", "30000"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bi-mode(7c,7b,7h) on compress") {
+		t.Error("output missing study header")
 	}
 }
 
@@ -21,7 +47,7 @@ func TestStudyErrors(t *testing.T) {
 		{"-w", "xlisp", "-p", "taken"}, // not Indexed
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
 	}

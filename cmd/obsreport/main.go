@@ -1,0 +1,168 @@
+// Command obsreport runs predictors through the instrumented simulation
+// tier (sim.Observe) and renders the resulting sim.Reports: the aliasing
+// breakdown behind the paper's Section 4 argument (destructive / neutral /
+// constructive), choice-vs-bank agreement for bi-mode-family predictors,
+// the hardest-to-predict static branches (H2P top-N), and engine
+// throughput. The report bundle can be written as JSON for archival and
+// regression diffing, and -http exposes expvar (/debug/vars, including
+// the sim_observed_* counters) and pprof endpoints while it runs.
+//
+// Usage:
+//
+//	obsreport -w gcc -p 'bimode:b=10,gshare:i=11;h=11'
+//	obsreport -w all-spec -p bimode:b=9 -n 200000 -o report.json
+//	obsreport -w go -p trimode:b=9 -http localhost:6060
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"strings"
+
+	"bimode/internal/experiments"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/textplot"
+	"bimode/internal/trace"
+	"bimode/internal/workloads"
+	"bimode/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+// Bundle is the JSON document -o writes: every report of the invocation.
+type Bundle struct {
+	Reports []sim.Report `json:"reports"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	var (
+		wl       = fs.String("w", "gcc", "workloads: comma list, or all-spec / all-ibs")
+		specsArg = fs.String("p", "bimode:b=10,gshare:i=11;h=11", "comma-separated predictor specs (use ';' for spec-internal separators)")
+		dynamic  = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+		topN     = fs.Int("top", 10, "H2P ranking length per report")
+		outFile  = fs.String("o", "", "write the report bundle as JSON to this file")
+		httpAddr = fs.String("http", "", "serve expvar/pprof debug endpoints on this address while running (e.g. localhost:6060)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *httpAddr != "" {
+		ln, err := startDebugServer(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "debug endpoints at http://%s/debug/vars and /debug/pprof/\n\n", ln.Addr())
+	}
+
+	cfg := experiments.Config{Dynamic: *dynamic}
+	var sources []trace.Source
+	switch *wl {
+	case "all-spec":
+		sources = experiments.SuiteSources(synth.SuiteSPEC, cfg)
+	case "all-ibs":
+		sources = experiments.SuiteSources(synth.SuiteIBS, cfg)
+	default:
+		for _, name := range strings.Split(*wl, ",") {
+			src, err := workloads.Get(strings.TrimSpace(name), workloads.Options{Dynamic: *dynamic})
+			if err != nil {
+				return err
+			}
+			sources = append(sources, trace.Materialize(src))
+		}
+	}
+
+	var bundle Bundle
+	for _, raw := range strings.Split(*specsArg, ",") {
+		spec := strings.ReplaceAll(strings.TrimSpace(raw), ";", ",")
+		if spec == "" {
+			continue
+		}
+		if _, err := zoo.New(spec); err != nil {
+			return err
+		}
+		for _, src := range sources {
+			rep := sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: *topN})
+			bundle.Reports = append(bundle.Reports, *rep)
+			renderReport(out, rep)
+		}
+	}
+	if len(bundle.Reports) == 0 {
+		return fmt.Errorf("no specs to run")
+	}
+
+	if *outFile != "" {
+		data, err := json.MarshalIndent(bundle, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d reports to %s\n", len(bundle.Reports), *outFile)
+	}
+	return nil
+}
+
+// renderReport draws one report for a terminal.
+func renderReport(out io.Writer, r *sim.Report) {
+	fmt.Fprintf(out, "%s on %s: %d branches (%d static), %.2f%% mispredict, %.1f Mbr/s instrumented\n",
+		r.Predictor, r.Workload, r.Branches, r.StaticBranches,
+		100*r.MispredictRate, r.BranchesPerSec/1e6)
+
+	if m := r.Interference; m != nil && r.Branches > 0 {
+		n := float64(r.Branches)
+		fmt.Fprintf(out, "aliasing over %d counters (shares of all accesses; %.1f%% aliased, %.1f%% cold):\n",
+			m.Counters, 100*float64(m.Aliased)/n, 100*float64(m.Cold)/n)
+		fmt.Fprintln(out, textplot.Bar("destructive", float64(m.Destructive)/n, 40))
+		fmt.Fprintln(out, textplot.Bar("neutral", float64(m.Neutral)/n, 40))
+		fmt.Fprintln(out, textplot.Bar("constructive", float64(m.Constructive)/n, 40))
+	}
+	if c := r.Choice; c != nil && c.Branches > 0 {
+		n := float64(c.Branches)
+		fmt.Fprintf(out, "choice: agrees with outcome %.1f%%, prediction follows choice %.1f%%, partial-update holds %.1f%%\n",
+			100*float64(c.AgreeOutcome)/n, 100*float64(c.PredictionAgrees)/n, 100*float64(c.PartialHold)/n)
+		if len(c.BankUse) > 0 {
+			fmt.Fprintf(out, "bank use:")
+			for b, cnt := range c.BankUse {
+				fmt.Fprintf(out, " bank%d=%.1f%%", b, 100*float64(cnt)/n)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if len(r.TopBranches) > 0 {
+		fmt.Fprintf(out, "hardest branches (%.1f%% of all mispredictions):\n", 100*r.TopShare)
+		for _, b := range r.TopBranches {
+			fmt.Fprintf(out, "  pc=0x%-10x static=%-6d count=%-8d taken=%-8d miss=%-8d rate=%5.1f%%\n",
+				b.PC, b.Static, b.Count, b.Taken, b.Mispredicts, 100*b.MissRate)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// startDebugServer serves http.DefaultServeMux — where net/http/pprof and
+// expvar register themselves — on addr until the listener closes.
+func startDebugServer(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln, nil
+}

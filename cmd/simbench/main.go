@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -70,16 +71,21 @@ type Report struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("simbench", flag.ContinueOnError)
 	var (
-		out   = fs.String("o", "BENCH_sim.json", "output JSON file")
-		specs = fs.String("specs", defaultSpecs, "comma-separated predictor specs (use ';' for spec-internal separators)")
-		n     = fs.Int("n", defaultDynamic, "dynamic branches per SPEC workload")
-		reps  = fs.Int("reps", 3, "repetitions per measurement (best is kept)")
+		out     = fs.String("o", "BENCH_sim.json", "output JSON file")
+		specs   = fs.String("specs", defaultSpecs, "comma-separated predictor specs (use ';' for spec-internal separators)")
+		n       = fs.Int("n", defaultDynamic, "dynamic branches per SPEC workload")
+		reps    = fs.Int("reps", 3, "repetitions per measurement (best is kept)")
+		against = fs.String("against", "", "baseline report to guard against: fail when batched/generic speedups regress vs the baseline by more than -tol")
+		tol     = fs.Float64("tol", 0.15, "allowed fractional regression for -against: geomean floor 1-tol, per-spec floor 1-3*tol")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n <= 0 || *reps <= 0 {
 		return fmt.Errorf("-n and -reps must be positive")
+	}
+	if *tol < 0 || *tol >= 1 {
+		return fmt.Errorf("-tol must be in [0,1)")
 	}
 
 	srcs := experiments.SuiteSources(synth.SuiteSPEC, experiments.Config{Dynamic: *n})
@@ -143,6 +149,71 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *against != "" {
+		if err := guardAgainst(*against, rep.Results, *tol); err != nil {
+			return err
+		}
+		fmt.Printf("guard: within %.0f%% of %s\n", 100**tol, *against)
+	}
+	return nil
+}
+
+// guardAgainst is the CI benchmark-smoke guard. For every spec present in
+// both the fresh measurement and the baseline report it forms the ratio of
+// batched/generic speedups (fresh over baseline) — a machine-relative
+// quantity, since absolute branches/sec means nothing on CI hardware that
+// differs from the machine that wrote the baseline — and fails when:
+//
+//   - the geometric mean of the ratios drops below 1-tol, the signature of
+//     overhead creeping into the shared fast path (e.g. instrumentation
+//     leaking into sim.Run), which depresses every spec together; or
+//   - any single ratio drops below 1-3*tol, the signature of one tier
+//     silently losing its capability fast path and falling back to the
+//     generic loop.
+//
+// Per-spec ratios are individually noisy (short measurements, shared CI
+// cores), which is why the suite-wide check uses the geometric mean and
+// the per-spec floor is 3x looser.
+func guardAgainst(path string, fresh []Result, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseBySpec := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBySpec[r.Spec] = r
+	}
+	var collapsed []string
+	logSum, matched := 0.0, 0
+	for _, r := range fresh {
+		b, ok := baseBySpec[r.Spec]
+		if !ok || b.Speedup <= 0 || r.Speedup <= 0 {
+			continue
+		}
+		matched++
+		ratio := r.Speedup / b.Speedup
+		logSum += math.Log(ratio)
+		if ratio < 1-3*tol {
+			collapsed = append(collapsed, fmt.Sprintf(
+				"%s: speedup %.2fx is %.0f%% below baseline %.2fx (per-spec floor %.0f%%)",
+				r.Spec, r.Speedup, 100*(1-ratio), b.Speedup, 100*3*tol))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("guard: no measured spec appears in baseline %s", path)
+	}
+	if len(collapsed) > 0 {
+		return fmt.Errorf("guard: fast path collapsed for:\n  %s", strings.Join(collapsed, "\n  "))
+	}
+	if gm := math.Exp(logSum / float64(matched)); gm < 1-tol {
+		return fmt.Errorf("guard: suite-wide fast-path regression: geomean speedup ratio %.3f below floor %.3f (%d specs vs %s)",
+			gm, 1-tol, matched, path)
+	}
 	return nil
 }
 

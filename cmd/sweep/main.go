@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -100,13 +101,13 @@ func schemes() map[string]scheme {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		wl      = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
@@ -152,12 +153,12 @@ func run(args []string) error {
 
 	// rate[scheme][size][workload]
 	for _, sc := range sel {
-		fmt.Printf("\n%s\n", sc.name)
-		fmt.Printf("%-12s", "workload")
+		fmt.Fprintf(out, "\n%s\n", sc.name)
+		fmt.Fprintf(out, "%-12s", "workload")
 		for s := *minBits; s <= *maxBits; s++ {
-			fmt.Printf("%9.3gK", sc.cost(s)/1024)
+			fmt.Fprintf(out, "%9.3gK", sc.cost(s)/1024)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		perSize := make([][]sim.Result, 0, *maxBits-*minBits+1)
 		for s := *minBits; s <= *maxBits; s++ {
 			if sc.sweep {
@@ -173,17 +174,17 @@ func run(args []string) error {
 			perSize = append(perSize, sim.RunAll(jobs))
 		}
 		for i, src := range sources {
-			fmt.Printf("%-12s", src.Name())
+			fmt.Fprintf(out, "%-12s", src.Name())
 			for j := range perSize {
-				fmt.Printf("%10.2f", 100*perSize[j][i].MispredictRate())
+				fmt.Fprintf(out, "%10.2f", 100*perSize[j][i].MispredictRate())
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		fmt.Printf("%-12s", "AVERAGE")
+		fmt.Fprintf(out, "%-12s", "AVERAGE")
 		for j := range perSize {
-			fmt.Printf("%10.2f", 100*sim.AverageRate(perSize[j]))
+			fmt.Fprintf(out, "%10.2f", 100*sim.AverageRate(perSize[j]))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }

@@ -1,25 +1,75 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
 
+// TestSweepBasic is the smoke test: a tiny synthetic sweep must produce a
+// well-formed table — every selected scheme header, one row per workload,
+// an AVERAGE row, and parseable in-range rates.
 func TestSweepBasic(t *testing.T) {
-	err := run([]string{"-w", "xlisp,compress", "-schemes", "gshare1,bimode,smith", "-min", "8", "-max", "9", "-n", "20000"})
+	var buf bytes.Buffer
+	err := run([]string{"-w", "xlisp,compress", "-schemes", "gshare1,bimode,smith",
+		"-min", "8", "-max", "9", "-n", "20000"}, &buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	text := buf.String()
+	if text == "" {
+		t.Fatal("no output")
+	}
+	for _, want := range []string{"gshare.1PHT", "bi-mode", "smith", "xlisp", "compress", "AVERAGE"} {
+		if c := strings.Count(text, want); c == 0 {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if c := strings.Count(text, "AVERAGE"); c != 3 {
+		t.Errorf("got %d AVERAGE rows, want one per scheme (3)", c)
+	}
+	// Every AVERAGE row carries one rate per swept size, each in (0,100).
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "AVERAGE") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		if len(fields) != 2 {
+			t.Fatalf("AVERAGE row has %d rates, want 2: %q", len(fields), line)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil || v <= 0 || v >= 100 {
+				t.Errorf("implausible rate %q in %q (err %v)", f, line, err)
+			}
+		}
 	}
 }
 
 func TestSweepBest(t *testing.T) {
-	err := run([]string{"-w", "xlisp", "-schemes", "gsharebest", "-min", "8", "-max", "8", "-n", "20000"})
+	var buf bytes.Buffer
+	err := run([]string{"-w", "xlisp", "-schemes", "gsharebest", "-min", "8", "-max", "8", "-n", "20000"}, &buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gshare.best") {
+		t.Error("output missing gshare.best header")
 	}
 }
 
 func TestSweepRivals(t *testing.T) {
-	err := run([]string{"-w", "lzw", "-schemes", "agree,gskew,yags,gag,pag", "-min", "8", "-max", "8", "-n", "20000"})
+	var buf bytes.Buffer
+	err := run([]string{"-w", "lzw", "-schemes", "agree,gskew,yags,gag,pag",
+		"-min", "8", "-max", "8", "-n", "20000"}, &buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"agree", "e-gskew", "yags", "GAg", "PAg"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
 	}
 }
 
@@ -31,7 +81,7 @@ func TestSweepErrors(t *testing.T) {
 		{"-min", "2", "-max", "30"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/predictor"
 )
 
 // Agree implements the agree predictor [Sprangle97], the de-aliasing rival
@@ -100,3 +101,15 @@ func (a *Agree) CounterID(pc uint64) int { return a.index(pc) }
 
 // NumCounters implements predictor.Indexed.
 func (a *Agree) NumCounters() int { return a.pht.Len() }
+
+// ProbeLookup implements predictor.Probe. The bias bit is agree's steering
+// structure: ChoiceTaken carries the branch's latched bias direction, the
+// vote the PHT's agree/disagree counter is applied against.
+func (a *Agree) ProbeLookup(pc uint64) predictor.Lookup {
+	return predictor.Lookup{
+		CounterID:   a.index(pc),
+		Bank:        -1,
+		ChoiceTaken: a.biasTaken(pc),
+		HasChoice:   true,
+	}
+}

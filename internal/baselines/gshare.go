@@ -5,6 +5,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/predictor"
 	"bimode/internal/trace"
 )
 
@@ -136,6 +137,14 @@ func (g *Gshare) CounterID(pc uint64) int { return g.index(pc) }
 // NumCounters implements predictor.Indexed.
 func (g *Gshare) NumCounters() int { return g.table.Len() }
 
+// ProbeLookup implements predictor.Probe. The bank is the PHT the address
+// bits select (always 0 for the single-PHT gshare); gshare has no steering
+// structure, so no choice vote is reported.
+func (g *Gshare) ProbeLookup(pc uint64) predictor.Lookup {
+	i := g.index(pc)
+	return predictor.Lookup{CounterID: i, Bank: i >> uint(g.histBits)}
+}
+
 // HistoryValue implements predictor.SpeculativeHistory.
 func (g *Gshare) HistoryValue() uint64 { return g.ghr.Value() }
 
@@ -219,3 +228,12 @@ func (g *Gselect) CounterID(pc uint64) int { return g.index(pc) }
 
 // NumCounters implements predictor.Indexed.
 func (g *Gselect) NumCounters() int { return g.table.Len() }
+
+// ProbeLookup implements predictor.Probe. The bank is the per-address PHT
+// the concatenated index selects (the address half of the index).
+func (g *Gselect) ProbeLookup(pc uint64) predictor.Lookup {
+	return predictor.Lookup{
+		CounterID: g.index(pc),
+		Bank:      int((pc >> 2) & g.addrMask),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bimode/internal/counter"
+	"bimode/internal/predictor"
 	"bimode/internal/trace"
 )
 
@@ -87,3 +88,9 @@ func (s *Smith) CounterID(pc uint64) int { return s.index(pc) }
 
 // NumCounters implements predictor.Indexed.
 func (s *Smith) NumCounters() int { return s.table.Len() }
+
+// ProbeLookup implements predictor.Probe: one PC-indexed table, no banks,
+// no steering structure.
+func (s *Smith) ProbeLookup(pc uint64) predictor.Lookup {
+	return predictor.Lookup{CounterID: s.index(pc), Bank: -1}
+}

@@ -30,6 +30,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/predictor"
 	"bimode/internal/trace"
 )
 
@@ -333,6 +334,20 @@ func (b *BiMode) CounterID(pc uint64) int {
 
 // NumCounters implements predictor.Indexed (both banks).
 func (b *BiMode) NumCounters() int { return 2 << uint(b.cfg.BankBits) }
+
+// ProbeLookup implements predictor.Probe: the bank the choice predictor
+// steers pc to, the choice direction itself, and the direction counter the
+// selected bank would consult. Read-only, like Predict.
+func (b *BiMode) ProbeLookup(pc uint64) predictor.Lookup {
+	choiceTaken := b.choice.Taken(b.choiceIndex(pc))
+	bank := bankFor(choiceTaken)
+	return predictor.Lookup{
+		CounterID:   bank<<uint(b.cfg.BankBits) + b.dirIndex(pc),
+		Bank:        bank,
+		ChoiceTaken: choiceTaken,
+		HasChoice:   true,
+	}
+}
 
 // ChoiceState returns the raw state of the choice counter for pc; exposed
 // for the analysis tooling and tests.

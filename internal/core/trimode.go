@@ -5,6 +5,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/predictor"
 )
 
 // TriMode is this repository's concrete take on the paper's stated future
@@ -167,3 +168,18 @@ func (t *TriMode) CounterID(pc uint64) int {
 
 // NumCounters implements predictor.Indexed.
 func (t *TriMode) NumCounters() int { return 3 << uint(t.cfg.BankBits) }
+
+// ProbeLookup implements predictor.Probe: the bank the confidence counter
+// classifies pc into (including the WB bank) and the counter it would
+// consult there. ChoiceTaken is the counter's direction half, the vote
+// bi-mode would have made.
+func (t *TriMode) ProbeLookup(pc uint64) predictor.Lookup {
+	v := t.choice.Value(t.choiceIndex(pc))
+	bank := t.classify(v)
+	return predictor.Lookup{
+		CounterID:   bank<<uint(t.cfg.BankBits) + t.dirIndex(pc),
+		Bank:        bank,
+		ChoiceTaken: v >= 4,
+		HasChoice:   true,
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenCfg is a deliberately small, fully deterministic configuration:
+// synthetic workloads are seeded, the sweep math is integer counting, and
+// renders use fixed-precision formatting, so the emitted bytes are stable
+// across platforms. Regenerate with `go test ./internal/experiments -run
+// Golden -update` after an intentional change to workloads or emitters.
+var goldenCfg = Config{Dynamic: 4000, MinSizeBits: 8, MaxSizeBits: 9}
+
+// goldenFig234 runs the figure sweep once for all golden tests.
+var goldenFig234 = sync.OnceValue(func() *Fig234 { return Figures234(goldenCfg) })
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, rerun with -update.",
+			name, got, want)
+	}
+}
+
+// TestGoldenCurvesCSV pins the replotting CSV for the Figures 2-4 sweep:
+// the averaged panels plus every per-benchmark panel.
+func TestGoldenCurvesCSV(t *testing.T) {
+	f := goldenFig234()
+	panels := append([]SizeCurves{f.SPECAvg, f.IBSAvg}, append(f.SPEC, f.IBS...)...)
+	checkGolden(t, "curves.csv.golden", CurvesCSV(panels))
+}
+
+// TestGoldenSizeCurves pins the rendered Figure 2 panel (table + ASCII
+// chart) for the SPEC average.
+func TestGoldenSizeCurves(t *testing.T) {
+	checkGolden(t, "fig2_spec_avg.txt.golden", RenderSizeCurves(goldenFig234().SPECAvg))
+}
+
+// TestGoldenTable1 pins the Table 1 text (profile documentation; no
+// simulation involved, so it catches profile drift specifically).
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1.txt.golden", RenderTable1(Table1()))
+}
+
+// TestGoldenTable2 pins the Table 2 text (branch statistics at the golden
+// scale).
+func TestGoldenTable2(t *testing.T) {
+	checkGolden(t, "table2.txt.golden", RenderTable2(Table2(goldenCfg)))
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+// TestSuiteSourcesMemoRace hammers the process-wide suite memo from many
+// goroutines requesting the same (suite, dynamic) key and asserts a single
+// materialization: every caller must receive the exact same *trace.Memory
+// instances (pointer identity), not freshly regenerated traces. Run under
+// `go test -race` (the CI default) this also proves the memo's locking.
+func TestSuiteSourcesMemoRace(t *testing.T) {
+	// A dynamic count no other test uses, so this test owns the memo key.
+	cfg := Config{Dynamic: 1777}
+	const goroutines = 16
+
+	results := make([][]trace.Source, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait() // maximize contention on the first materialization
+			results[g] = SuiteSources(synth.SuiteSPEC, cfg)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	ref := results[0]
+	if len(ref) == 0 {
+		t.Fatal("no SPEC sources")
+	}
+	refMems := asMemories(t, ref)
+	for g := 1; g < goroutines; g++ {
+		if len(results[g]) != len(ref) {
+			t.Fatalf("goroutine %d got %d sources, want %d", g, len(results[g]), len(ref))
+		}
+		for i, m := range asMemories(t, results[g]) {
+			if m != refMems[i] {
+				t.Fatalf("goroutine %d source %d is a distinct materialization (%p vs %p)",
+					g, i, m, refMems[i])
+			}
+		}
+	}
+
+	// A later sequential call still hits the same memo entry...
+	for i, m := range asMemories(t, SuiteSources(synth.SuiteSPEC, cfg)) {
+		if m != refMems[i] {
+			t.Errorf("sequential call re-materialized source %d", i)
+		}
+	}
+	// ...while a different key gets a different set.
+	other := asMemories(t, SuiteSources(synth.SuiteSPEC, Config{Dynamic: 1778}))
+	if other[0] == refMems[0] {
+		t.Error("distinct dynamic counts share a materialization")
+	}
+
+	// Callers get fresh slices they may reorder without corrupting the memo.
+	a := SuiteSources(synth.SuiteSPEC, cfg)
+	a[0], a[1] = a[1], a[0]
+	b := SuiteSources(synth.SuiteSPEC, cfg)
+	if asMemories(t, b)[0] != refMems[0] {
+		t.Error("mutating a returned slice leaked into the memo")
+	}
+}
+
+func asMemories(t *testing.T, srcs []trace.Source) []*trace.Memory {
+	t.Helper()
+	out := make([]*trace.Memory, len(srcs))
+	for i, s := range srcs {
+		m, ok := s.(*trace.Memory)
+		if !ok {
+			t.Fatalf("source %d is %T, not a materialized trace", i, s)
+		}
+		out[i] = m
+	}
+	return out
+}

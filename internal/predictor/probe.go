@@ -1,0 +1,52 @@
+package predictor
+
+// Lookup describes the internal decision path of one prediction: which
+// second-level counter the predictor is about to consult and, for schemes
+// with a steering structure (bi-mode's choice predictor, tri-mode's
+// confidence counter, agree's bias bit), which way that structure voted.
+// It is the per-branch sample the observability tier in internal/sim
+// aggregates into a Report.
+type Lookup struct {
+	// CounterID is the dense identifier of the direction counter
+	// Predict(pc) would consult right now, in [0, Indexed.NumCounters()),
+	// or -1 when the predictor has no identifiable counter.
+	CounterID int
+	// Bank is the predictor-specific bank the lookup selects (bi-mode:
+	// core.BankNotTaken/BankTaken; tri-mode adds the WB bank; gshare: the
+	// PHT number the address bits select), or -1 for single-table schemes.
+	Bank int
+	// ChoiceTaken is the direction the steering structure voted; only
+	// meaningful when HasChoice is true.
+	ChoiceTaken bool
+	// HasChoice reports whether the predictor has a steering structure
+	// whose vote ChoiceTaken carries.
+	HasChoice bool
+}
+
+// Probe is the optional observability capability, the introspective rung
+// of the same ladder Stepper and BatchRunner form for speed: a predictor
+// that can describe, BEFORE Update, the internal decision path the next
+// Predict(pc) would take. ProbeLookup must be read-only — it must not
+// touch counters or history — so instrumented and uninstrumented runs of
+// the same stream leave the predictor in identical states.
+type Probe interface {
+	// ProbeLookup reports the decision path Predict(pc) would take now.
+	ProbeLookup(pc uint64) Lookup
+}
+
+// LookupOf returns the observation function for p: ProbeLookup when p
+// implements Probe, a fallback derived from Indexed when it only exposes
+// counter indices, and nil when the predictor exposes nothing. The nil
+// return is the cost-free default: predictors opt in per capability, and
+// the uninstrumented simulation tiers never call this at all.
+func LookupOf(p Predictor) func(pc uint64) Lookup {
+	if pr, ok := p.(Probe); ok {
+		return pr.ProbeLookup
+	}
+	if ix, ok := p.(Indexed); ok {
+		return func(pc uint64) Lookup {
+			return Lookup{CounterID: ix.CounterID(pc), Bank: -1}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package sim
+
+import "expvar"
+
+// Cumulative process-wide counters for the instrumented tier, published
+// under /debug/vars for any process that serves expvar (cmd/obsreport
+// exposes the endpoint behind its -http flag). Only Observe updates them;
+// the uninstrumented tiers never touch expvar.
+var (
+	observedRuns        = expvar.NewInt("sim_observed_runs")
+	observedBranches    = expvar.NewInt("sim_observed_branches")
+	observedMispredicts = expvar.NewInt("sim_observed_mispredicts")
+)

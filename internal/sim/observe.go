@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"bimode/internal/counter"
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// ObserveOptions parameterizes an instrumented run. The zero value uses
+// the defaults.
+type ObserveOptions struct {
+	// TopN bounds the H2P ranking (default 10; negative disables it).
+	TopN int
+}
+
+// Observe is the instrumented simulation tier: it drives p over src with
+// the same Predict/Update semantics as Run — identical predictions,
+// identical final predictor state — while collecting the per-run metrics
+// of a Report. It is a separate entry point, not a mode of Run, so the
+// uninstrumented fast paths stay untouched and pay nothing for the
+// capability; the differential test in observe_test.go pins the
+// equivalence.
+//
+// Metrics degrade gracefully with the predictor's capabilities:
+// interference classification needs predictor.Indexed (directly or via
+// predictor.Probe), choice metrics need predictor.Probe with a steering
+// structure; the H2P ranking and throughput need only the base interface.
+func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Report {
+	rep := &Report{
+		Predictor: p.Name(),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	topN := opts.TopN
+	if topN == 0 {
+		topN = 10
+	}
+
+	lookup := predictor.LookupOf(p)
+	var inter *InterferenceMetrics
+	var lastWriter []int32
+	var choice *ChoiceMetrics
+	if lookup != nil {
+		if ix, ok := p.(predictor.Indexed); ok {
+			inter = &InterferenceMetrics{Counters: ix.NumCounters()}
+			lastWriter = make([]int32, ix.NumCounters())
+			for i := range lastWriter {
+				lastWriter[i] = -1
+			}
+		}
+		if _, ok := p.(predictor.Probe); ok {
+			choice = &ChoiceMetrics{}
+		}
+	}
+
+	// Per-static state: occurrence/taken/miss counts, first-seen PC, and
+	// the two-bit own-bias shadow counter the aliasing classification is
+	// judged against.
+	statics := src.StaticCount()
+	if statics < 0 {
+		statics = 0
+	}
+	counts := make([]int, statics)
+	takens := make([]int, statics)
+	misses := make([]int, statics)
+	firstPC := make([]uint64, statics)
+	shadow := make([]uint8, statics)
+	for i := range shadow {
+		shadow[i] = counter.WeakTaken
+	}
+
+	st := src.Stream()
+	start := time.Now()
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		s := int(rec.Static)
+		if counts[s] == 0 {
+			firstPC[s] = rec.PC &^ (1 << 63)
+		}
+
+		var look predictor.Lookup
+		if lookup != nil {
+			look = lookup(rec.PC)
+		}
+
+		pred := p.Predict(rec.PC)
+		miss := pred != rec.Taken
+		shadowMiss := (shadow[s] > 1) != rec.Taken
+
+		if inter != nil && look.CounterID >= 0 {
+			writer := lastWriter[look.CounterID]
+			switch {
+			case writer < 0:
+				inter.Cold++
+			case writer != int32(rec.Static):
+				inter.Aliased++
+				if miss {
+					inter.AliasedMispredicts++
+				}
+				switch {
+				case miss && !shadowMiss:
+					inter.Destructive++
+				case !miss && shadowMiss:
+					inter.Constructive++
+				default:
+					inter.Neutral++
+				}
+			}
+			lastWriter[look.CounterID] = int32(rec.Static)
+		}
+		if choice != nil && look.HasChoice {
+			choice.Branches++
+			if look.ChoiceTaken == rec.Taken {
+				choice.AgreeOutcome++
+			}
+			if pred == look.ChoiceTaken {
+				choice.PredictionAgrees++
+			}
+			if look.ChoiceTaken != rec.Taken && !miss {
+				choice.PartialHold++
+			}
+			if look.Bank >= 0 {
+				for len(choice.BankUse) <= look.Bank {
+					choice.BankUse = append(choice.BankUse, 0)
+				}
+				choice.BankUse[look.Bank]++
+			}
+		}
+
+		p.Update(rec.PC, rec.Taken)
+		var tk uint8
+		if rec.Taken {
+			tk = 1
+		}
+		shadow[s] = counter.SatNext2[(tk<<2|shadow[s])&7]
+
+		counts[s]++
+		if rec.Taken {
+			takens[s]++
+		}
+		if miss {
+			misses[s]++
+			rep.Mispredicts++
+		}
+		rep.Branches++
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.BranchesPerSec = float64(rep.Branches) / rep.WallSeconds
+	}
+	if rep.Branches > 0 {
+		rep.MispredictRate = float64(rep.Mispredicts) / float64(rep.Branches)
+	}
+	for _, c := range counts {
+		if c > 0 {
+			rep.StaticBranches++
+		}
+	}
+	rep.Interference = inter
+	if choice != nil && choice.Branches > 0 {
+		rep.Choice = choice
+	}
+	if topN > 0 {
+		rep.TopBranches, rep.TopShare = rankBranches(counts, takens, misses, firstPC, rep.Mispredicts, topN)
+	}
+
+	observedRuns.Add(1)
+	observedBranches.Add(int64(rep.Branches))
+	observedMispredicts.Add(int64(rep.Mispredicts))
+	return rep
+}
+
+// rankBranches builds the H2P top-N: static branches ordered by
+// misprediction count (ties by static id for determinism).
+func rankBranches(counts, takens, misses []int, firstPC []uint64, totalMiss, topN int) ([]BranchMetrics, float64) {
+	order := make([]int, 0, len(counts))
+	for s, m := range misses {
+		if m > 0 {
+			order = append(order, s)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if misses[a] != misses[b] {
+			return misses[a] > misses[b]
+		}
+		return a < b
+	})
+	if len(order) > topN {
+		order = order[:topN]
+	}
+	out := make([]BranchMetrics, 0, len(order))
+	covered := 0
+	for _, s := range order {
+		covered += misses[s]
+		out = append(out, BranchMetrics{
+			Static:      uint32(s),
+			PC:          firstPC[s],
+			Count:       counts[s],
+			Taken:       takens[s],
+			Mispredicts: misses[s],
+			MissRate:    float64(misses[s]) / float64(counts[s]),
+		})
+	}
+	share := 0.0
+	if totalMiss > 0 {
+		share = float64(covered) / float64(totalMiss)
+	}
+	return out, share
+}

@@ -48,3 +48,79 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRoundTrip drives the writer/reader pair from structured inputs: any
+// trace the writer can produce must be read back record-for-record, every
+// strict prefix of the encoding (a truncated file) must error rather than
+// panic or silently succeed, and single-byte corruption must never panic.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("gcc", uint16(8), []byte{0x01, 0x02, 0x03, 0x04, 0xFF, 0x00, 0x10, 0x81})
+	f.Add("", uint16(1), []byte{})
+	f.Add("a trace with a long-ish name", uint16(1024), bytes.Repeat([]byte{0xAB, 0x40, 0x07}, 40))
+
+	f.Fuzz(func(t *testing.T, name string, statics uint16, raw []byte) {
+		nStatics := int(statics)%1024 + 1
+		// Decode records from the raw bytes: 4 bytes each — 2 for the PC
+		// delta (zig-zag style around the previous PC), 1 for the static
+		// site, 1 whose low bit is the outcome. Capped so the prefix scan
+		// below stays fast.
+		if len(raw) > 4*64 {
+			raw = raw[:4*64]
+		}
+		var recs []Record
+		pc := uint64(0x1000)
+		for i := 0; i+4 <= len(raw); i += 4 {
+			delta := int64(int16(uint16(raw[i]) | uint16(raw[i+1])<<8))
+			pc += uint64(delta * 4)
+			recs = append(recs, Record{
+				PC:     pc,
+				Static: uint32(int(raw[i+2]) % nStatics),
+				Taken:  raw[i+3]&1 != 0,
+			})
+		}
+		m := NewMemory(name, nStatics, recs)
+
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write failed on a valid trace: %v", err)
+		}
+		enc := buf.Bytes()
+
+		got, err := Read(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("Read rejected Write's output: %v", err)
+		}
+		if got.Name() != m.Name() || got.StaticCount() != m.StaticCount() || got.Len() != m.Len() {
+			t.Fatalf("shape changed: (%q,%d,%d) vs (%q,%d,%d)",
+				got.Name(), got.StaticCount(), got.Len(), m.Name(), m.StaticCount(), m.Len())
+		}
+		for i := range recs {
+			if got.Records()[i] != recs[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, got.Records()[i], recs[i])
+			}
+		}
+
+		// Truncation at EVERY boundary must error, never panic: the header
+		// carries the record count, so a strict prefix can never satisfy it.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := Read(bytes.NewReader(enc[:cut])); err == nil {
+				t.Fatalf("truncation to %d/%d bytes was accepted", cut, len(enc))
+			}
+		}
+
+		// Corruption derived from the input must never panic; rejecting or
+		// accepting-with-different-contents are both fine.
+		if len(enc) > 0 && len(raw) > 1 {
+			pos := int(raw[0]) % len(enc)
+			corrupt := append([]byte{}, enc...)
+			corrupt[pos] ^= raw[1] | 1
+			if m2, err := Read(bytes.NewReader(corrupt)); err == nil {
+				// Whatever was accepted must still re-serialize cleanly.
+				var out bytes.Buffer
+				if err := Write(&out, m2); err != nil {
+					t.Fatalf("corrupt-accepted trace failed to re-serialize: %v", err)
+				}
+			}
+		}
+	})
+}
