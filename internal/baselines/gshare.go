@@ -90,7 +90,7 @@ func (g *Gshare) Step(pc uint64, taken bool) bool {
 
 // RunBatch implements predictor.BatchRunner: the whole-trace loop with
 // the counter array and history register in locals, branch-free per
-// record — the counter step goes through counter.SatNext2 because its
+// record — the counter step goes through counter.SatNext because its
 // condition is trace data the host CPU cannot predict. The table is
 // two-bit by construction (NewGshare), so the prediction is the counter's
 // high bit and the LUT matches counter.Table.Update exactly.
@@ -114,8 +114,8 @@ func (g *Gshare) RunBatch(recs []trace.Record) int {
 		}
 		idx := ((r.PC >> 2) ^ h) & idxMask
 		v := tab[idx]
-		miss += int(v>>1 ^ tk)
-		tab[idx] = counter.SatNext2[(tk<<2|v)&7]
+		miss += int(v.TakenBit() ^ tk)
+		tab[idx] = counter.SatNext(v, tk)
 		h = (h<<1 | uint64(tk)) & hMask
 	}
 	g.ghr.Set(h)

@@ -53,7 +53,7 @@ func (s *Smith) Step(pc uint64, taken bool) bool {
 }
 
 // RunBatch implements predictor.BatchRunner: the whole-trace loop over
-// the raw counter array, branch-free per record (see counter.SatNext2).
+// the raw counter array, branch-free per record (see counter.SatNext).
 // The table is two-bit by construction (NewSmith), so the prediction is
 // the counter's high bit and the LUT matches counter.Table.Update exactly.
 func (s *Smith) RunBatch(recs []trace.Record) int {
@@ -71,8 +71,8 @@ func (s *Smith) RunBatch(recs []trace.Record) int {
 		}
 		idx := (r.PC >> 2) & mask
 		v := tab[idx]
-		miss += int(v>>1 ^ tk)
-		tab[idx] = counter.SatNext2[(tk<<2|v)&7]
+		miss += int(v.TakenBit() ^ tk)
+		tab[idx] = counter.SatNext(v, tk)
 	}
 	return miss
 }

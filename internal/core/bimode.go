@@ -97,7 +97,7 @@ type BiMode struct {
 	// banks (not-taken bank first) used by RunBatch so bank selection is
 	// index arithmetic instead of a data-dependent branch; it is copied
 	// from and back to the banks at the batch boundaries.
-	dirScratch []uint8
+	dirScratch []counter.State
 }
 
 // New returns a bi-mode predictor for the given configuration.
@@ -212,11 +212,11 @@ func (b *BiMode) Step(pc uint64, taken bool) bool {
 	return pred
 }
 
-// choiceNext2[hold<<3|outcome<<2|v] is the choice counter transition
+// choiceNext2[hold<<3|outcome<<2|state] is the choice counter transition
 // under the paper's partial update rule: the saturating step when hold=0,
 // the unchanged value when hold=1 (choice wrong about the bias but the
 // selected bank predicted correctly).
-var choiceNext2 = [16]uint8{
+var choiceNext2 = [16]counter.State{
 	0, 0, 1, 2, 1, 2, 3, 3, // hold=0: counter.SatNext2
 	0, 1, 2, 3, 0, 1, 2, 3, // hold=1: identity
 }
@@ -225,7 +225,7 @@ var choiceNext2 = [16]uint8{
 // choice table, a contiguous two-bank direction view and the history
 // register held in locals, so the per-branch work is branch-free slice
 // arithmetic — the only conditional branch left is the record loop itself.
-// Counter transitions go through lookup tables (counter.SatNext2,
+// Counter transitions go through lookup tables (counter.SatNext,
 // choiceNext2) and bank selection is index arithmetic, because every one
 // of those conditions depends on trace data the host CPU cannot predict.
 // All three tables are two-bit by construction (New), so the taken
@@ -241,7 +241,7 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 	bankT := b.banks[BankTaken].Raw()
 	n := len(bankNT)
 	if b.dirScratch == nil {
-		b.dirScratch = make([]uint8, 2*n)
+		b.dirScratch = make([]counter.State, 2*n) //bimode:allow hotpath -- amortized scratch allocation at the batch boundary, not per record
 	}
 	dir := b.dirScratch
 	if len(choice) == 0 || len(dir) == 0 {
@@ -271,20 +271,20 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 
 		ci := addr & chMask
 		cv := choice[ci]
-		choiceBit := cv >> 1 // 1 = steer to the taken bank
+		choiceBit := cv.TakenBit() // 1 = steer to the taken bank
 
 		// Bank selection as an index offset (multiply, not a branch).
 		di := ((addr^h)&dirMask + uint64(choiceBit)*bankSize) & allMask
 		dv := dir[di]
-		predBit := dv >> 1
+		predBit := dv.TakenBit()
 		miss += int(predBit ^ tk)
 
 		// Selected bank always learns the outcome.
-		dir[di] = counter.SatNext2[(tk<<2|dv)&7]
+		dir[di] = counter.SatNext(dv, tk)
 
 		// Choice predictor: the paper's partial update rule.
 		hold := (choiceBit ^ tk) & (predBit ^ tk ^ 1)
-		choice[ci] = choiceNext2[(hold<<3|tk<<2|cv)&15]
+		choice[ci] = choiceNext2[(hold<<3|tk<<2|counter.Bits(cv))&15]
 
 		h = (h<<1 | uint64(tk)) & hMask
 	}
@@ -351,11 +351,11 @@ func (b *BiMode) ProbeLookup(pc uint64) predictor.Lookup {
 
 // ChoiceState returns the raw state of the choice counter for pc; exposed
 // for the analysis tooling and tests.
-func (b *BiMode) ChoiceState(pc uint64) uint8 { return b.choice.Value(b.choiceIndex(pc)) }
+func (b *BiMode) ChoiceState(pc uint64) counter.State { return b.choice.Value(b.choiceIndex(pc)) }
 
 // BankCounterState returns the raw state of the given bank's counter that
 // pc currently maps to; exposed for tests.
-func (b *BiMode) BankCounterState(bank int, pc uint64) uint8 {
+func (b *BiMode) BankCounterState(bank int, pc uint64) counter.State {
 	return b.banks[bank].Value(b.dirIndex(pc))
 }
 

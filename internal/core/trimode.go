@@ -33,7 +33,7 @@ type TriMode struct {
 	ghr     *history.Global
 	chMask  uint64
 	dirMask uint64
-	loBound uint8 // choice values in (loBound, hiBound) classify as WB
+	loBound uint8 // raw choice values in (loBound, hiBound) classify as WB
 	hiBound uint8
 }
 
@@ -77,14 +77,18 @@ func (t *TriMode) Name() string {
 }
 
 func (t *TriMode) choiceIndex(pc uint64) int { return int((pc >> 2) & t.chMask) }
-func (t *TriMode) dirIndex(pc uint64) int    { return int(((pc >> 2) ^ t.ghr.Value()) & t.dirMask) }
 
-// classify maps a choice-counter value to a bank.
-func (t *TriMode) classify(v uint8) int {
+func (t *TriMode) dirIndex(pc uint64) int { return int(((pc >> 2) ^ t.ghr.Value()) & t.dirMask) }
+
+// classify maps a choice-counter state to a bank. The band comparison
+// needs the raw bit pattern, so it goes through counter.Bits — the one
+// sanctioned escape from the counter-state encapsulation.
+func (t *TriMode) classify(v counter.State) int {
+	b := counter.Bits(v)
 	switch {
-	case v <= t.loBound:
+	case b <= t.loBound:
 		return BankNotTaken
-	case v >= t.hiBound:
+	case b >= t.hiBound:
 		return BankTaken
 	default:
 		return bankWeak
@@ -114,7 +118,7 @@ func (t *TriMode) Update(pc uint64, taken bool) {
 	// WB-classified branches the counter always tracks the outcome —
 	// the exception rule's asymmetric skips would otherwise drift weakly
 	// biased branches out of the WB bank.
-	choiceTaken := v >= 4
+	choiceTaken := counter.Bits(v) >= 4
 	if bank == bankWeak || !(choiceTaken != taken && dirPred == taken) {
 		t.choice.Update(ci, taken)
 	}
@@ -132,7 +136,7 @@ func (t *TriMode) Step(pc uint64, taken bool) bool {
 	pred := t.banks[bank].Taken(di)
 
 	t.banks[bank].Update(di, taken)
-	choiceTaken := v >= 4
+	choiceTaken := counter.Bits(v) >= 4
 	if bank == bankWeak || !(choiceTaken != taken && pred == taken) {
 		t.choice.Update(ci, taken)
 	}

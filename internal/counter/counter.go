@@ -8,26 +8,68 @@
 // hardware would; the two are behaviorally identical (see the package
 // tests), so the simulators use Table and the cost model uses the packed
 // size.
+//
+// Counter state is the defined type State rather than a bare uint8, and
+// every mutation outside this package must go through the Table/Counter
+// methods or the branch-free transition helpers (SatNext, TakenBit): the
+// counterarith analyzer in internal/lint rejects raw arithmetic,
+// comparisons, and conversions on State elsewhere. Bits is the single
+// sanctioned escape hatch for code that genuinely needs the raw pattern.
 package counter
 
 import "fmt"
+
+// State is the raw stored value of one saturating counter. It is a
+// defined type (not an alias) so the counterarith analyzer can flag raw
+// arithmetic on counter state outside this package; predictors hold and
+// move State values only through this package's API.
+type State uint8
+
+// Common two-bit counter states, named for readability at call sites.
+const (
+	StrongNotTaken State = 0
+	WeakNotTaken   State = 1
+	WeakTaken      State = 2
+	StrongTaken    State = 3
+)
+
+// TakenBit returns the prediction bit of a two-bit counter state: 1 when
+// the state is in the taken half (weakly or strongly taken). Fused
+// simulation loops use it so the prediction is a shift, not a branch.
+//
+//bimode:hotpath
+func (s State) TakenBit() uint8 { return uint8(s) >> 1 }
+
+// Taken2 reports the prediction encoded by a two-bit counter state.
+//
+//bimode:hotpath
+func (s State) Taken2() bool { return s >= WeakTaken }
+
+// Bits returns the raw bit pattern of a counter state. It is the single
+// sanctioned way to move counter state into plain integer arithmetic
+// (e.g. building a lookup-table key from a state and outcome bits);
+// direct conversions outside this package are rejected by the
+// counterarith analyzer so every escape is greppable.
+//
+//bimode:hotpath
+func Bits(s State) uint8 { return uint8(s) }
 
 // Counter is a saturating up-down counter of configurable width.
 // A Counter with Bits=2 is the classic Smith two-bit counter: states
 // 0 (strongly not-taken), 1 (weakly not-taken), 2 (weakly taken),
 // 3 (strongly taken).
 type Counter struct {
-	value uint8
-	max   uint8
+	value State
+	max   State
 }
 
 // New returns a counter with the given width in bits (1..8) initialized to
 // the given value, which is clamped to the representable range.
-func New(bits int, value uint8) Counter {
+func New(bits int, value State) Counter {
 	if bits < 1 || bits > 8 {
 		panic(fmt.Sprintf("counter: width %d out of range [1,8]", bits))
 	}
-	max := uint8(1<<bits - 1)
+	max := State(1<<bits - 1)
 	if value > max {
 		value = max
 	}
@@ -35,10 +77,10 @@ func New(bits int, value uint8) Counter {
 }
 
 // Value returns the current counter state.
-func (c Counter) Value() uint8 { return c.value }
+func (c Counter) Value() State { return c.value }
 
 // Max returns the saturation value (2^bits - 1).
-func (c Counter) Max() uint8 { return c.max }
+func (c Counter) Max() State { return c.max }
 
 // Taken reports the prediction encoded by the counter: true when the
 // counter is in the taken half of its range.
@@ -58,17 +100,31 @@ func (c *Counter) Update(taken bool) {
 	}
 }
 
-// Common two-bit counter states, named for readability at call sites.
-const (
-	StrongNotTaken uint8 = 0
-	WeakNotTaken   uint8 = 1
-	WeakTaken      uint8 = 2
-	StrongTaken    uint8 = 3
-)
+// SatNext2[outcome<<2|state] is the saturating two-bit counter transition
+// table: state-1 clamped at 0 for a not-taken outcome (rows 0-3), state+1
+// clamped at 3 for a taken outcome (rows 4-7). External callers go
+// through SatNext, which encapsulates the key layout.
+var SatNext2 = [8]State{0, 0, 1, 2, 1, 2, 3, 3}
 
-// SatNext2[outcome<<2|v] is the saturating two-bit counter transition:
-// v-1 clamped at 0 for a not-taken outcome (rows 0-3), v+1 clamped at 3
-// for a taken outcome (rows 4-7). Fused simulation loops use it instead
-// of Update so the counter step is a table load rather than a
-// data-dependent branch the host CPU cannot predict.
-var SatNext2 = [8]uint8{0, 0, 1, 2, 1, 2, 3, 3}
+// OutcomeBit converts a branch outcome to the bit SatNext consumes
+// (1 = taken). The compiler lowers it to a flag materialization, not a
+// branch.
+//
+//bimode:hotpath
+func OutcomeBit(taken bool) uint8 {
+	if taken {
+		return 1
+	}
+	return 0
+}
+
+// SatNext is the saturating two-bit counter transition: the state after
+// training v with the outcome bit taken (1 = taken). Fused simulation
+// loops use it instead of Table.Update so the counter step is a table
+// load rather than a data-dependent branch the host CPU cannot predict;
+// TestSatNext2Exhaustive pins it to Counter.Update bit for bit.
+//
+//bimode:hotpath
+func SatNext(v State, taken uint8) State {
+	return SatNext2[(taken<<2|uint8(v))&7]
+}

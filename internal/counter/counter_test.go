@@ -39,7 +39,7 @@ func TestCounterSaturatesLow(t *testing.T) {
 func TestCounterWidths(t *testing.T) {
 	for bits := 1; bits <= 8; bits++ {
 		c := New(bits, 0)
-		want := uint8(1<<uint(bits) - 1)
+		want := State(1<<uint(bits) - 1)
 		if c.Max() != want {
 			t.Fatalf("bits=%d: max %d, want %d", bits, c.Max(), want)
 		}
@@ -77,7 +77,7 @@ func TestCounterPanicsOnBadWidth(t *testing.T) {
 func TestCounterStaysInRange(t *testing.T) {
 	f := func(updates []bool, bits uint8, init uint8) bool {
 		b := int(bits%8) + 1
-		c := New(b, init)
+		c := New(b, State(init))
 		for _, u := range updates {
 			c.Update(u)
 			if c.Value() > c.Max() {

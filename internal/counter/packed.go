@@ -9,12 +9,12 @@ import "fmt"
 type PackedTable struct {
 	words []uint8
 	n     int
-	init  uint8
+	init  State
 }
 
 // NewPackedTwoBit returns a packed table of n two-bit counters initialized
 // to init.
-func NewPackedTwoBit(n int, init uint8) *PackedTable {
+func NewPackedTwoBit(n int, init State) *PackedTable {
 	if n <= 0 {
 		panic(fmt.Sprintf("counter: packed table size %d must be positive", n))
 	}
@@ -36,30 +36,22 @@ func (t *PackedTable) CostBits() int { return t.n * 2 }
 func (t *PackedTable) CostBytes() int { return (t.CostBits() + 7) / 8 }
 
 // Value returns the raw state of counter i.
-func (t *PackedTable) Value(i int) uint8 {
+func (t *PackedTable) Value(i int) State {
 	t.check(i)
 	shift := uint(i&3) * 2
-	return (t.words[i>>2] >> shift) & 3
+	return State((t.words[i>>2] >> shift) & 3)
 }
 
 // Taken reports the prediction of counter i.
-func (t *PackedTable) Taken(i int) bool { return t.Value(i) >= 2 }
+func (t *PackedTable) Taken(i int) bool { return t.Value(i).Taken2() }
 
 // Update moves counter i toward the branch outcome, saturating.
 func (t *PackedTable) Update(i int, taken bool) {
-	v := t.Value(i)
-	if taken {
-		if v < 3 {
-			v++
-		}
-	} else if v > 0 {
-		v--
-	}
-	t.set(i, v)
+	t.set(i, SatNext(t.Value(i), OutcomeBit(taken)))
 }
 
 // Set forces counter i to the given state (clamped to [0,3]).
-func (t *PackedTable) Set(i int, v uint8) {
+func (t *PackedTable) Set(i int, v State) {
 	t.check(i)
 	if v > 3 {
 		v = 3
@@ -71,17 +63,17 @@ func (t *PackedTable) Set(i int, v uint8) {
 func (t *PackedTable) Reset() {
 	var pattern uint8
 	for k := 0; k < 4; k++ {
-		pattern |= t.init << uint(k*2)
+		pattern |= uint8(t.init) << uint(k*2)
 	}
 	for i := range t.words {
 		t.words[i] = pattern
 	}
 }
 
-func (t *PackedTable) set(i int, v uint8) {
+func (t *PackedTable) set(i int, v State) {
 	shift := uint(i&3) * 2
 	idx := i >> 2
-	t.words[idx] = t.words[idx]&^(3<<shift) | v<<shift
+	t.words[idx] = t.words[idx]&^(3<<shift) | uint8(v)<<shift
 }
 
 func (t *PackedTable) check(i int) {

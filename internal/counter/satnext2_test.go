@@ -7,7 +7,7 @@ import "testing"
 // The fused simulation loops (core.BiMode.RunBatch, baselines) rely on
 // this equivalence instead of calling Update per branch.
 func TestSatNext2Exhaustive(t *testing.T) {
-	for v := uint8(0); v <= 3; v++ {
+	for v := State(0); v <= 3; v++ {
 		for _, taken := range []bool{false, true} {
 			c := New(2, v)
 			c.Update(taken)
@@ -15,7 +15,7 @@ func TestSatNext2Exhaustive(t *testing.T) {
 			if taken {
 				tk = 1
 			}
-			got := SatNext2[tk<<2|v]
+			got := SatNext2[tk<<2|uint8(v)]
 			if got != c.Value() {
 				t.Errorf("SatNext2[%d<<2|%d] = %d, Counter.Update gives %d", tk, v, got, c.Value())
 			}
@@ -29,7 +29,7 @@ func TestSatNext2Exhaustive(t *testing.T) {
 // TestSatNext2MatchesTable checks the same equivalence against the Table
 // implementation the predictors actually run on, for every state.
 func TestSatNext2MatchesTable(t *testing.T) {
-	for v := uint8(0); v <= 3; v++ {
+	for v := State(0); v <= 3; v++ {
 		for _, taken := range []bool{false, true} {
 			tab := NewTwoBit(1, v)
 			tab.Update(0, taken)
@@ -37,7 +37,7 @@ func TestSatNext2MatchesTable(t *testing.T) {
 			if taken {
 				tk = 1
 			}
-			if got := SatNext2[tk<<2|v]; got != tab.Value(0) {
+			if got := SatNext2[tk<<2|uint8(v)]; got != tab.Value(0) {
 				t.Errorf("SatNext2[%d<<2|%d] = %d, Table.Update gives %d", tk, v, got, tab.Value(0))
 			}
 		}

@@ -6,22 +6,22 @@ import "fmt"
 // (one byte per counter) for simulation speed. Its CostBits method reports
 // the packed hardware cost, which is what the paper's size axis measures.
 type Table struct {
-	entries []uint8
+	entries []State
 	bits    int
-	max     uint8
-	mid     uint8 // values above mid predict taken
-	init    uint8
+	max     State
+	mid     State // values above mid predict taken
+	init    State
 }
 
 // NewTable returns a table of n counters of the given width, all
 // initialized to init (clamped). n must be positive.
-func NewTable(n int, bits int, init uint8) *Table {
+func NewTable(n int, bits int, init State) *Table {
 	if n <= 0 {
 		panic(fmt.Sprintf("counter: table size %d must be positive", n))
 	}
 	c := New(bits, init) // validates bits, clamps init
 	t := &Table{
-		entries: make([]uint8, n),
+		entries: make([]State, n),
 		bits:    bits,
 		max:     c.Max(),
 		mid:     c.Max() / 2,
@@ -33,16 +33,21 @@ func NewTable(n int, bits int, init uint8) *Table {
 
 // NewTwoBit returns a table of n two-bit counters initialized to init.
 // This is the configuration used by every predictor in the paper.
-func NewTwoBit(n int, init uint8) *Table { return NewTable(n, 2, init) }
+func NewTwoBit(n int, init State) *Table { return NewTable(n, 2, init) }
 
 // Len returns the number of counters in the table.
+//
+//bimode:hotpath
 func (t *Table) Len() int { return len(t.entries) }
 
 // Raw exposes the backing counter array for fused simulation loops that
 // cannot afford a method call per access. Callers own the update
 // discipline: every write must keep entries within [0, 2^Bits-1], exactly
-// as Update would. Reads see live state; the slice aliases the table.
-func (t *Table) Raw() []uint8 { return t.entries }
+// as Update would — in practice by storing only values produced by
+// SatNext. Reads see live state; the slice aliases the table.
+//
+//bimode:hotpath
+func (t *Table) Raw() []State { return t.entries }
 
 // Bits returns the width of each counter.
 func (t *Table) Bits() int { return t.bits }
@@ -51,13 +56,17 @@ func (t *Table) Bits() int { return t.bits }
 func (t *Table) CostBits() int { return len(t.entries) * t.bits }
 
 // Taken reports the prediction of counter i.
+//
+//bimode:hotpath
 func (t *Table) Taken(i int) bool { return t.entries[i] > t.mid }
 
 // Value returns the raw state of counter i.
-func (t *Table) Value(i int) uint8 { return t.entries[i] }
+//
+//bimode:hotpath
+func (t *Table) Value(i int) State { return t.entries[i] }
 
 // Set forces counter i to the given state (clamped to the counter range).
-func (t *Table) Set(i int, v uint8) {
+func (t *Table) Set(i int, v State) {
 	if v > t.max {
 		v = t.max
 	}
@@ -65,6 +74,8 @@ func (t *Table) Set(i int, v uint8) {
 }
 
 // Update moves counter i toward the branch outcome, saturating.
+//
+//bimode:hotpath
 func (t *Table) Update(i int, taken bool) {
 	v := t.entries[i]
 	if taken {

@@ -85,8 +85,8 @@ func TestPackedMatchesUnpacked(t *testing.T) {
 	}
 	f := func(init uint8, ops []op) bool {
 		const n = 32
-		a := NewTwoBit(n, init%4)
-		b := NewPackedTwoBit(n, init%4)
+		a := NewTwoBit(n, State(init%4))
+		b := NewPackedTwoBit(n, State(init%4))
 		for _, o := range ops {
 			i := int(o.Idx) % n
 			a.Update(i, o.Taken)
@@ -107,7 +107,7 @@ func TestPackedMatchesUnpacked(t *testing.T) {
 func TestPackedReset(t *testing.T) {
 	pt := NewPackedTwoBit(9, WeakTaken) // odd size exercises partial last byte
 	for i := 0; i < 9; i++ {
-		pt.Set(i, uint8(i%4))
+		pt.Set(i, State(i%4))
 	}
 	pt.Reset()
 	for i := 0; i < 9; i++ {

@@ -67,7 +67,7 @@ func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Repo
 	takens := make([]int, statics)
 	misses := make([]int, statics)
 	firstPC := make([]uint64, statics)
-	shadow := make([]uint8, statics)
+	shadow := make([]counter.State, statics)
 	for i := range shadow {
 		shadow[i] = counter.WeakTaken
 	}
@@ -91,7 +91,7 @@ func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Repo
 
 		pred := p.Predict(rec.PC)
 		miss := pred != rec.Taken
-		shadowMiss := (shadow[s] > 1) != rec.Taken
+		shadowMiss := shadow[s].Taken2() != rec.Taken
 
 		if inter != nil && look.CounterID >= 0 {
 			writer := lastWriter[look.CounterID]
@@ -134,11 +134,7 @@ func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Repo
 		}
 
 		p.Update(rec.PC, rec.Taken)
-		var tk uint8
-		if rec.Taken {
-			tk = 1
-		}
-		shadow[s] = counter.SatNext2[(tk<<2|shadow[s])&7]
+		shadow[s] = counter.SatNext(shadow[s], counter.OutcomeBit(rec.Taken))
 
 		counts[s]++
 		if rec.Taken {
