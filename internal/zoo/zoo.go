@@ -22,6 +22,13 @@
 //	alpha:s=12              Alpha 21264-style tournament (PAs | GAg)
 //	loopgshare:i=12,l=8     gshare with a loop-termination side predictor
 //	taken | not-taken | btfn  static predictors
+//
+// Family names are case-insensitive on lookup; their canonical
+// (registered) form is lowercase. Each family lives in one register call
+// below; the registry analyzer in internal/lint statically re-checks the
+// registration contract — unique lowercase names, examples that belong to
+// their family, and builders that can never return a nil predictor with a
+// nil error.
 package zoo
 
 import (
@@ -94,37 +101,73 @@ func (p *params) leftover() error {
 	return nil
 }
 
-// New builds a predictor from a spec string. Construction panics from
-// invalid widths are converted to errors.
-func New(spec string) (p predictor.Predictor, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			p, err = nil, fmt.Errorf("zoo: %q: %v", spec, r)
-		}
-	}()
+// builder is one registered spec family: its constructor plus the example
+// specs Known advertises for it.
+type builder struct {
+	build    func(p *params) (predictor.Predictor, error)
+	examples []string
+}
 
-	name, opts, _ := strings.Cut(spec, ":")
-	pr, perr := parseParams(spec, opts)
-	if perr != nil {
-		return nil, perr
+var (
+	registry      = map[string]builder{}
+	registryOrder []string
+)
+
+// register adds a spec family to the registry. The name must be its own
+// lowercase form, non-empty and unique, and every example must name this
+// family. These rules are enforced twice: here at package init, and
+// statically by the registry analyzer in internal/lint, which also
+// requires build to use explicit returns and never return nil, nil.
+//
+//bimode:registry
+func register(name string, build func(*params) (predictor.Predictor, error), examples ...string) {
+	if name == "" || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("zoo: register %q: name must be non-empty lowercase", name))
 	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("zoo: register %q: duplicate registration", name))
+	}
+	if build == nil {
+		panic(fmt.Sprintf("zoo: register %q: nil builder", name))
+	}
+	for _, ex := range examples {
+		if fam, _, _ := strings.Cut(ex, ":"); fam != name {
+			panic(fmt.Sprintf("zoo: register %q: example %q names a different family", name, ex))
+		}
+	}
+	registry[name] = builder{build: build, examples: examples}
+	registryOrder = append(registryOrder, name)
+}
 
-	switch name {
-	case "taken", "not-taken", "btfn":
-		p = baselines.NewStatic(name)
-	case "smith":
+// registerStatic registers one always-available static predictor family.
+func registerStatic(name string) {
+	register(name, func(*params) (predictor.Predictor, error) {
+		return baselines.NewStatic(name), nil
+	}, name)
+}
+
+func init() {
+	registerStatic("taken")
+	registerStatic("not-taken")
+	registerStatic("btfn")
+
+	register("smith", func(pr *params) (predictor.Predictor, error) {
 		a, err := pr.get("a")
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewSmith(a)
-	case "gshare":
+		return baselines.NewSmith(a), nil
+	}, "smith:a=12")
+
+	register("gshare", func(pr *params) (predictor.Predictor, error) {
 		i, err := pr.get("i")
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewGshare(i, pr.getDefault("h", i))
-	case "gselect":
+		return baselines.NewGshare(i, pr.getDefault("h", i)), nil
+	}, "gshare:i=12,h=12", "gshare:i=12,h=8")
+
+	register("gselect", func(pr *params) (predictor.Predictor, error) {
 		a, err := pr.get("a")
 		if err != nil {
 			return nil, err
@@ -133,38 +176,18 @@ func New(spec string) (p predictor.Predictor, err error) {
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewGselect(a, h)
-	case "gag":
+		return baselines.NewGselect(a, h), nil
+	}, "gselect:a=6,h=6")
+
+	register("gag", func(pr *params) (predictor.Predictor, error) {
 		h, err := pr.get("h")
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewGAg(h)
-	case "gas":
-		h, err := pr.get("h")
-		if err != nil {
-			return nil, err
-		}
-		s, err := pr.get("s")
-		if err != nil {
-			return nil, err
-		}
-		p = baselines.NewGAs(h, s)
-	case "pag":
-		b, err := pr.get("b")
-		if err != nil {
-			return nil, err
-		}
-		h, err := pr.get("h")
-		if err != nil {
-			return nil, err
-		}
-		p = baselines.NewPAg(b, h)
-	case "pas":
-		b, err := pr.get("b")
-		if err != nil {
-			return nil, err
-		}
+		return baselines.NewGAg(h), nil
+	}, "gag:h=12")
+
+	register("gas", func(pr *params) (predictor.Predictor, error) {
 		h, err := pr.get("h")
 		if err != nil {
 			return nil, err
@@ -173,8 +196,38 @@ func New(spec string) (p predictor.Predictor, err error) {
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewPAs(b, h, s)
-	case "bimode":
+		return baselines.NewGAs(h, s), nil
+	}, "gas:h=10,s=2")
+
+	register("pag", func(pr *params) (predictor.Predictor, error) {
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		return baselines.NewPAg(b, h), nil
+	}, "pag:b=10,h=10")
+
+	register("pas", func(pr *params) (predictor.Predictor, error) {
+		b, err := pr.get("b")
+		if err != nil {
+			return nil, err
+		}
+		h, err := pr.get("h")
+		if err != nil {
+			return nil, err
+		}
+		s, err := pr.get("s")
+		if err != nil {
+			return nil, err
+		}
+		return baselines.NewPAs(b, h, s), nil
+	}, "pas:b=10,h=8,s=2")
+
+	register("bimode", func(pr *params) (predictor.Predictor, error) {
 		b, err := pr.get("b")
 		if err != nil {
 			return nil, err
@@ -190,8 +243,10 @@ func New(spec string) (p predictor.Predictor, err error) {
 		if err != nil {
 			return nil, err
 		}
-		p = bm
-	case "trimode":
+		return bm, nil
+	}, "bimode:b=11", "bimode:c=10,b=11,h=9")
+
+	register("trimode", func(pr *params) (predictor.Predictor, error) {
 		b, err := pr.get("b")
 		if err != nil {
 			return nil, err
@@ -205,40 +260,35 @@ func New(spec string) (p predictor.Predictor, err error) {
 		if err != nil {
 			return nil, err
 		}
-		p = tm
-	case "filter":
+		return tm, nil
+	}, "trimode:b=10")
+
+	register("filter", func(pr *params) (predictor.Predictor, error) {
 		i, err := pr.get("i")
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewFilter(i, pr.getDefault("h", i), pr.getDefault("f", i-2), uint8(pr.getDefault("m", 32)))
-	case "agree":
+		return baselines.NewFilter(i, pr.getDefault("h", i), pr.getDefault("f", i-2),
+			uint8(pr.getDefault("m", 32))), nil
+	}, "filter:i=12,h=12,f=10,m=32")
+
+	register("agree", func(pr *params) (predictor.Predictor, error) {
 		i, err := pr.get("i")
 		if err != nil {
 			return nil, err
 		}
-		h := pr.getDefault("h", i)
-		p = baselines.NewAgree(i, h, pr.getDefault("b", i))
-	case "gskew":
+		return baselines.NewAgree(i, pr.getDefault("h", i), pr.getDefault("b", i)), nil
+	}, "agree:i=12,h=12,b=10")
+
+	register("gskew", func(pr *params) (predictor.Predictor, error) {
 		b, err := pr.get("b")
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewGskew(b, pr.getDefault("h", b), pr.getDefault("p", 0) != 0)
-	case "alpha":
-		s, err := pr.get("s")
-		if err != nil {
-			return nil, err
-		}
-		p = baselines.NewAlpha21264Style(s)
-	case "loopgshare":
-		i, err := pr.get("i")
-		if err != nil {
-			return nil, err
-		}
-		p = baselines.NewWithLoopOverride(
-			baselines.NewGshare(i, pr.getDefault("h", i)), pr.getDefault("l", i-4))
-	case "yags":
+		return baselines.NewGskew(b, pr.getDefault("h", b), pr.getDefault("p", 0) != 0), nil
+	}, "gskew:b=10,h=10", "gskew:b=10,h=10,p=1")
+
+	register("yags", func(pr *params) (predictor.Predictor, error) {
 		c, err := pr.get("c")
 		if err != nil {
 			return nil, err
@@ -247,9 +297,53 @@ func New(spec string) (p predictor.Predictor, err error) {
 		if err != nil {
 			return nil, err
 		}
-		p = baselines.NewYAGS(c, e, pr.getDefault("h", e), pr.getDefault("t", 6))
-	default:
+		return baselines.NewYAGS(c, e, pr.getDefault("h", e), pr.getDefault("t", 6)), nil
+	}, "yags:c=11,e=10,h=10,t=6")
+
+	register("alpha", func(pr *params) (predictor.Predictor, error) {
+		s, err := pr.get("s")
+		if err != nil {
+			return nil, err
+		}
+		return baselines.NewAlpha21264Style(s), nil
+	}, "alpha:s=12")
+
+	register("loopgshare", func(pr *params) (predictor.Predictor, error) {
+		i, err := pr.get("i")
+		if err != nil {
+			return nil, err
+		}
+		return baselines.NewWithLoopOverride(
+			baselines.NewGshare(i, pr.getDefault("h", i)), pr.getDefault("l", i-4)), nil
+	}, "loopgshare:i=12,l=8")
+}
+
+// New builds a predictor from a spec string. Construction panics from
+// invalid widths are converted to errors.
+func New(spec string) (p predictor.Predictor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("zoo: %q: %v", spec, r)
+		}
+	}()
+
+	name, opts, _ := strings.Cut(spec, ":")
+	pr, perr := parseParams(spec, opts)
+	if perr != nil {
+		return nil, perr
+	}
+	b, ok := registry[strings.ToLower(name)]
+	if !ok {
 		return nil, fmt.Errorf("zoo: unknown predictor %q (see package zoo docs for the spec grammar)", name)
+	}
+	p, err = b.build(pr)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		// Unreachable for registrations that pass the registry analyzer;
+		// kept as a runtime backstop so a broken builder fails loudly.
+		return nil, fmt.Errorf("zoo: %q: builder returned no predictor", spec)
 	}
 	if err := pr.leftover(); err != nil {
 		return nil, err
@@ -266,21 +360,12 @@ func MustNew(spec string) predictor.Predictor {
 	return p
 }
 
-// Known lists one example spec per predictor family, for help text.
+// Known lists the example specs of every registered family, in
+// registration order; used for help text and the differential test grids.
 func Known() []string {
-	return []string{
-		"taken", "not-taken", "btfn",
-		"smith:a=12",
-		"gshare:i=12,h=12", "gshare:i=12,h=8",
-		"gselect:a=6,h=6",
-		"gag:h=12", "gas:h=10,s=2", "pag:b=10,h=10", "pas:b=10,h=8,s=2",
-		"bimode:b=11", "bimode:c=10,b=11,h=9",
-		"trimode:b=10",
-		"filter:i=12,h=12,f=10,m=32",
-		"agree:i=12,h=12,b=10",
-		"gskew:b=10,h=10", "gskew:b=10,h=10,p=1",
-		"yags:c=11,e=10,h=10,t=6",
-		"alpha:s=12",
-		"loopgshare:i=12,l=8",
+	var out []string
+	for _, name := range registryOrder {
+		out = append(out, registry[name].examples...)
 	}
+	return out
 }
