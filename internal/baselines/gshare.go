@@ -65,6 +65,7 @@ func (g *Gshare) IndexBits() int { return g.indexBits }
 // partition the second level into.
 func (g *Gshare) NumPHTs() int { return 1 << uint(g.indexBits-g.histBits) }
 
+//bimode:hotpath
 func (g *Gshare) index(pc uint64) int {
 	return int(((pc >> 2) ^ g.ghr.Value()) & g.idxMask)
 }
@@ -80,6 +81,8 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 
 // Step implements predictor.Stepper: Predict and Update fused so the
 // XOR index is computed once per branch.
+//
+//bimode:hotpath
 func (g *Gshare) Step(pc uint64, taken bool) bool {
 	i := g.index(pc)
 	pred := g.table.Taken(i)
@@ -94,6 +97,8 @@ func (g *Gshare) Step(pc uint64, taken bool) bool {
 // condition is trace data the host CPU cannot predict. The table is
 // two-bit by construction (NewGshare), so the prediction is the counter's
 // high bit and the LUT matches counter.Table.Update exactly.
+//
+//bimode:hotpath
 func (g *Gshare) RunBatch(recs []trace.Record) int {
 	tab := g.table.Raw()
 	if len(tab) == 0 {
@@ -191,6 +196,7 @@ func NewGselect(addrBits, histBits int) *Gselect {
 // Name implements predictor.Predictor.
 func (g *Gselect) Name() string { return fmt.Sprintf("gselect(%da,%dh)", g.addrBits, g.histBits) }
 
+//bimode:hotpath
 func (g *Gselect) index(pc uint64) int {
 	return int(((pc>>2)&g.addrMask)<<uint(g.histBits) | g.ghr.Value())
 }
@@ -206,6 +212,8 @@ func (g *Gselect) Update(pc uint64, taken bool) {
 
 // Step implements predictor.Stepper: Predict and Update fused so the
 // concatenated index is computed once per branch.
+//
+//bimode:hotpath
 func (g *Gselect) Step(pc uint64, taken bool) bool {
 	i := g.index(pc)
 	pred := g.table.Taken(i)

@@ -35,6 +35,7 @@ func NewSmith(indexBits int) *Smith {
 // Name implements predictor.Predictor.
 func (s *Smith) Name() string { return fmt.Sprintf("smith(%da)", s.bits) }
 
+//bimode:hotpath
 func (s *Smith) index(pc uint64) int { return int((pc >> 2) & s.idxMask) }
 
 // Predict implements predictor.Predictor.
@@ -45,6 +46,8 @@ func (s *Smith) Update(pc uint64, taken bool) { s.table.Update(s.index(pc), take
 
 // Step implements predictor.Stepper: Predict and Update fused so the
 // table index is computed once per branch.
+//
+//bimode:hotpath
 func (s *Smith) Step(pc uint64, taken bool) bool {
 	i := s.index(pc)
 	pred := s.table.Taken(i)
@@ -56,6 +59,8 @@ func (s *Smith) Step(pc uint64, taken bool) bool {
 // the raw counter array, branch-free per record (see counter.SatNext).
 // The table is two-bit by construction (NewSmith), so the prediction is
 // the counter's high bit and the LUT matches counter.Table.Update exactly.
+//
+//bimode:hotpath
 func (s *Smith) RunBatch(recs []trace.Record) int {
 	tab := s.table.Raw()
 	if len(tab) == 0 {

@@ -85,6 +85,7 @@ func (t *TwoLevel) Name() string {
 	return fmt.Sprintf("%s(%dh,%ds)", t.name, t.histBits, t.setBits)
 }
 
+//bimode:hotpath
 func (t *TwoLevel) pattern(pc uint64) uint64 {
 	if t.perAddr {
 		return t.bht.Value(pc)
@@ -92,6 +93,7 @@ func (t *TwoLevel) pattern(pc uint64) uint64 {
 	return t.ghr.Value()
 }
 
+//bimode:hotpath
 func (t *TwoLevel) index(pc uint64) int {
 	set := (pc >> 2) & t.setMask
 	return int(set<<uint(t.histBits) | t.pattern(pc))
@@ -113,6 +115,8 @@ func (t *TwoLevel) Update(pc uint64, taken bool) {
 // Step implements predictor.Stepper: Predict and Update fused so the
 // first-level pattern is read and the second-level index computed once
 // per branch, for all four variants (GAg/GAs/PAg/PAs).
+//
+//bimode:hotpath
 func (t *TwoLevel) Step(pc uint64, taken bool) bool {
 	i := t.index(pc)
 	pred := t.table.Taken(i)

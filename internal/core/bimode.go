@@ -143,15 +143,21 @@ func (b *BiMode) Name() string {
 func (b *BiMode) Config() Config { return b.cfg }
 
 // choiceIndex maps a branch PC to its choice counter.
+//
+//bimode:hotpath
 func (b *BiMode) choiceIndex(pc uint64) int { return int((pc >> 2) & b.chMask) }
 
 // dirIndex maps (PC, current history) to the counter consulted in either
 // direction bank.
+//
+//bimode:hotpath
 func (b *BiMode) dirIndex(pc uint64) int {
 	return int(((pc >> 2) ^ b.ghr.Value()) & b.dirMask)
 }
 
 // bankFor translates a choice prediction into a bank identifier.
+//
+//bimode:hotpath
 func bankFor(choiceTaken bool) int {
 	if choiceTaken {
 		return BankTaken
@@ -194,6 +200,8 @@ func (b *BiMode) Update(pc uint64, taken bool) {
 // call that computes the choice and direction indices once and reads the
 // consulted counters once, instead of the two passes the split protocol
 // pays.
+//
+//bimode:hotpath
 func (b *BiMode) Step(pc uint64, taken bool) bool {
 	ci := b.choiceIndex(pc)
 	di := b.dirIndex(pc)
@@ -232,6 +240,8 @@ var choiceNext2 = [16]counter.State{
 // threshold is the counter's high bit and the LUT transitions match
 // counter.Table.Update exactly. The paper's partial choice update becomes
 // the bit expression hold = (choiceBit^outcome) & ^(predBit^outcome).
+//
+//bimode:hotpath
 func (b *BiMode) RunBatch(recs []trace.Record) int {
 	if b.cfg.FullChoiceUpdate || b.cfg.UpdateBothBanks {
 		return b.runBatchAblation(recs)
@@ -297,6 +307,8 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 // runBatchAblation is RunBatch for the ablation configurations
 // (FullChoiceUpdate / UpdateBothBanks); the paper's design takes the
 // tight loop above.
+//
+//bimode:hotpath
 func (b *BiMode) runBatchAblation(recs []trace.Record) int {
 	miss := 0
 	for _, r := range recs {

@@ -76,13 +76,17 @@ func (t *TriMode) Name() string {
 	return fmt.Sprintf("tri-mode(%dc,%db,%dh)", t.cfg.ChoiceBits, t.cfg.BankBits, t.cfg.HistoryBits)
 }
 
+//bimode:hotpath
 func (t *TriMode) choiceIndex(pc uint64) int { return int((pc >> 2) & t.chMask) }
 
+//bimode:hotpath
 func (t *TriMode) dirIndex(pc uint64) int { return int(((pc >> 2) ^ t.ghr.Value()) & t.dirMask) }
 
 // classify maps a choice-counter state to a bank. The band comparison
 // needs the raw bit pattern, so it goes through counter.Bits — the one
 // sanctioned escape from the counter-state encapsulation.
+//
+//bimode:hotpath
 func (t *TriMode) classify(v counter.State) int {
 	b := counter.Bits(v)
 	switch {
@@ -128,6 +132,8 @@ func (t *TriMode) Update(pc uint64, taken bool) {
 // Step implements predictor.Stepper: the fused Predict+Update, computing
 // the choice and direction indices once and classifying the choice
 // counter once per branch.
+//
+//bimode:hotpath
 func (t *TriMode) Step(pc uint64, taken bool) bool {
 	ci := t.choiceIndex(pc)
 	di := t.dirIndex(pc)

@@ -33,12 +33,18 @@ func NewGlobal(n int) *Global {
 }
 
 // Bits returns the register width.
+//
+//bimode:hotpath
 func (g *Global) Bits() int { return g.n }
 
 // Value returns the current history pattern.
+//
+//bimode:hotpath
 func (g *Global) Value() uint64 { return g.bits }
 
 // Push shifts a branch outcome into the register.
+//
+//bimode:hotpath
 func (g *Global) Push(taken bool) {
 	g.bits <<= 1
 	if taken {
@@ -50,6 +56,8 @@ func (g *Global) Push(taken bool) {
 // Set forces the register contents (masked to the register width); used to
 // restore history after wrong-path recovery in pipeline models and by
 // tests.
+//
+//bimode:hotpath
 func (g *Global) Set(v uint64) { g.bits = v & g.mask }
 
 // Reset clears the register.
@@ -90,12 +98,18 @@ func (p *PerAddress) Bits() int { return p.histLen }
 
 // index maps a branch PC to its history register. Branch instructions are
 // word aligned, so the two low bits carry no information and are dropped.
+//
+//bimode:hotpath
 func (p *PerAddress) index(pc uint64) uint64 { return (pc >> 2) & p.idxMask }
 
 // Value returns the history pattern of the branch at pc.
+//
+//bimode:hotpath
 func (p *PerAddress) Value(pc uint64) uint64 { return p.regs[p.index(pc)] }
 
 // Push shifts an outcome into the history register of the branch at pc.
+//
+//bimode:hotpath
 func (p *PerAddress) Push(pc uint64, taken bool) {
 	i := p.index(pc)
 	v := p.regs[i] << 1

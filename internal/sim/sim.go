@@ -78,29 +78,10 @@ func Run(p predictor.Predictor, src trace.Source) Result {
 	}
 	st := src.Stream()
 	if stepper, ok := p.(predictor.Stepper); ok {
-		for {
-			rec, ok := st.Next()
-			if !ok {
-				break
-			}
-			if stepper.Step(rec.PC, rec.Taken) != rec.Taken {
-				res.Mispredicts++
-			}
-			res.Branches++
-		}
+		res.Mispredicts, res.Branches = stepStream(stepper, st)
 		return res
 	}
-	for {
-		rec, ok := st.Next()
-		if !ok {
-			break
-		}
-		if p.Predict(rec.PC) != rec.Taken {
-			res.Mispredicts++
-		}
-		p.Update(rec.PC, rec.Taken)
-		res.Branches++
-	}
+	res.Mispredicts, res.Branches = predictUpdateStream(p, st)
 	return res
 }
 
@@ -110,15 +91,32 @@ func runRecords(p predictor.Predictor, recs []trace.Record) int {
 	if br, ok := p.(predictor.BatchRunner); ok {
 		return br.RunBatch(recs)
 	}
-	miss := 0
 	if stepper, ok := p.(predictor.Stepper); ok {
-		for _, r := range recs {
-			if stepper.Step(r.PC, r.Taken) != r.Taken {
-				miss++
-			}
-		}
-		return miss
+		return stepRecords(stepper, recs)
 	}
+	return predictUpdateRecords(p, recs)
+}
+
+// stepRecords is the fused per-record loop over a materialized trace: one
+// dynamic Step call per branch and nothing else.
+//
+//bimode:hotpath dispatch
+func stepRecords(stepper predictor.Stepper, recs []trace.Record) int {
+	miss := 0
+	for _, r := range recs {
+		if stepper.Step(r.PC, r.Taken) != r.Taken {
+			miss++
+		}
+	}
+	return miss
+}
+
+// predictUpdateRecords is the base-protocol per-record loop over a
+// materialized trace: Predict then Update per branch.
+//
+//bimode:hotpath dispatch
+func predictUpdateRecords(p predictor.Predictor, recs []trace.Record) int {
+	miss := 0
 	for _, r := range recs {
 		if p.Predict(r.PC) != r.Taken {
 			miss++
@@ -126,6 +124,43 @@ func runRecords(p predictor.Predictor, recs []trace.Record) int {
 		p.Update(r.PC, r.Taken)
 	}
 	return miss
+}
+
+// stepStream is the fused per-record loop over a stream, returning
+// (mispredicts, branches).
+//
+//bimode:hotpath dispatch
+func stepStream(stepper predictor.Stepper, st trace.Stream) (int, int) {
+	miss, n := 0, 0
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			return miss, n
+		}
+		if stepper.Step(rec.PC, rec.Taken) != rec.Taken {
+			miss++
+		}
+		n++
+	}
+}
+
+// predictUpdateStream is the base-protocol per-record loop over a stream,
+// returning (mispredicts, branches).
+//
+//bimode:hotpath dispatch
+func predictUpdateStream(p predictor.Predictor, st trace.Stream) (int, int) {
+	miss, n := 0, 0
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			return miss, n
+		}
+		if p.Predict(rec.PC) != rec.Taken {
+			miss++
+		}
+		p.Update(rec.PC, rec.Taken)
+		n++
+	}
 }
 
 // RunGeneric simulates p over a fresh stream of src using only the base
@@ -139,18 +174,7 @@ func RunGeneric(p predictor.Predictor, src trace.Source) Result {
 		Workload:  src.Name(),
 		CostBytes: predictor.CostBytes(p),
 	}
-	st := src.Stream()
-	for {
-		rec, ok := st.Next()
-		if !ok {
-			break
-		}
-		if p.Predict(rec.PC) != rec.Taken {
-			res.Mispredicts++
-		}
-		p.Update(rec.PC, rec.Taken)
-		res.Branches++
-	}
+	res.Mispredicts, res.Branches = predictUpdateStream(p, src.Stream())
 	return res
 }
 
