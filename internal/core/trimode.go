@@ -189,7 +189,7 @@ func (t *TriMode) ProbeLookup(pc uint64) predictor.Lookup {
 	return predictor.Lookup{
 		CounterID:   bank<<uint(t.cfg.BankBits) + t.dirIndex(pc),
 		Bank:        bank,
-		ChoiceTaken: v >= 4,
+		ChoiceTaken: counter.Bits(v) >= 4,
 		HasChoice:   true,
 	}
 }
