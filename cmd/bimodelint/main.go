@@ -1,0 +1,93 @@
+// Command bimodelint runs the repository's custom static-analysis suite
+// (internal/lint) over module packages: the hotpath purity contract, the
+// predictor capability ladder, registry hygiene, and the saturating-
+// counter encapsulation. It is stdlib-only, so it runs anywhere the go
+// toolchain does:
+//
+//	go run ./cmd/bimodelint ./...
+//	go run ./cmd/bimodelint -only hotpath,counterarith ./internal/core
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bimode/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("bimodelint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: bimodelint [-only names] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(errOut, "bimodelint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	prog, err := lint.NewProgram(".")
+	if err != nil {
+		fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+		return 2
+	}
+	paths, err := prog.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	for _, path := range paths {
+		pkg, err := prog.CheckPackage(path)
+		if err != nil {
+			fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.Run(prog, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "bimodelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

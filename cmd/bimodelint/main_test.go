@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"hotpath", "capladder", "registry", "counterarith"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-only nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+// TestCleanPackages drives the real loader over two small leaf packages;
+// the repo-wide run is covered by CI and internal/lint's TestRepoIsClean.
+func TestCleanPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool and the source importer; skipped in -short")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"./internal/counter", "./internal/history"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// CapLadderAnalyzer enforces that the optional-capability ladder of
+// internal/predictor is downward closed. The simulator dispatches
+// strongest capability first, and the differential tests only pin
+// equivalence between rungs a predictor actually implements — a type that
+// implements a fast rung without the rung below it would dodge the
+// equivalence oracle, so the ladder shape is a compile-time invariant:
+//
+//	BatchRunner ⇒ Stepper   (a whole-trace loop must have a fused step)
+//	Stepper     ⇒ Predictor (a fused step must have the split protocol)
+//	Probe       ⇒ Predictor and Indexed (observability agrees with the
+//	                                     counter-attribution interface)
+var CapLadderAnalyzer = &Analyzer{
+	Name: "capladder",
+	Doc:  "predictor capability implementers must implement the rungs below",
+	Run:  runCapLadder,
+}
+
+func runCapLadder(pass *Pass) {
+	predictorI := pass.Prog.predictorInterface("Predictor")
+	stepperI := pass.Prog.predictorInterface("Stepper")
+	batchI := pass.Prog.predictorInterface("BatchRunner")
+	probeI := pass.Prog.predictorInterface("Probe")
+	indexedI := pass.Prog.predictorInterface("Indexed")
+	if predictorI == nil || stepperI == nil || batchI == nil || probeI == nil || indexedI == nil {
+		return // ladder interfaces missing; nothing to enforce
+	}
+
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Interface); ok {
+			continue // the rungs themselves, or other interfaces
+		}
+		// A concrete type's full method set is that of *T.
+		impl := func(iface *types.Interface) bool {
+			return types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface)
+		}
+		report := func(has, missing, why string) {
+			pass.Reportf(tn.Pos(), "%s implements predictor.%s but not predictor.%s (%s)", name, has, missing, why)
+		}
+		if impl(batchI) && !impl(stepperI) {
+			report("BatchRunner", "Stepper", "every whole-trace loop needs the fused step the differential tests compare it against")
+		}
+		if impl(stepperI) && !impl(predictorI) {
+			report("Stepper", "Predictor", "the fused step must stay interchangeable with the split Predict/Update protocol")
+		}
+		if impl(probeI) {
+			if !impl(predictorI) {
+				report("Probe", "Predictor", "observability is a capability of a predictor, not a standalone type")
+			}
+			if !impl(indexedI) {
+				report("Probe", "Indexed", "ProbeLookup reports counter identities, so the type must define the CounterID space")
+			}
+		}
+	}
+}

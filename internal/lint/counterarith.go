@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CounterArithAnalyzer enforces the saturating-counter encapsulation:
+// outside internal/counter, counter.State is an opaque token. Raw
+// arithmetic, ordered comparisons, integer conversions in either
+// direction, and indexing tables with a raw state are all rejected;
+// callers go through SatNext / TakenBit / the Table API, or the explicit,
+// greppable counter.Bits escape hatch. Equality against the named state
+// constants is allowed — reading state is harmless, manufacturing or
+// stepping it by hand is how saturation bugs slip into fused loops.
+var CounterArithAnalyzer = &Analyzer{
+	Name: "counterarith",
+	Doc:  "counter.State must not be manipulated outside internal/counter",
+	Run:  runCounterArith,
+}
+
+// counterArithOps are the operators that manufacture or order counter
+// states; == and != stay legal.
+var counterArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// counterArithAssignOps are the compound assignments covering the same
+// operator set.
+var counterArithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+func runCounterArith(pass *Pass) {
+	if pass.Pkg.Path == counterPath {
+		return // the counter package owns its representation
+	}
+	info := pass.Pkg.Info
+	isState := func(e ast.Expr) bool {
+		return isCounterState(info.TypeOf(e))
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if counterArithOps[n.Op] && (isState(n.X) || isState(n.Y)) {
+					pass.Reportf(n.Pos(), "raw %s on counter.State; use counter.SatNext/TakenBit or go through counter.Bits", n.Op)
+				}
+			case *ast.AssignStmt:
+				if counterArithAssignOps[n.Tok] {
+					for _, lhs := range n.Lhs {
+						if isState(lhs) {
+							pass.Reportf(n.Pos(), "raw %s on counter.State; counter transitions must go through counter.SatNext or Table.Update", n.Tok)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if isState(n.X) {
+					pass.Reportf(n.Pos(), "raw %s on counter.State skips saturation; use counter.SatNext or Table.Update", n.Tok)
+				}
+			case *ast.UnaryExpr:
+				if (n.Op == token.SUB || n.Op == token.XOR) && isState(n.X) {
+					pass.Reportf(n.Pos(), "raw unary %s on counter.State", n.Op)
+				}
+			case *ast.IndexExpr:
+				if isState(n.Index) {
+					pass.Reportf(n.Index.Pos(), "indexing with a raw counter.State; build lookup keys through counter.Bits so the escape is explicit")
+				}
+			case *ast.CallExpr:
+				tv, ok := info.Types[n.Fun]
+				if !ok || !tv.IsType() || len(n.Args) != 1 {
+					return true
+				}
+				src := info.TypeOf(n.Args[0])
+				dst := tv.Type
+				switch {
+				case isCounterState(dst) && !isCounterState(src):
+					pass.Reportf(n.Pos(), "conversion manufactures a counter.State from a raw integer; states come from tables, constants, or counter.SatNext")
+				case isCounterState(src) && !isCounterState(dst):
+					if b, ok := dst.Underlying().(*types.Basic); ok && b.Info()&(types.IsInteger|types.IsFloat) != 0 {
+						pass.Reportf(n.Pos(), "conversion strips the counter.State type; use counter.Bits so the escape is greppable")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCounterState reports whether t is (a pointer/slice/array-free view
+// of) the named type bimode/internal/counter.State.
+func isCounterState(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == counterPath && obj.Name() == "State"
+}

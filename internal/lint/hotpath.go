@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer enforces the //bimode:hotpath contract: the fused
+// simulation loops and the leaf helpers they call stay free of dynamic
+// dispatch, map traffic, defer, closures, channels, and allocations, so a
+// per-record iteration compiles to straight-line table arithmetic. The
+// dispatch level used by the simulator's capability loops relaxes only
+// the dynamic-call rules.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//bimode:hotpath functions must be dispatch-, map-, and allocation-free",
+	Run:  runHotpath,
+}
+
+// hotpathSafePkgs are packages whose functions compile to intrinsics or
+// trivially inlined leaf code; strict hotpath functions may call into
+// them without annotation.
+var hotpathSafePkgs = map[string]bool{
+	"math/bits": true,
+}
+
+// hotpathSafeBuiltins never allocate or dispatch.
+var hotpathSafeBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "min": true, "max": true,
+	"real": true, "imag": true, "complex": true, "panic": true,
+}
+
+func runHotpath(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			level := pass.Prog.Hotpath[declSymbol(pass.Pkg.Path, fd)]
+			if level == HotNone {
+				continue
+			}
+			h := &hotChecker{pass: pass, level: level, fn: fd.Name.Name}
+			ast.Inspect(fd.Body, h.visit)
+		}
+	}
+}
+
+// hotChecker walks one annotated function body.
+type hotChecker struct {
+	pass  *Pass
+	level HotLevel
+	fn    string
+}
+
+func (h *hotChecker) typeOf(e ast.Expr) types.Type {
+	return h.pass.Pkg.Info.TypeOf(e)
+}
+
+func (h *hotChecker) report(pos token.Pos, format string, args ...any) {
+	args = append([]any{h.fn, h.level}, args...)
+	h.pass.Reportf(pos, "%s is //bimode:%s but "+format, args...)
+}
+
+func (h *hotChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		h.report(n.Pos(), "defers a call (defer costs a frame record per iteration)")
+	case *ast.GoStmt:
+		h.report(n.Pos(), "spawns a goroutine")
+	case *ast.FuncLit:
+		h.report(n.Pos(), "builds a function literal (closure allocation)")
+		return false // the closure body runs under its own rules
+	case *ast.SelectStmt:
+		h.report(n.Pos(), "uses select")
+	case *ast.SendStmt:
+		h.report(n.Pos(), "sends on a channel")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			h.report(n.Pos(), "receives from a channel")
+		}
+	case *ast.CompositeLit:
+		h.report(n.Pos(), "builds a composite literal (allocates)")
+	case *ast.IndexExpr:
+		if t := h.typeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				h.report(n.Pos(), "indexes a map (hash per access)")
+			}
+		}
+	case *ast.RangeStmt:
+		if t := h.typeOf(n.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				h.report(n.Pos(), "ranges over a map")
+			case *types.Chan:
+				h.report(n.Pos(), "ranges over a channel")
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t, ok := h.typeOf(n.X).(*types.Basic); ok && t.Info()&types.IsString != 0 {
+				h.report(n.Pos(), "concatenates strings (allocates)")
+			}
+		}
+	case *ast.CallExpr:
+		h.checkCall(n)
+	}
+	return true
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	info := h.pass.Pkg.Info
+
+	// Type conversions: free for numeric types, allocating for string
+	// and byte/rune-slice round trips.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type.Underlying()
+		if b, ok := target.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			h.report(call.Pos(), "converts to string (allocates)")
+		}
+		if _, ok := target.(*types.Slice); ok && len(call.Args) == 1 {
+			if src, ok := h.typeOf(call.Args[0]).Underlying().(*types.Basic); ok && src.Info()&types.IsString != 0 {
+				h.report(call.Pos(), "converts a string to a slice (allocates)")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if !hotpathSafeBuiltins[b.Name()] {
+				h.report(call.Pos(), "calls builtin %s (allocates or touches maps/channels)", b.Name())
+			}
+			return
+		}
+	}
+
+	// Resolve a static callee if there is one.
+	var fn *types.Func
+	ifaceCall := false
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if sf, ok := sel.Obj().(*types.Func); ok {
+				fn = sf
+				ifaceCall = types.IsInterface(sel.Recv())
+			}
+		} else {
+			fn, _ = info.Uses[f.Sel].(*types.Func) // qualified pkg.Func
+		}
+	}
+
+	if ifaceCall {
+		if h.level == HotStrict {
+			h.report(call.Pos(), "calls interface method %s (dynamic dispatch; use the dispatch level for capability loops)", fn.Name())
+		}
+		return
+	}
+	if fn == nil {
+		if h.level == HotStrict {
+			h.report(call.Pos(), "calls through a function value (dynamic dispatch)")
+		}
+		return
+	}
+	if h.level == HotDispatch {
+		return // dispatch loops may call arbitrary static code
+	}
+	if fn.Pkg() != nil && hotpathSafePkgs[fn.Pkg().Path()] {
+		return
+	}
+	sym := funcSymbol(fn)
+	if h.pass.Prog.Hotpath[sym] == HotStrict {
+		return
+	}
+	h.report(call.Pos(), "calls %s, which is not //bimode:hotpath (annotate the callee or hoist the call out of the hot loop)", sym)
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture tests share one Program: parsing and directive-indexing the
+// module once, then type-checking each fixture directory against the
+// shared dependency universe.
+var (
+	fixtureOnce sync.Once
+	fixtureProg *Program
+	fixtureErr  error
+)
+
+func fixtureProgram(t *testing.T) *Program {
+	t.Helper()
+	fixtureOnce.Do(func() { fixtureProg, fixtureErr = NewProgram(".") })
+	if fixtureErr != nil {
+		t.Fatalf("NewProgram: %v", fixtureErr)
+	}
+	return fixtureProg
+}
+
+func TestHotpathFixtures(t *testing.T)      { runFixtures(t, HotpathAnalyzer) }
+func TestCapLadderFixtures(t *testing.T)    { runFixtures(t, CapLadderAnalyzer) }
+func TestRegistryFixtures(t *testing.T)     { runFixtures(t, RegistryAnalyzer) }
+func TestCounterArithFixtures(t *testing.T) { runFixtures(t, CounterArithAnalyzer) }
+
+// runFixtures checks every testdata/<analyzer>/<case> package against the
+// // want expectations in its sources. Cases without want comments assert
+// the analyzer stays silent.
+func runFixtures(t *testing.T, a *Analyzer) {
+	prog := fixtureProgram(t)
+	base := filepath.Join("testdata", a.Name)
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatalf("no fixtures for %s: %v", a.Name, err)
+	}
+	ran := false
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran = true
+		dir := filepath.Join(base, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg, err := prog.CheckDir(dir, "fixture/"+a.Name+"/"+e.Name())
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := Run(prog, []*Package{pkg}, []*Analyzer{a})
+			checkWants(t, dir, diags)
+		})
+	}
+	if !ran {
+		t.Fatalf("no fixture cases under %s", base)
+	}
+}
+
+// wantLine matches one // want comment; quoted groups are the expected
+// diagnostic regexes for that line.
+var (
+	wantLine  = regexp.MustCompile(`// want (.+)$`)
+	wantQuote = regexp.MustCompile("`([^`]+)`")
+)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants compares produced diagnostics against the // want comments
+// of every fixture source, failing on misses in either direction.
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range matches {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			m := wantLine.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			quoted := wantQuote.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: want comment without backquoted expectations", name, i+1)
+			}
+			for _, q := range quoted {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, q[1], err)
+				}
+				wants = append(wants, &expectation{file: filepath.Base(name), line: i + 1, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestBadFixturesReport pins the acceptance shape: every analyzer's bad
+// fixture must produce at least one diagnostic, and every good fixture
+// none (already implied by want-comparison; this guards against fixtures
+// losing their want comments).
+func TestBadFixturesReport(t *testing.T) {
+	prog := fixtureProgram(t)
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", a.Name, "bad")
+		pkg, err := prog.CheckDir(dir, "fixture2/"+a.Name+"/bad")
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if diags := Run(prog, []*Package{pkg}, []*Analyzer{a}); len(diags) == 0 {
+			t.Errorf("%s: bad fixture produced no diagnostics", a.Name)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering the driver prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "hotpath", Message: "boom"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "x.go:3:7: hotpath: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestHotLevelString covers the annotation-level names used in messages.
+func TestHotLevelString(t *testing.T) {
+	for level, want := range map[HotLevel]string{HotNone: "none", HotDispatch: "hotpath dispatch", HotStrict: "hotpath"} {
+		if got := level.String(); got != want {
+			t.Errorf("HotLevel(%d).String() = %q, want %q", level, got, want)
+		}
+	}
+}
+
+// TestRepoIsClean is the dogfood gate: the module's own packages must
+// satisfy every analyzer. It is the test-suite twin of the CI lint job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog := fixtureProgram(t)
+	paths, err := prog.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := prog.CheckPackage(path)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, d := range Run(prog, pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Log(fmt.Sprintf("run `go run ./cmd/bimodelint ./...` to reproduce (%d packages analyzed)", len(pkgs)))
+	}
+}

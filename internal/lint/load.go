@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analyzable package: its syntax and its type information.
+type Package struct {
+	// Path is the import path (a synthetic one for fixture packages).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files is the parsed non-test syntax.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object facts.
+	Info *types.Info
+}
+
+// Program is the whole-module analysis context: every module package's
+// parsed syntax and directive indexes, a shared file set, and a shared
+// source importer so all analyzed packages resolve dependencies into one
+// type universe.
+type Program struct {
+	// Root is the module root directory.
+	Root string
+	// Fset positions every file parsed by this program, including files
+	// type-checked indirectly through the importer.
+	Fset *token.FileSet
+	// Hotpath maps function symbols (pkgpath.Func or pkgpath.Type.Method)
+	// to their annotated hotpath level, across the whole module.
+	Hotpath map[string]HotLevel
+	// Registry marks function symbols annotated //bimode:registry.
+	Registry map[string]bool
+
+	allow        map[suppressKey]bool
+	registrySeen map[string]string // registryFunc+name -> first position
+	imp          types.ImporterFrom
+	parsed       map[string]*listedPackage // by import path
+	order        []string                  // import paths in go list order
+	checked      map[string]*Package
+	ifacePkg     *types.Package // bimode/internal/predictor, lazily imported
+}
+
+// listedPackage is a module package enumerated by go list and parsed.
+type listedPackage struct {
+	path  string
+	dir   string
+	files []*ast.File
+}
+
+// goList runs the go tool's package lister in dir and decodes the
+// resulting JSON stream.
+func goList(dir string, patterns ...string) ([]struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []struct {
+		Dir        string
+		ImportPath string
+		Name       string
+		GoFiles    []string
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			Dir        string
+			ImportPath string
+			Name       string
+			GoFiles    []string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// moduleRoot resolves the module root governing dir via the go tool.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		return "", fmt.Errorf("not inside a Go module (go env GOMOD is empty)")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// NewProgram enumerates and parses every package of the module governing
+// dir ("" for the current directory) and indexes its //bimode: directives.
+// Type checking happens lazily per package in CheckPackage.
+func NewProgram(dir string) (*Program, error) {
+	if dir == "" {
+		dir = "."
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Root:         root,
+		Fset:         token.NewFileSet(),
+		Hotpath:      map[string]HotLevel{},
+		Registry:     map[string]bool{},
+		allow:        map[suppressKey]bool{},
+		registrySeen: map[string]string{},
+		parsed:       map[string]*listedPackage{},
+		checked:      map[string]*Package{},
+	}
+	prog.imp = importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)
+
+	listed, err := goList(root, "./...")
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range listed {
+		p := &listedPackage{path: lp.ImportPath, dir: lp.Dir}
+		for _, name := range lp.GoFiles {
+			file, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			p.files = append(p.files, file)
+			prog.parseDirectives(lp.ImportPath, file)
+		}
+		prog.parsed[lp.ImportPath] = p
+		prog.order = append(prog.order, lp.ImportPath)
+	}
+	return prog, nil
+}
+
+// Expand resolves package patterns (e.g. ./...) to the module import
+// paths this program knows, in go list order.
+func (prog *Program) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(prog.Root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, lp := range listed {
+		if _, ok := prog.parsed[lp.ImportPath]; ok {
+			paths = append(paths, lp.ImportPath)
+		}
+	}
+	return paths, nil
+}
+
+// newInfo returns a types.Info with every fact map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check type-checks the given files as one package with the program's
+// shared importer, so dependencies land in the shared type universe.
+func (prog *Program) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer: prog.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, prog.Fset, files, info)
+	if len(errs) > 0 {
+		var sb strings.Builder
+		for i, e := range errs {
+			if i == 8 {
+				fmt.Fprintf(&sb, "\n\t... and %d more", len(errs)-i)
+				break
+			}
+			fmt.Fprintf(&sb, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("type-checking %s:%s", path, sb.String())
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// CheckPackage type-checks one module package by import path (results are
+// memoized) and returns it ready for analysis.
+func (prog *Program) CheckPackage(path string) (*Package, error) {
+	if pkg, ok := prog.checked[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := prog.parsed[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s is not part of the module", path)
+	}
+	pkg, err := prog.check(lp.path, lp.dir, lp.files)
+	if err != nil {
+		return nil, err
+	}
+	prog.checked[path] = pkg
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks an out-of-tree directory as a package
+// with the synthetic import path fakePath, indexing its directives too.
+// Analyzer fixture tests use it to feed the loader sources that go list
+// does not see (testdata is invisible to the go tool by design).
+func (prog *Program) CheckDir(dir, fakePath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var files []*ast.File
+	for _, name := range matches {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(prog.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, file)
+		prog.parseDirectives(fakePath, file)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return prog.check(fakePath, dir, files)
+}
+
+// predictorPath is the package whose interfaces form the capability
+// ladder and whose annotations gate the counter encapsulation.
+const (
+	predictorPath = "bimode/internal/predictor"
+	counterPath   = "bimode/internal/counter"
+)
+
+// predictorInterface returns the named interface from the predictor
+// package, imported through the shared universe, or nil when the module
+// does not define it.
+func (prog *Program) predictorInterface(name string) *types.Interface {
+	if prog.ifacePkg == nil {
+		pkg, err := prog.imp.ImportFrom(predictorPath, prog.Root, 0)
+		if err != nil {
+			return nil
+		}
+		prog.ifacePkg = pkg
+	}
+	obj := prog.ifacePkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// funcSymbol normalizes a resolved function object to the same symbol
+// form declSymbol produces from syntax, so annotation lookups work across
+// packages.
+func funcSymbol(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return pkg + "." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}

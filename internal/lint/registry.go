@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// RegistryAnalyzer checks every call to a function annotated
+// //bimode:registry (the zoo's register): the spec-family name must be a
+// non-empty, lowercase-canonical string constant, unique across the
+// module; example specs must belong to the family they are registered
+// under; and the factory argument must be provably unable to return a nil
+// predictor with a nil error — explicit returns only, never `return nil,
+// nil`, so zoo.New's nil backstop is genuinely unreachable.
+var RegistryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc:  "spec registrations must be unique, lowercase, and non-nil-returning",
+	Run:  runRegistry,
+}
+
+func runRegistry(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass, call)
+			if fn == nil || !pass.Prog.Registry[funcSymbol(fn)] {
+				return true
+			}
+			checkRegistration(pass, call, fn)
+			return true
+		})
+	}
+}
+
+// staticCallee resolves the called function when the call target is a
+// plain identifier or selector; nil for dynamic calls.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	info := pass.Pkg.Info
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkRegistration validates one register(...) call site against the
+// declared signature: the first string parameter is the family name, the
+// first function parameter is the factory, and a variadic []string tail
+// carries example specs.
+func checkRegistration(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	nameIdx, factoryIdx := -1, -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if nameIdx < 0 {
+			if b, ok := p.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				nameIdx = i
+				continue
+			}
+		}
+		if factoryIdx < 0 {
+			if _, ok := p.Type().Underlying().(*types.Signature); ok {
+				factoryIdx = i
+			}
+		}
+	}
+
+	var family string
+	haveFamily := false
+	if nameIdx >= 0 && nameIdx < len(call.Args) {
+		arg := call.Args[nameIdx]
+		tv := pass.Pkg.Info.Types[arg]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(arg.Pos(), "registration name must be a string constant so the registry is statically auditable")
+		} else {
+			family = constant.StringVal(tv.Value)
+			haveFamily = true
+			switch {
+			case family == "":
+				pass.Reportf(arg.Pos(), "registration name is empty")
+			case family != strings.ToLower(family):
+				pass.Reportf(arg.Pos(), "registration name %q is not lowercase-canonical (want %q)", family, strings.ToLower(family))
+			}
+			key := funcSymbol(fn) + "\x00" + family
+			if prev, dup := pass.Prog.registrySeen[key]; dup {
+				pass.Reportf(arg.Pos(), "registration name %q already registered at %s", family, prev)
+			} else {
+				pass.Prog.registrySeen[key] = pass.Prog.Fset.Position(arg.Pos()).String()
+			}
+		}
+	}
+
+	// Example specs: the variadic string tail must name the same family.
+	if haveFamily && sig.Variadic() && nameIdx >= 0 {
+		last := sig.Params().Len() - 1
+		if s, ok := sig.Params().At(last).Type().(*types.Slice); ok {
+			if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				for _, arg := range call.Args[min(len(call.Args), last):] {
+					tv := pass.Pkg.Info.Types[arg]
+					if tv.Value == nil || tv.Value.Kind() != constant.String {
+						continue // non-constant example: nothing to check
+					}
+					ex := constant.StringVal(tv.Value)
+					if fam, _, _ := strings.Cut(ex, ":"); fam != family {
+						pass.Reportf(arg.Pos(), "example spec %q does not belong to family %q", ex, family)
+					}
+				}
+			}
+		}
+	}
+
+	if factoryIdx >= 0 && factoryIdx < len(call.Args) {
+		checkFactory(pass, call.Args[factoryIdx])
+	}
+}
+
+// checkFactory proves the factory cannot return a nil value with a nil
+// error: it must be a function literal (or a package-local function whose
+// body is visible), use explicit returns, and never return nil, nil.
+func checkFactory(pass *Pass, arg ast.Expr) {
+	body := factoryBody(pass, arg)
+	if body == nil {
+		pass.Reportf(arg.Pos(), "factory is not a function literal or package-local function; cannot prove it returns a non-nil predictor")
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested literals return for themselves
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				pass.Reportf(n.Pos(), "factory uses a naked return; use explicit results so non-nilness is provable")
+				return true
+			}
+			if len(n.Results) == 2 && isNilIdent(n.Results[0]) && isNilIdent(n.Results[1]) {
+				pass.Reportf(n.Pos(), "factory returns nil, nil; a registration must yield a predictor or an error")
+			}
+		}
+		return true
+	})
+}
+
+// factoryBody returns the body to inspect: the literal itself, or the
+// declaration of a package-local function referenced by name.
+func factoryBody(pass *Pass, arg ast.Expr) *ast.BlockStmt {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return e.Body
+	case *ast.Ident:
+		fn, ok := pass.Pkg.Info.Uses[e].(*types.Func)
+		if !ok {
+			return nil
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == fn.Name() && fd.Body != nil {
+					if pass.Pkg.Info.Defs[fd.Name] == fn {
+						return fd.Body
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

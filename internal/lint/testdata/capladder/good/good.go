@@ -1,0 +1,60 @@
+// Package fixture holds ladder-respecting predictors: every capability
+// is backed by the rungs below it.
+package fixture
+
+import (
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// Full climbs the whole ladder: Predictor, Stepper, BatchRunner,
+// Indexed, Probe.
+type Full struct{ bit bool }
+
+// Name implements predictor.Predictor.
+func (*Full) Name() string { return "full" }
+
+// Predict implements predictor.Predictor.
+func (*Full) Predict(pc uint64) bool { return false }
+
+// Update implements predictor.Predictor.
+func (*Full) Update(pc uint64, taken bool) {}
+
+// Reset implements predictor.Predictor.
+func (*Full) Reset() {}
+
+// CostBits implements predictor.Predictor.
+func (*Full) CostBits() int { return 0 }
+
+// Step implements predictor.Stepper.
+func (*Full) Step(pc uint64, taken bool) bool { return false }
+
+// RunBatch implements predictor.BatchRunner.
+func (*Full) RunBatch(recs []trace.Record) int { return 0 }
+
+// CounterID implements predictor.Indexed.
+func (*Full) CounterID(pc uint64) int { return 0 }
+
+// NumCounters implements predictor.Indexed.
+func (*Full) NumCounters() int { return 1 }
+
+// ProbeLookup implements predictor.Probe.
+func (*Full) ProbeLookup(pc uint64) predictor.Lookup { return predictor.Lookup{} }
+
+// BaseOnly implements just the base protocol, which is always legal.
+type BaseOnly struct{}
+
+// Name implements predictor.Predictor.
+func (*BaseOnly) Name() string { return "base" }
+
+// Predict implements predictor.Predictor.
+func (*BaseOnly) Predict(pc uint64) bool { return true }
+
+// Update implements predictor.Predictor.
+func (*BaseOnly) Update(pc uint64, taken bool) {}
+
+// Reset implements predictor.Predictor.
+func (*BaseOnly) Reset() {}
+
+// CostBits implements predictor.Predictor.
+func (*BaseOnly) CostBits() int { return 0 }

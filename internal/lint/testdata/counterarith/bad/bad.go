@@ -1,0 +1,18 @@
+// Package fixture manipulates counter state in every way the
+// encapsulation forbids.
+package fixture
+
+import "bimode/internal/counter"
+
+// Mangle does raw arithmetic on saturating-counter state.
+func Mangle(v counter.State, tab []counter.State, raw uint8) int {
+	_ = v + 1              // want `use counter.SatNext/TakenBit`
+	_ = v >= 2             // want `use counter.SatNext/TakenBit`
+	v++                    // want `skips saturation`
+	v |= 1                 // want `counter transitions must go through`
+	_ = ^v                 // want `raw unary`
+	_ = counter.State(raw) // want `manufactures a counter.State`
+	_ = uint8(v)           // want `strips the counter.State type`
+	lut := [4]int{0, 1, 2, 3}
+	return lut[v] // want `indexing with a raw counter.State`
+}

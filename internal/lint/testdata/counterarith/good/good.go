@@ -1,0 +1,19 @@
+// Package fixture uses counter state only through the sanctioned API:
+// SatNext transitions, TakenBit/Taken2 reads, equality against the named
+// states, and the explicit counter.Bits escape for lookup keys.
+package fixture
+
+import "bimode/internal/counter"
+
+// Advance steps a shadow counter the approved way.
+func Advance(v counter.State, taken bool) counter.State {
+	if v == counter.StrongTaken && taken {
+		return v
+	}
+	next := counter.SatNext(v, counter.OutcomeBit(taken))
+	_ = next.TakenBit()
+	_ = next.Taken2()
+	lut := [4]int{0, 1, 2, 3}
+	_ = lut[counter.Bits(next)&3]
+	return next
+}

@@ -1,0 +1,16 @@
+// Package fixture checks the //bimode:allow escape: a violation
+// suppressed with a reason reports nothing.
+package fixture
+
+// grow allocates once at the batch boundary; the suppression covers it.
+//
+//bimode:hotpath
+func grow(buf []uint8, n int) []uint8 {
+	if len(buf) < n {
+		buf = make([]uint8, n) //bimode:allow hotpath -- amortized batch-boundary allocation
+	}
+	// The same suppression also works from the line above.
+	//bimode:allow hotpath -- second form, full-line comment
+	buf = append(buf, 0)
+	return buf
+}

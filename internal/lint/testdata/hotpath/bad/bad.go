@@ -1,0 +1,49 @@
+// Package fixture exercises every hotpath rule the analyzer enforces.
+package fixture
+
+// cleanup is a plain, unannotated function.
+func cleanup() {}
+
+// helper is a plain, unannotated function.
+func helper(pc uint64) int { return int(pc) }
+
+var table = map[uint64]int{}
+
+// Iface stands in for a predictor capability interface.
+type Iface interface{ M() int }
+
+// StepBad violates the strict rules one statement at a time.
+//
+//bimode:hotpath
+func StepBad(pc uint64, taken bool) int {
+	defer cleanup()              // want `defers a call` `cleanup, which is not`
+	v := table[pc]               // want `indexes a map`
+	s := helper(pc)              // want `helper, which is not`
+	g := func() int { return 1 } // want `function literal`
+	s += g()                     // want `function value`
+	b := []int{1, 2}             // want `composite literal`
+	m := make([]int, 8)          // want `builtin make`
+	for range table {            // want `ranges over a map`
+		v++
+	}
+	name := "a" + pcString(pc) // want `concatenates strings` `pcString, which is not`
+	_ = name
+	return v + s + b[0] + m[0]
+}
+
+// pcString is an unannotated helper returning a string.
+func pcString(pc uint64) string { return "x" }
+
+// StrictIface makes a dynamic call from a strict function.
+//
+//bimode:hotpath
+func StrictIface(x Iface) int {
+	return x.M() // want `interface method M`
+}
+
+// DispatchBad may dispatch, but still must not touch maps.
+//
+//bimode:hotpath dispatch
+func DispatchBad(x Iface, pc uint64) int {
+	return x.M() + table[pc] // want `indexes a map`
+}

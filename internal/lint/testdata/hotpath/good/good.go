@@ -1,0 +1,44 @@
+// Package fixture is a clean hot path: annotated leaves, safe builtins,
+// allowlisted intrinsics, and dispatch-level interface calls.
+package fixture
+
+import "math/bits"
+
+// Iface stands in for a predictor capability interface.
+type Iface interface {
+	Step(pc uint64, taken bool) bool
+}
+
+// leaf is an annotated leaf helper.
+//
+//bimode:hotpath
+func leaf(pc uint64) uint64 { return pc >> 2 }
+
+// StepGood is a strict hot loop body: slice indexing, integer
+// arithmetic, calls to annotated or allowlisted functions only.
+//
+//bimode:hotpath
+func StepGood(tab []uint8, pc uint64, taken bool) int {
+	i := int(leaf(pc)) & (len(tab) - 1)
+	v := tab[i]
+	var tk uint8
+	if taken {
+		tk = 1
+	}
+	tab[i] = v&2 | tk
+	return bits.OnesCount8(v) + int(v>>1^tk) + max(i, 0)
+}
+
+// RunDispatch is a dispatch-level loop: dynamic calls allowed, nothing
+// else relaxed.
+//
+//bimode:hotpath dispatch
+func RunDispatch(p Iface, pcs []uint64) int {
+	miss := 0
+	for _, pc := range pcs {
+		if p.Step(pc, true) {
+			miss++
+		}
+	}
+	return miss
+}

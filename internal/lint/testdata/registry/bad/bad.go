@@ -1,0 +1,41 @@
+// Package fixture exercises every registration rule: name hygiene,
+// uniqueness, example-family agreement, and factory provability.
+package fixture
+
+// register records a spec family; the annotation makes every call site
+// statically checkable.
+//
+//bimode:registry
+func register(name string, build func() (any, error), examples ...string) {}
+
+// okFactory provably returns a non-nil value.
+func okFactory() (any, error) { return 1, nil }
+
+// nilFactory can hand the registry a nil value with a nil error.
+func nilFactory() (any, error) {
+	return nil, nil // want `factory returns nil, nil`
+}
+
+// nakedFactory hides its results behind a naked return.
+func nakedFactory() (v any, err error) {
+	return // want `naked return`
+}
+
+var dynamicName = "dyn"
+
+var factoryVar func() (any, error)
+
+func init() {
+	register("Upper", okFactory)              // want `not lowercase-canonical`
+	register("", okFactory)                   // want `registration name is empty`
+	register(dynamicName, okFactory)          // want `must be a string constant`
+	register("dup", okFactory)                // first registration is fine
+	register("dup", okFactory)                // want `already registered`
+	register("fam", okFactory, "other:x=1")   // want `does not belong to family`
+	register("niler", nilFactory)             // diagnostic lands on nilFactory's return
+	register("naked", nakedFactory)           // diagnostic lands on nakedFactory's return
+	register("closure", func() (any, error) { // literal factories are checked in place
+		return nil, nil // want `factory returns nil, nil`
+	})
+	register("dynfactory", factoryVar) // want `not a function literal or package-local function`
+}

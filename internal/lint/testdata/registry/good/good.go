@@ -1,0 +1,25 @@
+// Package fixture holds well-formed registrations: lowercase unique
+// constant names, family-prefixed examples, provably non-nil factories.
+package fixture
+
+import "errors"
+
+// register records a spec family.
+//
+//bimode:registry
+func register(name string, build func() (any, error), examples ...string) {}
+
+var errNope = errors.New("nope")
+
+// betaFactory returns a value or an error, explicitly, on every path.
+func betaFactory() (any, error) {
+	if len("x") == 0 {
+		return nil, errNope
+	}
+	return 2, nil
+}
+
+func init() {
+	register("alpha", func() (any, error) { return 1, nil }, "alpha:a=1", "alpha")
+	register("beta", betaFactory, "beta:x=2;y=3")
+}
