@@ -101,8 +101,18 @@ func RunGeneric(p Predictor, src Source) Result { return sim.RunGeneric(p, src) 
 // Job is one (predictor, workload) cell of a parallel sweep.
 type Job = sim.Job
 
-// RunAll executes jobs in parallel and returns results in job order.
+// RunAll executes jobs through the default scheduler (one worker per
+// GOMAXPROCS) and returns results in job order.
 func RunAll(jobs []Job) []Result { return sim.RunAll(jobs) }
+
+// Scheduler executes simulation jobs on a bounded worker pool; zero
+// workers is the sequential reference path the parallel output is proven
+// byte-identical to.
+type Scheduler = sim.Scheduler
+
+// NewScheduler returns a scheduler with the given pool width; workers <= 0
+// yields the sequential reference scheduler.
+func NewScheduler(workers int) *Scheduler { return sim.NewScheduler(workers) }
 
 // Study is a two-pass bias-class analysis (paper Section 4).
 type Study = analysis.Study

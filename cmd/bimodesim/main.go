@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"bimode/internal/predictor"
@@ -41,6 +42,7 @@ func run(args []string) error {
 		predList     = fs.String("p", "bimode:b=11;gshare:i=12,h=12", "semicolon-separated predictor specs")
 		branches     = fs.Int("n", 0, "override dynamic branch count per workload (0 = profile default)")
 		seed         = fs.Uint64("seed", 0, "override workload seed (0 = profile default)")
+		parallel     = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the job grid (0 = sequential reference path)")
 		list         = fs.Bool("list", false, "list available workloads and predictor specs, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -133,7 +135,10 @@ func run(args []string) error {
 			jobs = append(jobs, sim.Job{Make: mk, Source: mat})
 		}
 	}
-	for _, res := range sim.RunAll(jobs) {
+	for _, res := range sim.NewScheduler(*parallel).RunAll(jobs) {
+		if res.Err != nil {
+			return res.Err
+		}
 		fmt.Println(res)
 	}
 	return nil

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 
 	"bimode/internal/experiments"
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		specsArg = fs.String("p", "bimode:b=10,gshare:i=11;h=11", "comma-separated predictor specs (use ';' for spec-internal separators)")
 		dynamic  = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
 		topN     = fs.Int("top", 10, "H2P ranking length per report")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the report grid (0 = sequential reference path)")
 		outFile  = fs.String("o", "", "write the report bundle as JSON to this file")
 		httpAddr = fs.String("http", "", "serve expvar/pprof debug endpoints on this address while running (e.g. localhost:6060)")
 	)
@@ -69,7 +71,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "debug endpoints at http://%s/debug/vars and /debug/pprof/\n\n", ln.Addr())
 	}
 
-	cfg := experiments.Config{Dynamic: *dynamic}
+	sched := sim.NewScheduler(*parallel)
+	cfg := experiments.Config{Dynamic: *dynamic, Sched: sched}
 	var sources []trace.Source
 	switch *wl {
 	case "all-spec":
@@ -86,7 +89,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	var bundle Bundle
+	var specs []string
 	for _, raw := range strings.Split(*specsArg, ",") {
 		spec := strings.ReplaceAll(strings.TrimSpace(raw), ";", ",")
 		if spec == "" {
@@ -95,14 +98,27 @@ func run(args []string, out io.Writer) error {
 		if _, err := zoo.New(spec); err != nil {
 			return err
 		}
-		for _, src := range sources {
-			rep := sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: *topN})
-			bundle.Reports = append(bundle.Reports, *rep)
-			renderReport(out, rep)
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no specs to run")
+	}
+
+	// Collect the (spec, workload) grid through the scheduler into indexed
+	// slots, then render in grid order — output is identical at any -parallel.
+	var bundle Bundle
+	bundle.Reports = make([]sim.Report, len(specs)*len(sources))
+	for _, err := range sched.Do(len(bundle.Reports), func(k int) error {
+		spec, src := specs[k/len(sources)], sources[k%len(sources)]
+		bundle.Reports[k] = *sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: *topN})
+		return nil
+	}) {
+		if err != nil {
+			return err
 		}
 	}
-	if len(bundle.Reports) == 0 {
-		return fmt.Errorf("no specs to run")
+	for i := range bundle.Reports {
+		renderReport(out, &bundle.Reports[i])
 	}
 
 	if *outFile != "" {

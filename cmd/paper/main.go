@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"bimode/internal/experiments"
+	"bimode/internal/sim"
 )
 
 func main() {
@@ -31,15 +33,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
 	var (
-		out     = fs.String("out", "results", "output directory")
-		only    = fs.String("only", "", "comma-separated subset: table1,table2,fig2,fig3,fig4,table3,fig5,fig6,table4,fig7,fig8,rivals,programs,ctxswitch")
-		dynamic = fs.Int("n", 0, "override dynamic branches per workload (0 = calibrated defaults)")
-		quick   = fs.Bool("quick", false, "fast smoke run (600k branches per workload)")
+		out      = fs.String("out", "results", "output directory")
+		only     = fs.String("only", "", "comma-separated subset: table1,table2,fig2,fig3,fig4,table3,fig5,fig6,table4,fig7,fig8,rivals,programs,ctxswitch")
+		dynamic  = fs.Int("n", 0, "override dynamic branches per workload (0 = calibrated defaults)")
+		quick    = fs.Bool("quick", false, "fast smoke run (600k branches per workload)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for simulation grids (0 = sequential reference path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Dynamic: *dynamic}
+	cfg := experiments.Config{Dynamic: *dynamic, Sched: sim.NewScheduler(*parallel)}
 	if *quick && *dynamic == 0 {
 		cfg.Dynamic = 600000
 	}

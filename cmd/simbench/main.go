@@ -57,15 +57,31 @@ type Result struct {
 	Mispredicts           int     `json:"mispredicts"`
 }
 
+// SuiteParallel is the suite-level scheduler measurement: the full
+// (spec x workload) job grid dispatched once through the sequential
+// reference scheduler and once through the worker pool. Unlike the
+// per-spec engine numbers it measures RunAll itself — pool dispatch,
+// shared materialization and result collection. On a single-core host the
+// speedup sits near 1.0 by construction; the guard never reads this field
+// (pool speedup is a property of the host's core count, not the code).
+type SuiteParallel struct {
+	Jobs                     int     `json:"jobs"`
+	Workers                  int     `json:"workers"`
+	SequentialBranchesPerSec float64 `json:"sequential_branches_per_sec"`
+	ParallelBranchesPerSec   float64 `json:"parallel_branches_per_sec"`
+	Speedup                  float64 `json:"speedup"`
+}
+
 // Report is the top-level BENCH_sim.json document.
 type Report struct {
-	Suite              string   `json:"suite"`
-	Workloads          []string `json:"workloads"`
-	DynamicPerWorkload int      `json:"dynamic_per_workload"`
-	Reps               int      `json:"reps"`
-	GoVersion          string   `json:"go_version"`
-	GOARCH             string   `json:"goarch"`
-	Results            []Result `json:"results"`
+	Suite              string         `json:"suite"`
+	Workloads          []string       `json:"workloads"`
+	DynamicPerWorkload int            `json:"dynamic_per_workload"`
+	Reps               int            `json:"reps"`
+	GoVersion          string         `json:"go_version"`
+	GOARCH             string         `json:"goarch"`
+	Results            []Result       `json:"results"`
+	SuiteParallel      *SuiteParallel `json:"suite_parallel,omitempty"`
 }
 
 func run(args []string) error {
@@ -108,6 +124,7 @@ func run(args []string) error {
 		GOARCH:             runtime.GOARCH,
 	}
 
+	var parsed []string
 	for _, raw := range strings.Split(*specs, ",") {
 		spec := strings.ReplaceAll(strings.TrimSpace(raw), ";", ",")
 		if spec == "" {
@@ -117,6 +134,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		parsed = append(parsed, spec)
 		genSecs, genMiss, branches := measure(sim.RunGeneric, spec, srcs, *reps)
 		batSecs, batMiss, _ := measure(sim.Run, spec, srcs, *reps)
 		if genMiss != batMiss {
@@ -139,6 +157,12 @@ func run(args []string) error {
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no specs to measure")
 	}
+
+	sp := measureSuite(parsed, srcs, *reps)
+	rep.SuiteParallel = &sp
+	fmt.Printf("%-20s seq %9.1f Mbr/s  pool(%d) %6.1f Mbr/s  speedup %.2fx  (%d jobs)\n",
+		"suite RunAll", sp.SequentialBranchesPerSec/1e6, sp.Workers,
+		sp.ParallelBranchesPerSec/1e6, sp.Speedup, sp.Jobs)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -215,6 +239,52 @@ func guardAgainst(path string, fresh []Result, tol float64) error {
 			gm, 1-tol, matched, path)
 	}
 	return nil
+}
+
+// measureSuite times the full (spec x workload) grid through RunAll on
+// the sequential reference scheduler and on a GOMAXPROCS-wide pool,
+// keeping each path's best of reps passes. Both paths run the identical
+// grid, so the ratio isolates what the pool buys (or costs) at suite
+// granularity on this host.
+func measureSuite(specs []string, srcs []trace.Source, reps int) SuiteParallel {
+	var jobs []sim.Job
+	for _, spec := range specs {
+		spec := spec
+		for _, src := range srcs {
+			jobs = append(jobs, sim.Job{
+				Make:   func() predictor.Predictor { return zoo.MustNew(spec) },
+				Source: src,
+			})
+		}
+	}
+	branches := 0
+	grid := func(s *sim.Scheduler) float64 {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			results := s.RunAll(jobs)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if rep == 0 {
+				branches = 0
+				for _, r := range results {
+					branches += r.Branches
+				}
+			}
+		}
+		return best.Seconds()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	seqSecs := grid(sim.NewScheduler(0))
+	parSecs := grid(sim.NewScheduler(workers))
+	return SuiteParallel{
+		Jobs:                     len(jobs),
+		Workers:                  workers,
+		SequentialBranchesPerSec: float64(branches) / seqSecs,
+		ParallelBranchesPerSec:   float64(branches) / parSecs,
+		Speedup:                  seqSecs / parSecs,
+	}
 }
 
 // measure runs the given engine for one spec over every source, reps

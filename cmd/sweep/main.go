@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"bimode/internal/baselines"
 	"bimode/internal/core"
+	"bimode/internal/experiments"
 	"bimode/internal/predictor"
 	"bimode/internal/sim"
 	"bimode/internal/synth"
@@ -110,11 +112,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		wl      = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
-		schemeL = fs.String("schemes", "gshare1,gsharebest,bimode", "comma list of schemes: gshare1,gsharebest,bimode,trimode,filter,smith,agree,gskew,yags,gag,pag")
-		minBits = fs.Int("min", 10, "log2 of the smallest gshare-equivalent counter count")
-		maxBits = fs.Int("max", 17, "log2 of the largest")
-		dynamic = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+		wl       = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
+		schemeL  = fs.String("schemes", "gshare1,gsharebest,bimode", "comma list of schemes: gshare1,gsharebest,bimode,trimode,filter,smith,agree,gskew,yags,gag,pag")
+		minBits  = fs.Int("min", 10, "log2 of the smallest gshare-equivalent counter count")
+		maxBits  = fs.Int("max", 17, "log2 of the largest")
+		dynamic  = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep grid (0 = sequential reference path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,15 +125,18 @@ func run(args []string, out io.Writer) error {
 	if *minBits < 4 || *maxBits > 24 || *minBits > *maxBits {
 		return fmt.Errorf("size range [%d,%d] invalid", *minBits, *maxBits)
 	}
+	sched := sim.NewScheduler(*parallel)
+	cfg := experiments.Config{Dynamic: *dynamic, Sched: sched}
 
 	var sources []trace.Source
 	switch *wl {
 	case "all-spec":
-		sources = suite(synth.SuiteSPEC, *dynamic)
+		sources = experiments.SuiteSources(synth.SuiteSPEC, cfg)
 	case "all-ibs":
-		sources = suite(synth.SuiteIBS, *dynamic)
+		sources = experiments.SuiteSources(synth.SuiteIBS, cfg)
 	case "all":
-		sources = append(suite(synth.SuiteSPEC, *dynamic), suite(synth.SuiteIBS, *dynamic)...)
+		sources = append(experiments.SuiteSources(synth.SuiteSPEC, cfg),
+			experiments.SuiteSources(synth.SuiteIBS, cfg)...)
 	default:
 		for _, name := range strings.Split(*wl, ",") {
 			src, err := workloads.Get(strings.TrimSpace(name), workloads.Options{Dynamic: *dynamic})
@@ -162,7 +168,7 @@ func run(args []string, out io.Writer) error {
 		perSize := make([][]sim.Result, 0, *maxBits-*minBits+1)
 		for s := *minBits; s <= *maxBits; s++ {
 			if sc.sweep {
-				best := sim.FindBestGshare(s, sources)
+				best := sched.FindBestGshare(s, sources)
 				perSize = append(perSize, best.PerWorkload)
 				continue
 			}
@@ -171,7 +177,7 @@ func run(args []string, out io.Writer) error {
 			for i, src := range sources {
 				jobs[i] = sim.Job{Make: func() predictor.Predictor { return sc.mk(s) }, Source: src}
 			}
-			perSize = append(perSize, sim.RunAll(jobs))
+			perSize = append(perSize, sched.RunAll(jobs))
 		}
 		for i, src := range sources {
 			fmt.Fprintf(out, "%-12s", src.Name())
@@ -187,18 +193,4 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	return nil
-}
-
-func suite(name string, dynamic int) []trace.Source {
-	var out []trace.Source
-	for _, p := range synth.Profiles() {
-		if p.Suite != name {
-			continue
-		}
-		if dynamic > 0 {
-			p = p.WithDynamic(dynamic)
-		}
-		out = append(out, trace.Materialize(synth.MustWorkload(p)))
-	}
-	return out
 }

@@ -1,0 +1,148 @@
+package core
+
+// Property test for the paper's Section 2.2 update policy, driven by
+// random outcome streams: after every single Update the table state must
+// have moved exactly as the policy prescribes — the unselected direction
+// bank untouched, the selected bank stepped only at the consulted counter,
+// and the choice table stepped only at the branch's choice counter unless
+// the partial-update hold condition applies.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bimode/internal/counter"
+)
+
+// snapshot copies a counter table's raw state.
+func snapshot(t *counter.Table) []counter.State {
+	return append([]counter.State(nil), t.Raw()...)
+}
+
+// diffAt returns the indices where two snapshots differ.
+func diffAt(a, b []counter.State) []int {
+	var idx []int
+	for i := range a {
+		if a[i] != b[i] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func TestPartialUpdateProperty(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(5),
+		DefaultConfig(7),
+		{ChoiceBits: 4, BankBits: 6, HistoryBits: 3},
+		{ChoiceBits: 8, BankBits: 5, HistoryBits: 0},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(MustNew(cfg).Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x51eede))
+			b := MustNew(cfg)
+
+			// A small PC pool forces heavy aliasing in every table, so
+			// both banks, both choice directions and the hold condition
+			// all get exercised.
+			pcs := make([]uint64, 24)
+			for i := range pcs {
+				pcs[i] = rng.Uint64() &^ 3
+			}
+
+			holds, steps := 0, 0
+			for step := 0; step < 20000; step++ {
+				pc := pcs[rng.Intn(len(pcs))]
+				taken := rng.Intn(100) < 70 // biased, like real branches
+
+				// The indices and reads the policy is defined over, taken
+				// before Update (dirIndex consumes the pre-update history).
+				ci := b.choiceIndex(pc)
+				di := b.dirIndex(pc)
+				choiceTaken := b.choice.Taken(ci)
+				sel := bankFor(choiceTaken)
+				dirPred := b.banks[sel].Taken(di)
+
+				choiceBefore := snapshot(b.choice)
+				selBefore := snapshot(b.banks[sel])
+				otherBefore := snapshot(b.banks[1-sel])
+
+				b.Update(pc, taken)
+
+				// Non-chosen bank: untouched, every counter.
+				if d := diffAt(otherBefore, b.banks[1-sel].Raw()); len(d) != 0 {
+					t.Fatalf("step %d: unselected bank %d changed at %v", step, 1-sel, d)
+				}
+
+				// Chosen bank: only the consulted counter moves, by one
+				// saturating step toward the outcome.
+				wantSel := counter.SatNext(selBefore[di], counter.OutcomeBit(taken))
+				for _, i := range diffAt(selBefore, b.banks[sel].Raw()) {
+					if i != di {
+						t.Fatalf("step %d: selected bank %d changed at %d, consulted %d", step, sel, i, di)
+					}
+				}
+				if got := b.banks[sel].Value(di); got != wantSel {
+					t.Fatalf("step %d: selected counter %d -> %d, want SatNext=%d (was %d, taken=%v)",
+						step, di, got, wantSel, selBefore[di], taken)
+				}
+
+				// Choice table: held exactly when the choice was wrong
+				// about the bias but the selected bank still predicted the
+				// branch; otherwise stepped with the outcome at ci only.
+				hold := choiceTaken != taken && dirPred == taken
+				wantChoice := choiceBefore[ci]
+				if !hold {
+					wantChoice = counter.SatNext(choiceBefore[ci], counter.OutcomeBit(taken))
+					steps++
+				} else {
+					holds++
+				}
+				for _, i := range diffAt(choiceBefore, b.choice.Raw()) {
+					if i != ci {
+						t.Fatalf("step %d: choice table changed at %d, branch maps to %d", step, i, ci)
+					}
+				}
+				if got := b.choice.Value(ci); got != wantChoice {
+					t.Fatalf("step %d: choice counter %d -> %d, want %d (hold=%v, was %d, taken=%v)",
+						step, ci, got, wantChoice, hold, choiceBefore[ci], taken)
+				}
+			}
+			// The stream must actually exercise both arms of the policy,
+			// or the assertions above prove nothing.
+			if holds == 0 || steps == 0 {
+				t.Fatalf("degenerate stream: %d holds, %d steps", holds, steps)
+			}
+		})
+	}
+}
+
+// TestPartialUpdateAblations pins the two ablation knobs against the same
+// single-step observation: FullChoiceUpdate always steps the choice
+// counter, and UpdateBothBanks trains the unselected bank too.
+func TestPartialUpdateAblations(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xb1a5))
+	cfg := DefaultConfig(5)
+	cfg.FullChoiceUpdate = true
+	cfg.UpdateBothBanks = true
+	b := MustNew(cfg)
+	for step := 0; step < 5000; step++ {
+		pc := rng.Uint64() &^ 3
+		taken := rng.Intn(2) == 0
+		ci := b.choiceIndex(pc)
+		di := b.dirIndex(pc)
+		sel := bankFor(b.choice.Taken(ci))
+		choiceWas := b.choice.Value(ci)
+		otherWas := b.banks[1-sel].Value(di)
+
+		b.Update(pc, taken)
+
+		if got, want := b.choice.Value(ci), counter.SatNext(choiceWas, counter.OutcomeBit(taken)); got != want {
+			t.Fatalf("step %d: fullchoice counter -> %d, want %d", step, got, want)
+		}
+		if got, want := b.banks[1-sel].Value(di), counter.SatNext(otherWas, counter.OutcomeBit(taken)); got != want {
+			t.Fatalf("step %d: bothbanks unselected counter -> %d, want %d", step, got, want)
+		}
+	}
+}

@@ -7,8 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"sync"
 
+	"bimode/internal/sim"
 	"bimode/internal/synth"
 	"bimode/internal/trace"
 	"bimode/internal/workloads"
@@ -23,6 +26,12 @@ type Config struct {
 	// MinSizeBits/MaxSizeBits bound the gshare size axis as log2(counter
 	// count): defaults 10..17 = 0.25 KB .. 32 KB, the paper's axis.
 	MinSizeBits, MaxSizeBits int
+	// Sched executes every simulation and materialization job of the
+	// experiment drivers. nil uses sim.DefaultScheduler() (GOMAXPROCS
+	// workers); sim.NewScheduler(0) is the sequential oracle path that
+	// every parallel run is proven byte-identical to. The scheduler never
+	// affects results, only wall clock.
+	Sched *sim.Scheduler
 }
 
 func (c Config) withDefaults() Config {
@@ -35,31 +44,67 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// suiteMemo caches materialized suites across SuiteSources calls, keyed by
-// the two parameters that determine the trace contents. cmd/paper,
+// sched returns the scheduler experiment drivers dispatch through.
+func (c Config) sched() *sim.Scheduler {
+	if c.Sched != nil {
+		return c.Sched
+	}
+	return sim.DefaultScheduler()
+}
+
+// suiteMemo caches materialized suites across SuiteSources calls, keyed
+// by the two parameters that determine the trace contents. cmd/paper,
 // cmd/sweep and the benchmarks all sweep the same suites repeatedly;
 // without the memo each call regenerated identical multi-million-branch
-// traces from scratch.
-var suiteMemo = struct {
+// traces from scratch. The memo is sharded by key hash so concurrent
+// generators materializing different suites never serialize on one lock,
+// and each entry materializes under a sync.Once so concurrent requests
+// for the same key share a single materialization (the shard mutex guards
+// only map access, never trace generation).
+var suiteMemo [8]struct {
 	sync.Mutex
-	m map[suiteKey][]*trace.Memory
-}{m: map[suiteKey][]*trace.Memory{}}
+	m map[suiteKey]*suiteEntry
+}
 
 type suiteKey struct {
 	suite   string
 	dynamic int
 }
 
+type suiteEntry struct {
+	once sync.Once
+	mems []*trace.Memory
+}
+
+// memoEntry returns the (unique, process-wide) entry for a key.
+func memoEntry(key suiteKey) *suiteEntry {
+	h := fnv.New32a()
+	h.Write([]byte(key.suite))
+	h.Write([]byte(strconv.Itoa(key.dynamic)))
+	shard := &suiteMemo[h.Sum32()%uint32(len(suiteMemo))]
+	shard.Lock()
+	defer shard.Unlock()
+	if shard.m == nil {
+		shard.m = map[suiteKey]*suiteEntry{}
+	}
+	e, ok := shard.m[key]
+	if !ok {
+		e = &suiteEntry{}
+		shard.m[key] = e
+	}
+	return e
+}
+
 // SuiteSources materializes the named suite's workloads once per (suite,
 // Dynamic) and memoizes the result process-wide, so every simulation
-// replays the same immutable in-memory traces. Callers receive a fresh
-// slice; the traces themselves are shared and must not be mutated.
+// replays the same immutable in-memory traces; the per-workload
+// materializations of a cold entry run through cfg's scheduler. Callers
+// receive a fresh slice; the traces themselves are shared and must not be
+// mutated.
 func SuiteSources(suite string, cfg Config) []trace.Source {
-	key := suiteKey{suite: suite, dynamic: cfg.Dynamic}
-	suiteMemo.Lock()
-	defer suiteMemo.Unlock()
-	mems, ok := suiteMemo.m[key]
-	if !ok {
+	e := memoEntry(suiteKey{suite: suite, dynamic: cfg.Dynamic})
+	e.once.Do(func() {
+		var profs []synth.Profile
 		for _, p := range synth.Profiles() {
 			if p.Suite != suite {
 				continue
@@ -67,15 +112,44 @@ func SuiteSources(suite string, cfg Config) []trace.Source {
 			if cfg.Dynamic > 0 {
 				p = p.WithDynamic(cfg.Dynamic)
 			}
-			mems = append(mems, trace.Materialize(synth.MustWorkload(p)))
+			profs = append(profs, p)
 		}
-		suiteMemo.m[key] = mems
-	}
-	out := make([]trace.Source, len(mems))
-	for i, m := range mems {
+		mems := make([]*trace.Memory, len(profs))
+		mustAll(cfg.sched().Do(len(profs), func(i int) error {
+			mems[i] = trace.Materialize(synth.MustWorkload(profs[i]))
+			return nil
+		}))
+		e.mems = mems
+	})
+	out := make([]trace.Source, len(e.mems))
+	for i, m := range e.mems {
 		out[i] = m
 	}
 	return out
+}
+
+// mustAll re-raises the first captured panic from a Scheduler.Do fan-out
+// whose tasks are infallible by contract (the generators here wrap
+// Must-constructors); keeping the panic loud matches the sequential
+// behavior exactly instead of memoizing or returning holes.
+func mustAll(errs []error) {
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+// firstErr collapses a Scheduler.Do error slice for drivers with an error
+// return: the lowest-index failure wins, matching what a sequential loop
+// that stopped at the first error would have reported.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Workload materializes one named workload.

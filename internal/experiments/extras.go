@@ -22,13 +22,25 @@ func ProgramsCrossCheck(cfg Config) ([]sim.Result, error) {
 	if dyn == 0 {
 		dyn = 400000
 	}
-	var jobs []sim.Job
-	for _, name := range names {
+	// Instantiate (cheap, fallible) sequentially, run each instrumented
+	// program to a trace through the scheduler, then dispatch the
+	// simulation grid over the shared materializations.
+	sched := cfg.sched()
+	srcs := make([]trace.Source, len(names))
+	for i, name := range names {
 		src, err := workloads.Get(name, workloads.Options{Dynamic: dyn})
 		if err != nil {
 			return nil, err
 		}
-		mat := trace.Materialize(src)
+		srcs[i] = src
+	}
+	mats := make([]*trace.Memory, len(srcs))
+	mustAll(sched.Do(len(srcs), func(i int) error {
+		mats[i] = trace.Materialize(srcs[i])
+		return nil
+	}))
+	var jobs []sim.Job
+	for _, mat := range mats {
 		for _, mk := range []func() predictor.Predictor{
 			func() predictor.Predictor { return baselines.NewSmith(12) },
 			func() predictor.Predictor { return baselines.NewGshare(12, 12) },
@@ -37,7 +49,7 @@ func ProgramsCrossCheck(cfg Config) ([]sim.Result, error) {
 			jobs = append(jobs, sim.Job{Make: mk, Source: mat})
 		}
 	}
-	return sim.RunAll(jobs), nil
+	return sched.RunAll(jobs), nil
 }
 
 // RenderProgramsCrossCheck formats the cross-check.
@@ -87,11 +99,19 @@ func ContextSwitch(a, b string, quantum int, cfg Config) ([]ContextSwitchResult,
 		{"gshare.1PHT(13)", func() predictor.Predictor { return baselines.NewGshare(13, 13) }},
 		{"bi-mode(12)", func() predictor.Predictor { return core.MustNew(core.DefaultConfig(12)) }},
 	}
-	var out []ContextSwitchResult
+	// Three jobs per scheme (isolated a, isolated b, interleaved) in one
+	// scheduler grid; the interleaved trace materializes once and is
+	// shared across schemes.
+	var jobs []sim.Job
 	for _, sc := range schemes {
-		ra := sim.Run(sc.mk(), srcA)
-		rb := sim.Run(sc.mk(), srcB)
-		rm := sim.Run(sc.mk(), mixed)
+		for _, src := range []trace.Source{srcA, srcB, mixed} {
+			jobs = append(jobs, sim.Job{Make: sc.mk, Source: src})
+		}
+	}
+	flat := cfg.sched().RunAll(jobs)
+	var out []ContextSwitchResult
+	for i, sc := range schemes {
+		ra, rb, rm := flat[3*i], flat[3*i+1], flat[3*i+2]
 		iso := (float64(ra.Mispredicts) + float64(rb.Mispredicts)) /
 			(float64(ra.Branches) + float64(rb.Branches))
 		out = append(out, ContextSwitchResult{

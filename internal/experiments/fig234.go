@@ -57,12 +57,12 @@ func Figures234(cfg Config) *Fig234 {
 	specSources := SuiteSources(synth.SuiteSPEC, cfg)
 	ibsSources := SuiteSources(synth.SuiteIBS, cfg)
 
-	out.SPECAvg, out.SPEC, out.BestHistorySPEC = sweepSuite("CINT95-AVERAGE", specSources, out.SizeBits)
-	out.IBSAvg, out.IBS, out.BestHistoryIBS = sweepSuite("IBS-AVERAGE", ibsSources, out.SizeBits)
+	out.SPECAvg, out.SPEC, out.BestHistorySPEC = sweepSuite(cfg.sched(), "CINT95-AVERAGE", specSources, out.SizeBits)
+	out.IBSAvg, out.IBS, out.BestHistoryIBS = sweepSuite(cfg.sched(), "IBS-AVERAGE", ibsSources, out.SizeBits)
 	return out
 }
 
-func sweepSuite(avgName string, sources []trace.Source, sizeBits []int) (SizeCurves, []SizeCurves, []int) {
+func sweepSuite(sched *sim.Scheduler, avgName string, sources []trace.Source, sizeBits []int) (SizeCurves, []SizeCurves, []int) {
 	avg := SizeCurves{Workload: avgName}
 	per := make([]SizeCurves, len(sources))
 	for i, src := range sources {
@@ -71,7 +71,7 @@ func sweepSuite(avgName string, sources []trace.Source, sizeBits []int) (SizeCur
 	var bestHist []int
 
 	for _, s := range sizeBits {
-		sweep := sim.SweepGshare(s, sources)
+		sweep := sched.SweepGshare(s, sources)
 		best := sim.PickBestGshare(s, sweep)
 		onePHT := sweep[s]
 
@@ -85,7 +85,7 @@ func sweepSuite(avgName string, sources []trace.Source, sizeBits []int) (SizeCur
 				Source: src,
 			}
 		}
-		bimodeRes := sim.RunAll(jobs)
+		bimodeRes := sched.RunAll(jobs)
 
 		gCost := float64(int(1) << uint(s) * 2 / 8)
 		bCost := float64(3 * (int(1) << uint(bankBits)) * 2 / 8)

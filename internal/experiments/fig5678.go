@@ -46,15 +46,19 @@ func Figure5(workload string, cfg Config) (history, address BiasBreakdown, err e
 	if err != nil {
 		return BiasBreakdown{}, BiasBreakdown{}, err
 	}
-	h, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 8) }, src)
-	if err != nil {
+	makes := []func() predictor.Predictor{
+		func() predictor.Predictor { return baselines.NewGshare(8, 8) },
+		func() predictor.Predictor { return baselines.NewGshare(8, 2) },
+	}
+	studies := make([]*analysis.Study, len(makes))
+	if err := firstErr(cfg.sched().Do(len(makes), func(i int) error {
+		st, err := analysis.RunStudy(makes[i], src)
+		studies[i] = st
+		return err
+	})); err != nil {
 		return BiasBreakdown{}, BiasBreakdown{}, err
 	}
-	a, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 2) }, src)
-	if err != nil {
-		return BiasBreakdown{}, BiasBreakdown{}, err
-	}
-	return newBreakdown(h), newBreakdown(a), nil
+	return newBreakdown(studies[0]), newBreakdown(studies[1]), nil
 }
 
 // Figure6 reproduces Figure 6: the bias breakdown of the bi-mode scheme
@@ -170,21 +174,23 @@ func Table4(workload string, cfg Config) (Table4Result, error) {
 	if err != nil {
 		return Table4Result{}, err
 	}
-	h, err := analysis.RunStudy(func() predictor.Predictor { return baselines.NewGshare(8, 8) }, src)
-	if err != nil {
-		return Table4Result{}, err
+	makes := []func() predictor.Predictor{
+		func() predictor.Predictor { return baselines.NewGshare(8, 8) },
+		func() predictor.Predictor { return core.MustNew(core.DefaultConfig(7)) },
 	}
-	b, err := analysis.RunStudy(func() predictor.Predictor {
-		return core.MustNew(core.DefaultConfig(7))
-	}, src)
-	if err != nil {
+	studies := make([]*analysis.Study, len(makes))
+	if err := firstErr(cfg.sched().Do(len(makes), func(i int) error {
+		st, err := analysis.RunStudy(makes[i], src)
+		studies[i] = st
+		return err
+	})); err != nil {
 		return Table4Result{}, err
 	}
 	return Table4Result{
 		Workload:       workload,
-		HistoryIndexed: h.Interruptions,
-		BiMode:         b.Interruptions,
-		Branches:       h.Branches,
+		HistoryIndexed: studies[0].Interruptions,
+		BiMode:         studies[1].Interruptions,
+		Branches:       studies[0].Branches,
 	}, nil
 }
 
@@ -224,32 +230,40 @@ func Figures78(workload string, cfg Config) ([]ClassBreakdownPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	// (size log2, few-history bits) pairs per the paper's bar labels.
+	// (size log2, few-history bits) pairs per the paper's bar labels. The
+	// nine studies are independent; they fan out through cfg's scheduler
+	// with the output order fixed by the bar list, not by completion.
 	sizes := []struct{ s, few int }{{8, 2}, {10, 4}, {15, 7}}
-	var out []ClassBreakdownPoint
+	type bar struct {
+		label    string
+		counters int
+		mk       func() predictor.Predictor
+	}
+	var bars []bar
 	for _, sz := range sizes {
 		sz := sz
-		mk := []struct {
-			label string
-			mk    func() predictor.Predictor
-		}{
-			{fmt.Sprintf("gshare(%d)", sz.few), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.few) }},
-			{fmt.Sprintf("gshare(%d)", sz.s), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.s) }},
-			{fmt.Sprintf("bi-mode(%d)", sz.s-1), func() predictor.Predictor { return core.MustNew(core.DefaultConfig(sz.s - 1)) }},
+		bars = append(bars,
+			bar{fmt.Sprintf("gshare(%d)", sz.few), 1 << uint(sz.s), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.few) }},
+			bar{fmt.Sprintf("gshare(%d)", sz.s), 1 << uint(sz.s), func() predictor.Predictor { return baselines.NewGshare(sz.s, sz.s) }},
+			bar{fmt.Sprintf("bi-mode(%d)", sz.s-1), 1 << uint(sz.s), func() predictor.Predictor { return core.MustNew(core.DefaultConfig(sz.s - 1)) }},
+		)
+	}
+	out := make([]ClassBreakdownPoint, len(bars))
+	if err := firstErr(cfg.sched().Do(len(bars), func(i int) error {
+		st, err := analysis.RunStudy(bars[i].mk, src)
+		if err != nil {
+			return err
 		}
-		for _, m := range mk {
-			st, err := analysis.RunStudy(m.mk, src)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ClassBreakdownPoint{
-				Label:    m.label,
-				Counters: 1 << uint(sz.s),
-				SNT:      st.ClassRate(analysis.SNT),
-				ST:       st.ClassRate(analysis.ST),
-				WB:       st.ClassRate(analysis.WB),
-			})
+		out[i] = ClassBreakdownPoint{
+			Label:    bars[i].label,
+			Counters: bars[i].counters,
+			SNT:      st.ClassRate(analysis.SNT),
+			ST:       st.ClassRate(analysis.ST),
+			WB:       st.ClassRate(analysis.WB),
 		}
+		return nil
+	})); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

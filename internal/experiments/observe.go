@@ -20,22 +20,29 @@ type SuiteObservation struct {
 }
 
 // ObserveSuite runs every spec over every workload of the named suite
-// through the instrumented tier. Specs must name predictors known to
-// package zoo; topN bounds each report's H2P ranking.
+// through the instrumented tier, fanning the (spec, workload) grid out
+// over cfg's scheduler; report order is fixed by the grid (specs outer,
+// workloads inner), independent of the worker count. Specs must name
+// predictors known to package zoo; topN bounds each report's H2P ranking.
 func ObserveSuite(suite string, specs []string, cfg Config, topN int) (*SuiteObservation, error) {
 	sources := SuiteSources(suite, cfg)
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("experiments: unknown suite %q", suite)
 	}
-	out := &SuiteObservation{Suite: suite, Dynamic: cfg.Dynamic}
 	for _, spec := range specs {
 		if _, err := zoo.New(spec); err != nil {
 			return nil, err
 		}
-		for _, src := range sources {
-			rep := sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: topN})
-			out.Reports = append(out.Reports, *rep)
-		}
+	}
+	out := &SuiteObservation{Suite: suite, Dynamic: cfg.Dynamic}
+	out.Reports = make([]sim.Report, len(specs)*len(sources))
+	if err := firstErr(cfg.sched().Do(len(out.Reports), func(k int) error {
+		spec := specs[k/len(sources)]
+		src := sources[k%len(sources)]
+		out.Reports[k] = *sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: topN})
+		return nil
+	})); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,160 @@
+package experiments
+
+// Experiment-level half of the determinism oracle (the job-level half
+// lives in internal/sim): the figure sweep, report grid and rendered
+// artifacts produced through the worker pool must be byte-identical to the
+// sequential reference scheduler's output — and to the committed golden
+// files, which were generated sequentially. Plus the concurrency stress
+// test over the shared suite memo. CI runs this file under -race in the
+// test-parallel job.
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/zoo"
+)
+
+// seqCfg and parCfg are the golden configuration pinned to each scheduler
+// path; everything else identical.
+func oracleCfgs() (seq, par Config) {
+	seq, par = goldenCfg, goldenCfg
+	seq.Sched = sim.NewScheduler(0)
+	par.Sched = sim.NewScheduler(8)
+	return seq, par
+}
+
+// TestParallelFiguresMatchSequential renders the full Figures 2-4 sweep
+// through both schedulers and compares the emitted bytes: the CSV that
+// feeds replotting and every rendered panel. Parallelism must never move
+// a digit.
+func TestParallelFiguresMatchSequential(t *testing.T) {
+	seqCfg, parCfg := oracleCfgs()
+	render := func(f *Fig234) string {
+		var b bytes.Buffer
+		panels := append([]SizeCurves{f.SPECAvg, f.IBSAvg}, append(f.SPEC, f.IBS...)...)
+		b.WriteString(CurvesCSV(panels))
+		for _, c := range panels {
+			b.WriteString(RenderSizeCurves(c))
+		}
+		return b.String()
+	}
+	seq := render(Figures234(seqCfg))
+	par := render(Figures234(parCfg))
+	if seq != par {
+		t.Errorf("parallel Figures234 output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelMatchesGolden checks the pooled path against the committed
+// golden artifacts directly: the bytes a -parallel 8 run emits are the
+// bytes in testdata/, not merely self-consistent.
+func TestParallelMatchesGolden(t *testing.T) {
+	_, parCfg := oracleCfgs()
+	f := Figures234(parCfg)
+	panels := append([]SizeCurves{f.SPECAvg, f.IBSAvg}, append(f.SPEC, f.IBS...)...)
+	checkGolden(t, "curves.csv.golden", CurvesCSV(panels))
+	checkGolden(t, "fig2_spec_avg.txt.golden", RenderSizeCurves(f.SPECAvg))
+	checkGolden(t, "table2.txt.golden", RenderTable2(Table2(parCfg)))
+}
+
+// TestObserveSuiteOracle compares the serialized report bundle across
+// schedulers. The engine's self-measurement (wall seconds, branches/sec)
+// is inherently nondeterministic and is zeroed on both sides; every
+// simulation-derived byte must match.
+func TestObserveSuiteOracle(t *testing.T) {
+	seqCfg, parCfg := oracleCfgs()
+	specs := []string{"bimode:b=8", "gshare:i=9,h=9"}
+	marshal := func(cfg Config) []byte {
+		t.Helper()
+		obs, err := ObserveSuite(synth.SuiteSPEC, specs, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range obs.Reports {
+			obs.Reports[i].WallSeconds = 0
+			obs.Reports[i].BranchesPerSec = 0
+		}
+		data, err := json.MarshalIndent(obs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := marshal(seqCfg)
+	par := marshal(parCfg)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("parallel ObserveSuite JSON differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelStress hammers the shared suite memo with mixed RunAll and
+// ObserveSuite traffic from 16 goroutines (over 100 iterations total) and
+// then checks the pool leaked no goroutines: every worker the schedulers
+// spawned must have exited. Run under -race this is the scheduler's
+// aliasing audit.
+func TestParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// A dynamic count no other test uses, so this test owns its memo key.
+	cfg := Config{Dynamic: 1779, Sched: sim.NewScheduler(4)}
+	before := runtime.NumGoroutine()
+
+	const goroutines = 16
+	const iters = 7 // 16 * 7 = 112 mixed operations
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			for it := 0; it < iters; it++ {
+				if (g+it)%2 == 0 {
+					sources := SuiteSources(synth.SuiteSPEC, cfg)
+					jobs := make([]sim.Job, len(sources))
+					for i, src := range sources {
+						jobs[i] = sim.Job{
+							Make:   func() predictor.Predictor { return zoo.MustNew("bimode:b=7") },
+							Source: src,
+						}
+					}
+					for _, res := range cfg.sched().RunAll(jobs) {
+						if res.Err != nil {
+							errc <- res.Err
+						}
+					}
+				} else {
+					if _, err := ObserveSuite(synth.SuiteIBS, []string{"gshare:i=8,h=8"}, cfg, 3); err != nil {
+						errc <- err
+					}
+				}
+			}
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("stress operation failed: %v", err)
+	}
+
+	// Pool goroutines end when Do returns; give the runtime a moment to
+	// reap them before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before stress, %d after", before, after)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bimode/internal/predictor"
 	"bimode/internal/sim"
 	"bimode/internal/synth"
+	"bimode/internal/trace"
 )
 
 // RivalPoint is one (scheme, size) cell of the de-aliasing shoot-out.
@@ -44,26 +45,29 @@ func Rivals(cfg Config) [][]RivalPoint {
 		{"tri-mode", func(s int) predictor.Predictor { return core.MustNewTriMode(core.DefaultConfig(s - 2)) }},
 	}
 
+	// One flat job grid per size point — every scheme over both suites in
+	// a single scheduler dispatch, sliced back apart in job order.
+	sched := cfg.sched()
 	var out [][]RivalPoint
 	for s := cfg.MinSizeBits; s <= cfg.MaxSizeBits; s++ {
 		s := s
+		perScheme := len(spec) + len(ibs)
+		jobs := make([]sim.Job, 0, len(schemes)*perScheme)
+		for _, sc := range schemes {
+			sc := sc
+			for _, src := range append(append([]trace.Source{}, spec...), ibs...) {
+				jobs = append(jobs, sim.Job{Make: func() predictor.Predictor { return sc.mk(s) }, Source: src})
+			}
+		}
+		flat := sched.RunAll(jobs)
 		row := make([]RivalPoint, len(schemes))
 		for i, sc := range schemes {
-			specJobs := make([]sim.Job, len(spec))
-			for j, src := range spec {
-				specJobs[j] = sim.Job{Make: func() predictor.Predictor { return sc.mk(s) }, Source: src}
-			}
-			ibsJobs := make([]sim.Job, len(ibs))
-			for j, src := range ibs {
-				ibsJobs[j] = sim.Job{Make: func() predictor.Predictor { return sc.mk(s) }, Source: src}
-			}
-			specRes := sim.RunAll(specJobs)
-			ibsRes := sim.RunAll(ibsJobs)
+			res := flat[i*perScheme : (i+1)*perScheme]
 			row[i] = RivalPoint{
 				Scheme:    sc.name,
 				CostBytes: predictor.CostBytes(sc.mk(s)),
-				SPECRate:  sim.AverageRate(specRes),
-				IBSRate:   sim.AverageRate(ibsRes),
+				SPECRate:  sim.AverageRate(res[:len(spec)]),
+				IBSRate:   sim.AverageRate(res[len(spec):]),
 			}
 		}
 		out = append(out, row)

@@ -72,22 +72,26 @@ var paperTable2 = map[string][2]int{
 	"video_play": {4606, 5759231},
 }
 
-// Table2 measures branch statistics for all fourteen benchmarks.
+// Table2 measures branch statistics for all fourteen benchmarks; the
+// per-benchmark collection runs through cfg's scheduler with row order
+// (and therefore the rendered bytes) independent of the worker count.
 func Table2(cfg Config) []Table2Row {
-	var rows []Table2Row
-	for _, p := range synth.Profiles() {
+	profiles := synth.Profiles()
+	rows := make([]Table2Row, len(profiles))
+	mustAll(cfg.sched().Do(len(profiles), func(i int) error {
+		p := profiles[i]
 		if cfg.Dynamic > 0 {
 			p = p.WithDynamic(cfg.Dynamic)
 		}
-		stats := trace.Collect(synth.MustWorkload(p))
 		paper := paperTable2[p.Name]
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Suite:        p.Suite,
-			Stats:        stats,
+			Stats:        trace.Collect(synth.MustWorkload(p)),
 			PaperStatic:  paper[0],
 			PaperDynamic: paper[1],
-		})
-	}
+		}
+		return nil
+	}))
 	return rows
 }
 

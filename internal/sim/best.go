@@ -22,9 +22,15 @@ type BestGshare struct {
 }
 
 // SweepGshare simulates every gshare history length 0..indexBits at a
-// fixed second-level size over all sources. The returned matrix is
-// indexed [historyBits][source].
+// fixed second-level size over all sources using the default scheduler.
+// The returned matrix is indexed [historyBits][source].
 func SweepGshare(indexBits int, sources []trace.Source) [][]Result {
+	return sweepGshare(DefaultScheduler(), indexBits, sources)
+}
+
+// sweepGshare is the scheduler-routed sweep behind SweepGshare and
+// Scheduler.SweepGshare.
+func sweepGshare(s *Scheduler, indexBits int, sources []trace.Source) [][]Result {
 	jobs := make([]Job, 0, (indexBits+1)*len(sources))
 	for h := 0; h <= indexBits; h++ {
 		h := h
@@ -35,7 +41,7 @@ func SweepGshare(indexBits int, sources []trace.Source) [][]Result {
 			})
 		}
 	}
-	flat := RunAll(jobs)
+	flat := s.RunAll(jobs)
 	out := make([][]Result, indexBits+1)
 	for h := 0; h <= indexBits; h++ {
 		out[h] = flat[h*len(sources) : (h+1)*len(sources)]

@@ -11,3 +11,12 @@ var (
 	observedBranches    = expvar.NewInt("sim_observed_branches")
 	observedMispredicts = expvar.NewInt("sim_observed_mispredicts")
 )
+
+// Scheduler progress counters, updated by Scheduler.Do on every path
+// (pool and sequential alike, so the expvar surface does not depend on
+// the worker count): jobs currently executing, and jobs finished since
+// process start (including jobs that panicked and were recovered).
+var (
+	schedInFlight  = expvar.NewInt("sim_sched_jobs_inflight")
+	schedCompleted = expvar.NewInt("sim_sched_jobs_completed")
+)

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"bimode/internal/trace"
+)
+
+// Scheduler executes independent simulation jobs on a bounded goroutine
+// pool. It is the one concurrency primitive of the suite layer: RunAll,
+// the gshare.best search and every generator in internal/experiments
+// dispatch through a Scheduler, and nothing else in the repository spawns
+// goroutines on the simulation path.
+//
+// A Scheduler with zero workers runs every job inline on the caller's
+// goroutine, in submission order, with no pool machinery at all. That
+// sequential path is load-bearing: it is the ground truth the determinism
+// oracle compares the pool against (parallel output must be byte-identical
+// to it), so it must remain reachable forever — the CLIs expose it as
+// `-parallel 0`.
+//
+// Regardless of worker count, job panics are recovered per job and
+// surfaced as errors (Result.Err for RunAll) rather than taking down the
+// whole suite, and the expvar counters sim_sched_jobs_inflight /
+// sim_sched_jobs_completed track progress.
+type Scheduler struct {
+	workers int
+}
+
+// NewScheduler returns a scheduler with the given number of pool workers.
+// workers <= 0 yields the sequential reference scheduler.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Scheduler{workers: workers}
+}
+
+// DefaultScheduler returns the scheduler package-level entry points use:
+// one worker per GOMAXPROCS.
+func DefaultScheduler() *Scheduler {
+	return &Scheduler{workers: runtime.GOMAXPROCS(0)}
+}
+
+// Workers reports the pool width; 0 means sequential execution.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Sequential reports whether this scheduler is the inline reference path.
+func (s *Scheduler) Sequential() bool { return s.workers == 0 }
+
+// Do runs task(0) .. task(n-1) and returns one error slot per task. With
+// workers, tasks are distributed over the pool; without, they run inline
+// in index order. A panicking task is recovered into its error slot and
+// the remaining tasks still run. Tasks writing to disjoint slots of a
+// shared slice indexed by their argument is the intended result-passing
+// pattern; Do establishes the necessary happens-before edges.
+func (s *Scheduler) Do(n int, task func(int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	run := func(i int) {
+		schedInFlight.Add(1)
+		defer func() {
+			schedInFlight.Add(-1)
+			schedCompleted.Add(1)
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("sim: job %d of %d panicked: %v", i, n, r)
+			}
+		}()
+		errs[i] = task(i)
+	}
+
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 0 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return errs
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errs
+}
+
+// RunAll executes the jobs through the scheduler and returns results in
+// job order, byte-identical to the sequential scheduler's output. Each
+// distinct Source is materialized once up front and the in-memory trace
+// shared (read-only) by every worker, so an N-predictor sweep over one
+// workload regenerates the trace once instead of N times and every cell
+// takes the batched fast path. A job that panics (in Make, the predictor,
+// or the source) yields a Result whose Err field records the panic; the
+// other jobs are unaffected.
+func (s *Scheduler) RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	shared, matErrs := s.sharedSources(jobs)
+	errs := s.Do(len(jobs), func(i int) error {
+		if matErrs[i] != nil {
+			return matErrs[i]
+		}
+		results[i] = Run(jobs[i].Make(), shared[i])
+		return nil
+	})
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		results[i].Err = err
+		if results[i].Workload == "" {
+			results[i].Workload = safeSourceName(jobs[i].Source)
+		}
+	}
+	return results
+}
+
+// safeSourceName names a source for an error-carrying Result without
+// trusting the source not to panic again.
+func safeSourceName(src trace.Source) (name string) {
+	if src == nil {
+		return ""
+	}
+	defer func() { _ = recover() }()
+	return src.Name()
+}
+
+// sharedSources maps each job to a materialized trace, deduplicating
+// identical sources by interface identity; the distinct materializations
+// themselves run through the scheduler. Sources whose dynamic type is not
+// comparable cannot be used as memo keys and are materialized
+// individually. A source whose materialization panics gets a nil slot and
+// a per-job error for every job that shares it.
+func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
+	out := make([]trace.Source, len(jobs))
+	jobErrs := make([]error, len(jobs))
+
+	// First pass, sequential: resolve already-materialized sources and
+	// group the rest into distinct materialization slots.
+	type slot struct {
+		src  trace.Source
+		idxs []int
+	}
+	var slots []*slot
+	var memo map[trace.Source]*slot
+	for i, j := range jobs {
+		src := j.Source
+		if src == nil {
+			continue
+		}
+		if m, ok := src.(*trace.Memory); ok {
+			out[i] = m
+			continue
+		}
+		if !reflect.TypeOf(src).Comparable() {
+			slots = append(slots, &slot{src: src, idxs: []int{i}})
+			continue
+		}
+		if sl, ok := memo[src]; ok {
+			sl.idxs = append(sl.idxs, i)
+			continue
+		}
+		sl := &slot{src: src, idxs: []int{i}}
+		if memo == nil {
+			memo = map[trace.Source]*slot{}
+		}
+		memo[src] = sl
+		slots = append(slots, sl)
+	}
+
+	// Second pass: materialize the distinct sources through the pool.
+	mems := make([]*trace.Memory, len(slots))
+	matErrs := s.Do(len(slots), func(k int) error {
+		mems[k] = trace.Materialize(slots[k].src)
+		return nil
+	})
+	for k, sl := range slots {
+		for _, i := range sl.idxs {
+			out[i] = mems[k]
+			jobErrs[i] = matErrs[k]
+		}
+	}
+	return out, jobErrs
+}
+
+// SweepGshare simulates every gshare history length 0..indexBits at a
+// fixed second-level size over all sources through the scheduler. The
+// returned matrix is indexed [historyBits][source].
+func (s *Scheduler) SweepGshare(indexBits int, sources []trace.Source) [][]Result {
+	return sweepGshare(s, indexBits, sources)
+}
+
+// FindBestGshare is the scheduler-routed form of the package-level
+// FindBestGshare.
+func (s *Scheduler) FindBestGshare(indexBits int, sources []trace.Source) BestGshare {
+	return PickBestGshare(indexBits, s.SweepGshare(indexBits, sources))
+}

@@ -1,0 +1,209 @@
+package sim_test
+
+// Determinism oracle and pool-contract tests for the suite scheduler.
+// NewScheduler(0) is the sequential reference path; these tests prove the
+// pooled path equal to it job for job (the experiment-level artifacts —
+// golden figures, report JSON, CSV bytes — are proven byte-identical in
+// internal/experiments). The whole file runs under -race in CI's
+// test-parallel job.
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+// oracleJobs builds the full zoo-spec x suite-workload grid the oracle
+// compares across schedulers.
+func oracleJobs(t *testing.T) []sim.Job {
+	t.Helper()
+	traces := suiteTraces()
+	if len(traces) != 14 {
+		t.Fatalf("expected the 14 suite workloads, got %d", len(traces))
+	}
+	var jobs []sim.Job
+	for _, spec := range zoo.Known() {
+		spec := spec
+		for _, mem := range traces {
+			jobs = append(jobs, sim.Job{
+				Make:   func() predictor.Predictor { return zoo.MustNew(spec) },
+				Source: mem,
+			})
+		}
+	}
+	return jobs
+}
+
+// TestSchedulerOracle is the determinism oracle: for every registered
+// predictor spec over all 14 suite workloads, the pooled scheduler's
+// RunAll must return exactly the sequential scheduler's results, in the
+// same order. Any scheduling-dependent state shared between jobs shows up
+// here as a diff (and as a race under -race).
+func TestSchedulerOracle(t *testing.T) {
+	jobs := oracleJobs(t)
+	want := sim.NewScheduler(0).RunAll(jobs)
+	got := sim.NewScheduler(8).RunAll(jobs)
+	if len(got) != len(want) {
+		t.Fatalf("parallel returned %d results, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("job %d: parallel %+v != sequential %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// panicSource panics as soon as the simulation touches it.
+type panicSource struct{}
+
+func (panicSource) Name() string         { return "panic-source" }
+func (panicSource) StaticCount() int     { return 1 }
+func (panicSource) Stream() trace.Stream { panic("stream exploded") }
+
+// TestRunAllPanicCapture checks the panic contract on both scheduler
+// paths: a panicking constructor and a panicking source each surface as
+// Result.Err on their own slot, while the surrounding healthy jobs
+// complete normally and identically.
+func TestRunAllPanicCapture(t *testing.T) {
+	mem := suiteTraces()[0]
+	healthy := sim.Job{
+		Make:   func() predictor.Predictor { return zoo.MustNew("bimode:b=8") },
+		Source: mem,
+	}
+	jobs := []sim.Job{
+		healthy,
+		{Make: func() predictor.Predictor { panic("bad constructor") }, Source: mem},
+		healthy,
+		{Make: healthy.Make, Source: panicSource{}},
+		healthy,
+	}
+	ref := sim.NewScheduler(0).RunAll([]sim.Job{healthy})[0]
+	if ref.Err != nil {
+		t.Fatalf("healthy reference job failed: %v", ref.Err)
+	}
+	for _, workers := range []int{0, 8} {
+		res := sim.NewScheduler(workers).RunAll(jobs)
+		for _, i := range []int{0, 2, 4} {
+			if res[i] != ref {
+				t.Errorf("workers=%d: healthy job %d = %+v, want %+v", workers, i, res[i], ref)
+			}
+		}
+		if res[1].Err == nil || res[1].Branches != 0 {
+			t.Errorf("workers=%d: constructor panic not captured: %+v", workers, res[1])
+		}
+		if res[3].Err == nil {
+			t.Errorf("workers=%d: source panic not captured: %+v", workers, res[3])
+		}
+		if res[3].Workload != "panic-source" {
+			t.Errorf("workers=%d: panicking job workload = %q, want panic-source", workers, res[3].Workload)
+		}
+	}
+}
+
+// TestDoPanicKeepsRemainingTasks checks that a panicking task only poisons
+// its own slot: every other task still runs.
+func TestDoPanicKeepsRemainingTasks(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		ran := make([]bool, 9)
+		errs := sim.NewScheduler(workers).Do(len(ran), func(i int) error {
+			ran[i] = true
+			if i == 4 {
+				panic("task 4")
+			}
+			return nil
+		})
+		for i, ok := range ran {
+			if !ok {
+				t.Errorf("workers=%d: task %d never ran", workers, i)
+			}
+			if (errs[i] != nil) != (i == 4) {
+				t.Errorf("workers=%d: task %d err = %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestDoSequentialOrder pins the reference path's contract: workers=0 runs
+// tasks inline in index order on the calling goroutine.
+func TestDoSequentialOrder(t *testing.T) {
+	var order []int
+	sim.NewScheduler(0).Do(16, func(i int) error {
+		order = append(order, i) // no lock: inline execution is the contract
+		return nil
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order %v, want 0..15 ascending", order)
+		}
+	}
+	if len(order) != 16 {
+		t.Fatalf("ran %d of 16 tasks", len(order))
+	}
+}
+
+// TestDoBoundsConcurrency checks the pool never runs more tasks at once
+// than its worker count.
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var gate sync.WaitGroup
+	gate.Add(workers) // released once `workers` tasks are provably concurrent
+	sim.NewScheduler(workers).Do(24, func(i int) error {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		if i < workers {
+			gate.Done()
+			gate.Wait() // force full pool occupancy at least once
+		}
+		return nil
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, pool width %d", p, workers)
+	} else if p < workers {
+		t.Errorf("pool never reached full width: peak %d of %d", p, workers)
+	}
+}
+
+// TestSchedulerExpvars checks the progress counters on both paths: after a
+// fan-out, in-flight returns to its prior level and completed advances by
+// the task count.
+func TestSchedulerExpvars(t *testing.T) {
+	inflight := expvar.Get("sim_sched_jobs_inflight").(*expvar.Int)
+	completed := expvar.Get("sim_sched_jobs_completed").(*expvar.Int)
+	for _, workers := range []int{0, 4} {
+		baseIn, baseDone := inflight.Value(), completed.Value()
+		sim.NewScheduler(workers).Do(10, func(int) error { return nil })
+		if got := inflight.Value(); got != baseIn {
+			t.Errorf("workers=%d: in-flight %d after Do, want %d", workers, got, baseIn)
+		}
+		if got := completed.Value(); got != baseDone+10 {
+			t.Errorf("workers=%d: completed %d after Do, want %d", workers, got, baseDone+10)
+		}
+	}
+}
+
+// TestNewSchedulerClamp pins the constructor contract: negative widths are
+// the sequential scheduler, and Sequential() reflects exactly workers==0.
+func TestNewSchedulerClamp(t *testing.T) {
+	if s := sim.NewScheduler(-3); s.Workers() != 0 || !s.Sequential() {
+		t.Errorf("NewScheduler(-3) = %d workers, sequential=%v", s.Workers(), s.Sequential())
+	}
+	if s := sim.NewScheduler(5); s.Workers() != 5 || s.Sequential() {
+		t.Errorf("NewScheduler(5) = %d workers, sequential=%v", s.Workers(), s.Sequential())
+	}
+	if s := sim.DefaultScheduler(); s.Workers() < 1 {
+		t.Errorf("DefaultScheduler has %d workers", s.Workers())
+	}
+}

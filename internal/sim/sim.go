@@ -6,9 +6,6 @@ package sim
 
 import (
 	"fmt"
-	"reflect"
-	"runtime"
-	"sync"
 
 	"bimode/internal/predictor"
 	"bimode/internal/trace"
@@ -26,6 +23,12 @@ type Result struct {
 	Branches int
 	// Mispredicts is the number of wrong direction predictions.
 	Mispredicts int
+	// Err records a job that did not complete: RunAll recovers per-job
+	// panics (a broken predictor constructor, a predictor or source
+	// panicking mid-run) into this field instead of letting one bad cell
+	// take down the whole suite. The counting fields are zero when Err is
+	// set.
+	Err error
 }
 
 // MispredictRate returns mispredictions per branch (0..1).
@@ -187,72 +190,12 @@ type Job struct {
 	Source trace.Source
 }
 
-// RunAll executes the jobs across GOMAXPROCS workers and returns results
-// in job order. Each distinct Source is materialized once up front and the
-// in-memory trace shared (read-only) by every worker, so an N-predictor
-// sweep over one workload regenerates the trace once instead of N times
-// and every cell takes the batched fast path.
+// RunAll executes the jobs through the default scheduler (GOMAXPROCS
+// workers) and returns results in job order; see Scheduler.RunAll for the
+// sharing, ordering and panic-capture contract, and NewScheduler(0) for
+// the sequential reference path the parallel output is proven against.
 func RunAll(jobs []Job) []Result {
-	results := make([]Result, len(jobs))
-	shared := sharedSources(jobs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = Run(jobs[i].Make(), shared[i])
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return results
-}
-
-// sharedSources maps each job to a materialized trace, deduplicating
-// identical sources by interface identity. Sources whose dynamic type is
-// not comparable cannot be used as memo keys and are materialized
-// individually.
-func sharedSources(jobs []Job) []trace.Source {
-	out := make([]trace.Source, len(jobs))
-	var memo map[trace.Source]*trace.Memory
-	for i, j := range jobs {
-		src := j.Source
-		if src == nil {
-			continue
-		}
-		if m, ok := src.(*trace.Memory); ok {
-			out[i] = m
-			continue
-		}
-		if !reflect.TypeOf(src).Comparable() {
-			out[i] = trace.Materialize(src)
-			continue
-		}
-		if m, ok := memo[src]; ok {
-			out[i] = m
-			continue
-		}
-		m := trace.Materialize(src)
-		if memo == nil {
-			memo = map[trace.Source]*trace.Memory{}
-		}
-		memo[src] = m
-		out[i] = m
-	}
-	return out
+	return DefaultScheduler().RunAll(jobs)
 }
 
 // AverageRate returns the arithmetic mean misprediction rate of the
