@@ -34,6 +34,13 @@ type Stepper = predictor.Stepper
 // simulator prefers it over Stepper when the workload is materialized.
 type BatchRunner = predictor.BatchRunner
 
+// Snapshotter is the optional checkpoint capability: a predictor that can
+// serialize its complete mutable state and restore it into an identically
+// configured instance (after RestoreSnapshot(Snapshot(nil)) the two are
+// step-for-step indistinguishable). The checkpoint/resume machinery uses
+// it to persist in-flight simulation cells.
+type Snapshotter = predictor.Snapshotter
+
 // BiMode is the paper's predictor.
 type BiMode = core.BiMode
 
@@ -113,6 +120,33 @@ type Scheduler = sim.Scheduler
 // NewScheduler returns a scheduler with the given pool width; workers <= 0
 // yields the sequential reference scheduler.
 func NewScheduler(workers int) *Scheduler { return sim.NewScheduler(workers) }
+
+// Policy bounds how hard a scheduler works to complete one job: a per-job
+// deadline plus a bounded retry-with-backoff budget for retryable
+// failures. Attach it with Scheduler.WithPolicy; the zero value opts out.
+type Policy = sim.Policy
+
+// Transient wraps err as retryable: a scheduler with a Policy re-attempts
+// jobs whose error chain contains a transient failure.
+func Transient(err error) error { return sim.Transient(err) }
+
+// Retryable reports whether err's chain opts into the retry policy; the
+// outermost classification wins.
+func Retryable(err error) bool { return sim.Retryable(err) }
+
+// Journal is a suite-level checkpoint file: a scheduler carrying one (see
+// Scheduler.WithJournal) records completed cells as it goes and, on a
+// resumed run, serves them from cache — so a killed sweep re-runs only
+// the work it lost, with output identical to an uninterrupted run.
+type Journal = sim.Journal
+
+// CreateJournal starts a fresh checkpoint at path; key identifies the run
+// plan so a resume under different parameters is refused.
+func CreateJournal(path, key string) (*Journal, error) { return sim.CreateJournal(path, key) }
+
+// ResumeJournal reopens an existing checkpoint written with the same key,
+// tolerating the torn trailing line a killed writer leaves behind.
+func ResumeJournal(path, key string) (*Journal, error) { return sim.ResumeJournal(path, key) }
 
 // Study is a two-pass bias-class analysis (paper Section 4).
 type Study = analysis.Study

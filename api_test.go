@@ -1,6 +1,8 @@
 package bimode_test
 
 import (
+	"errors"
+	"path/filepath"
 	"testing"
 
 	"bimode"
@@ -79,4 +81,62 @@ func mustPredictor(t *testing.T, spec string) bimode.Predictor {
 		t.Fatal(err)
 	}
 	return p
+}
+
+// TestFacadeFaultTolerance exercises the fault-tolerant runtime through
+// the public facade: error classification, the Snapshotter capability,
+// and a checkpoint round trip that serves a resumed run from cache.
+func TestFacadeFaultTolerance(t *testing.T) {
+	if !bimode.Retryable(bimode.Transient(errors.New("blip"))) {
+		t.Error("Transient error not Retryable")
+	}
+	if bimode.Retryable(errors.New("plain")) {
+		t.Error("plain error must not be Retryable")
+	}
+	var _ bimode.Snapshotter = bimode.DefaultBiMode(8)
+
+	src, err := bimode.Workload("xlisp", bimode.WorkloadOptions{Dynamic: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []bimode.Job{{
+		Make: func() bimode.Predictor {
+			p, err := bimode.NewPredictor("smith:a=8")
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+		Source: src,
+	}}
+
+	path := filepath.Join(t.TempDir(), "facade.ckpt")
+	j, err := bimode.CreateJournal(path, "facade-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := bimode.NewScheduler(0).WithPolicy(bimode.Policy{MaxRetries: 1}).WithJournal(j)
+	first := sched.RunAll(jobs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if first[0].Err != nil {
+		t.Fatalf("journaled run failed: %v", first[0].Err)
+	}
+
+	j2, err := bimode.ResumeJournal(path, "facade-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Cells() != 1 {
+		t.Fatalf("resumed journal caches %d cells, want 1", j2.Cells())
+	}
+	resumed := bimode.NewScheduler(0).WithJournal(j2).RunAll(jobs)
+	if resumed[0] != first[0] {
+		t.Errorf("resumed result differs: %+v vs %+v", resumed[0], first[0])
+	}
+	if _, err := bimode.ResumeJournal(path, "other-plan"); err == nil {
+		t.Error("resume with a different key must fail")
+	}
 }

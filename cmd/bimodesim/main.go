@@ -4,6 +4,8 @@
 // Usage:
 //
 //	bimodesim [-n branches] [-seed s] -w gcc,go -p bimode:b=11,gshare:i=12
+//	bimodesim -w all -p bimode:b=14 -checkpoint run.ckpt   # kill and ...
+//	bimodesim -w all -p bimode:b=14 -checkpoint run.ckpt -resume
 //	bimodesim -list
 //
 // Workloads are the fourteen calibrated synthetic benchmarks (SPEC CINT95
@@ -14,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"bimode/internal/predictor"
 	"bimode/internal/sim"
@@ -44,6 +49,11 @@ func run(args []string) error {
 		seed         = fs.Uint64("seed", 0, "override workload seed (0 = profile default)")
 		parallel     = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the job grid (0 = sequential reference path)")
 		list         = fs.Bool("list", false, "list available workloads and predictor specs, then exit")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job deadline (0 = none); timed-out jobs are retried per -retries")
+		retries      = fs.Int("retries", 0, "retry budget per job for transient failures")
+		checkpoint   = fs.String("checkpoint", "", "journal completed cells to this file; rerun with -resume to continue a killed run")
+		resume       = fs.Bool("resume", false, "resume from the -checkpoint file instead of truncating it")
+		partEvery    = fs.Int("part-every", 1<<20, "records between mid-cell snapshots when checkpointing (0 = completed cells only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,18 +138,68 @@ func run(args []string) error {
 		return fmt.Errorf("no predictors selected")
 	}
 
+	// Sources go into the jobs unmaterialized: RunAll materializes each
+	// distinct source once, through the scheduler, so generation observes
+	// the cancellation context too.
 	var jobs []sim.Job
 	for _, src := range sources {
-		mat := trace.Materialize(src)
 		for _, mk := range makes {
-			jobs = append(jobs, sim.Job{Make: mk, Source: mat})
+			jobs = append(jobs, sim.Job{Make: mk, Source: src})
 		}
 	}
-	for _, res := range sim.NewScheduler(*parallel).RunAll(jobs) {
+
+	// An interrupt cancels the fan-out cooperatively: completed cells are
+	// still printed (and journaled), the rest come back tagged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sched := sim.NewScheduler(*parallel).WithContext(ctx)
+	if *jobTimeout > 0 || *retries > 0 {
+		sched = sched.WithPolicy(sim.Policy{
+			JobTimeout: *jobTimeout,
+			MaxRetries: *retries,
+			Backoff:    100 * time.Millisecond,
+		})
+	}
+	if *checkpoint != "" {
+		key := fmt.Sprintf("bimodesim|w=%s|p=%s|n=%d|seed=%d", *workloadList, *predList, *branches, *seed)
+		j, err := openJournal(*checkpoint, key, *resume)
+		if err != nil {
+			return err
+		}
+		j.PartEvery = *partEvery
+		defer j.Close()
+		sched = sched.WithJournal(j)
+	}
+
+	failed, total := 0, len(jobs)
+	var firstErr error
+	for _, res := range sched.RunAll(jobs) {
 		if res.Err != nil {
-			return res.Err
+			failed++
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			fmt.Fprintf(os.Stderr, "bimodesim: [!] %s: %v\n", res.Workload, res.Err)
+			continue
 		}
 		fmt.Println(res)
 	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cells did not complete (first: %w)", failed, total, firstErr)
+	}
 	return nil
+}
+
+// openJournal creates or resumes the checkpoint file, announcing how many
+// cells a resume will serve from cache.
+func openJournal(path, key string, resume bool) (*sim.Journal, error) {
+	if resume {
+		j, err := sim.ResumeJournal(path, key)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "bimodesim: resuming %s (%d completed cells cached)\n", path, j.Cells())
+		return j, nil
+	}
+	return sim.CreateJournal(path, key)
 }

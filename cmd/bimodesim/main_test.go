@@ -74,3 +74,23 @@ func TestRunWithJSONProfile(t *testing.T) {
 		t.Fatalf("missing profile file must fail")
 	}
 }
+
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	args := []string{"-w", "xlisp,compress", "-p", "bimode:b=8;smith:a=9", "-n", "20000", "-checkpoint", ckpt}
+	if err := run(args); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	// A resume of a completed run serves every cell from cache and
+	// succeeds without re-simulating.
+	if err := run(append(args[:len(args):len(args)], "-resume")); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	// Resuming under a different plan (another predictor set changes the
+	// journal key) must refuse rather than serve mismatched cells.
+	bad := []string{"-w", "xlisp,compress", "-p", "smith:a=4", "-n", "20000", "-checkpoint", ckpt, "-resume"}
+	if err := run(bad); err == nil {
+		t.Fatal("resume with a different plan must fail")
+	}
+}

@@ -15,7 +15,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -23,10 +25,13 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"bimode/internal/experiments"
+	_ "bimode/internal/faults" // registers sim_faults_injected for the counters block
 	"bimode/internal/sim"
 	"bimode/internal/synth"
 	"bimode/internal/textplot"
@@ -42,25 +47,36 @@ func main() {
 	}
 }
 
-// Bundle is the JSON document -o writes: every report of the invocation.
+// Bundle is the JSON document -o writes: every completed report of the
+// invocation, plus one annotation per (spec, workload) cell that failed.
 type Bundle struct {
 	Reports []sim.Report `json:"reports"`
+	Errors  []string     `json:"errors,omitempty"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	var (
-		wl       = fs.String("w", "gcc", "workloads: comma list, or all-spec / all-ibs")
-		specsArg = fs.String("p", "bimode:b=10,gshare:i=11;h=11", "comma-separated predictor specs (use ';' for spec-internal separators)")
-		dynamic  = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
-		topN     = fs.Int("top", 10, "H2P ranking length per report")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the report grid (0 = sequential reference path)")
-		outFile  = fs.String("o", "", "write the report bundle as JSON to this file")
-		httpAddr = fs.String("http", "", "serve expvar/pprof debug endpoints on this address while running (e.g. localhost:6060)")
+		wl         = fs.String("w", "gcc", "workloads: comma list, or all-spec / all-ibs")
+		specsArg   = fs.String("p", "bimode:b=10,gshare:i=11;h=11", "comma-separated predictor specs (use ';' for spec-internal separators)")
+		dynamic    = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+		topN       = fs.Int("top", 10, "H2P ranking length per report")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the report grid (0 = sequential reference path)")
+		outFile    = fs.String("o", "", "write the report bundle as JSON to this file")
+		httpAddr   = fs.String("http", "", "serve expvar/pprof debug endpoints on this address while running (e.g. localhost:6060)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-report deadline (0 = none); timed-out reports are retried per -retries")
+		retries    = fs.Int("retries", 0, "retry budget per report for transient failures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Suite workload generation panics through a Must-materialization on
+	// cancellation; degrade that to a clean error like any failed cell.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("obsreport aborted: %v", r)
+		}
+	}()
 
 	if *httpAddr != "" {
 		ln, err := startDebugServer(*httpAddr)
@@ -71,7 +87,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "debug endpoints at http://%s/debug/vars and /debug/pprof/\n\n", ln.Addr())
 	}
 
-	sched := sim.NewScheduler(*parallel)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sched := sim.NewScheduler(*parallel).WithContext(ctx)
+	if *jobTimeout > 0 || *retries > 0 {
+		sched = sched.WithPolicy(sim.Policy{
+			JobTimeout: *jobTimeout,
+			MaxRetries: *retries,
+			Backoff:    100 * time.Millisecond,
+		})
+	}
 	cfg := experiments.Config{Dynamic: *dynamic, Sched: sched}
 	var sources []trace.Source
 	switch *wl {
@@ -106,20 +131,35 @@ func run(args []string, out io.Writer) error {
 
 	// Collect the (spec, workload) grid through the scheduler into indexed
 	// slots, then render in grid order — output is identical at any -parallel.
-	var bundle Bundle
-	bundle.Reports = make([]sim.Report, len(specs)*len(sources))
-	for _, err := range sched.Do(len(bundle.Reports), func(k int) error {
+	// A failed cell (timeout, cancellation, panic) degrades to an annotated
+	// gap; the completed reports still render and the bundle records the
+	// failures instead of the whole invocation aborting.
+	grid := make([]sim.Report, len(specs)*len(sources))
+	errs := sched.DoContext(len(grid), func(ctx context.Context, k int) error {
 		spec, src := specs[k/len(sources)], sources[k%len(sources)]
-		bundle.Reports[k] = *sim.Observe(zoo.MustNew(spec), src, sim.ObserveOptions{TopN: *topN})
-		return nil
-	}) {
+		rep, err := sim.ObserveContext(ctx, zoo.MustNew(spec), src, sim.ObserveOptions{TopN: *topN})
 		if err != nil {
 			return err
 		}
+		grid[k] = *rep
+		return nil
+	})
+	var bundle Bundle
+	for k := range grid {
+		if errs[k] != nil {
+			spec, src := specs[k/len(sources)], sources[k%len(sources)]
+			bundle.Errors = append(bundle.Errors, fmt.Sprintf("%s on %s: %v", spec, src.Name(), errs[k]))
+			continue
+		}
+		bundle.Reports = append(bundle.Reports, grid[k])
 	}
 	for i := range bundle.Reports {
 		renderReport(out, &bundle.Reports[i])
 	}
+	if len(bundle.Errors) > 0 {
+		fmt.Fprint(out, experiments.RenderFootnotes(bundle.Errors))
+	}
+	renderCounters(out)
 
 	if *outFile != "" {
 		data, err := json.MarshalIndent(bundle, "", "  ")
@@ -132,7 +172,27 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %d reports to %s\n", len(bundle.Reports), *outFile)
 	}
+	if len(bundle.Errors) > 0 {
+		return fmt.Errorf("%d of %d reports did not complete", len(bundle.Errors), len(grid))
+	}
 	return nil
+}
+
+// renderCounters prints the scheduler/fault expvars, so a terminal run
+// surfaces the same runtime counters -http exposes at /debug/vars.
+func renderCounters(out io.Writer) {
+	fmt.Fprintf(out, "runtime counters:")
+	for _, name := range []string{
+		"sim_sched_jobs_inflight", "sim_sched_jobs_completed",
+		"sim_sched_retries", "sim_sched_cancelled", "sim_faults_injected",
+	} {
+		val := "0"
+		if v := expvar.Get(name); v != nil {
+			val = v.String()
+		}
+		fmt.Fprintf(out, " %s=%s", strings.TrimPrefix(name, "sim_"), val)
+	}
+	fmt.Fprintln(out)
 }
 
 // renderReport draws one report for a terminal.

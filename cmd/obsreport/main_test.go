@@ -118,3 +118,37 @@ func TestObsreportErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestObsreportDegradedRun pins graceful degradation: reports that blow
+// their per-job deadline become annotated gaps and a non-zero exit, and
+// the runtime-counters block still renders.
+func TestObsreportDegradedRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-w", "xlisp", "-p", "bimode:b=8,smith:a=8",
+		"-n", "500000", "-job-timeout", "1ms"}, &buf)
+	if err == nil {
+		t.Fatal("degraded run must exit non-zero")
+	}
+	text := buf.String()
+	for _, want := range []string{"did not complete", "[!]", "deadline",
+		"runtime counters:", "sched_cancelled=", "faults_injected="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("degraded output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestObsreportCountersBlock: a healthy run surfaces the scheduler and
+// fault expvars on the terminal, not just at /debug/vars.
+func TestObsreportCountersBlock(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-w", "sortbench", "-p", "smith:a=8", "-n", "5000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"runtime counters:", "sched_jobs_completed=",
+		"sched_retries=", "sched_cancelled=", "faults_injected="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -2,18 +2,28 @@
 // evaluation section and writes the results to a directory (default
 // ./results) as text reports and CSV series.
 //
+// A failed artifact (a canceled run, a damaged trace, a panicking cell)
+// degrades instead of aborting: the other artifacts are still produced,
+// the failures are written to footnotes.txt in the output directory, and
+// the exit status is non-zero. With -checkpoint, an interrupted run can
+// be resumed from where it was killed.
+//
 // Usage:
 //
 //	paper                  # everything, default scale (paper counts / 8)
 //	paper -quick           # reduced dynamic budget for a fast smoke run
 //	paper -only fig2,table4
 //	paper -out mydir -n 3000000
+//	paper -checkpoint paper.ckpt           # ^C partway, then:
+//	paper -checkpoint paper.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -33,18 +43,52 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "results", "output directory")
-		only     = fs.String("only", "", "comma-separated subset: table1,table2,fig2,fig3,fig4,table3,fig5,fig6,table4,fig7,fig8,rivals,programs,ctxswitch")
-		dynamic  = fs.Int("n", 0, "override dynamic branches per workload (0 = calibrated defaults)")
-		quick    = fs.Bool("quick", false, "fast smoke run (600k branches per workload)")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for simulation grids (0 = sequential reference path)")
+		out        = fs.String("out", "results", "output directory")
+		only       = fs.String("only", "", "comma-separated subset: table1,table2,fig2,fig3,fig4,table3,fig5,fig6,table4,fig7,fig8,rivals,programs,ctxswitch")
+		dynamic    = fs.Int("n", 0, "override dynamic branches per workload (0 = calibrated defaults)")
+		quick      = fs.Bool("quick", false, "fast smoke run (600k branches per workload)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for simulation grids (0 = sequential reference path)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job deadline (0 = none); timed-out jobs are retried per -retries")
+		retries    = fs.Int("retries", 0, "retry budget per job for transient failures")
+		checkpoint = fs.String("checkpoint", "", "journal completed simulation cells to this file; rerun with -resume to continue a killed run")
+		resume     = fs.Bool("resume", false, "resume from the -checkpoint file instead of truncating it")
+		partEvery  = fs.Int("part-every", 1<<20, "records between mid-cell snapshots when checkpointing (0 = completed cells only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Dynamic: *dynamic, Sched: sim.NewScheduler(*parallel)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sched := sim.NewScheduler(*parallel).WithContext(ctx)
+	if *jobTimeout > 0 || *retries > 0 {
+		sched = sched.WithPolicy(sim.Policy{
+			JobTimeout: *jobTimeout,
+			MaxRetries: *retries,
+			Backoff:    100 * time.Millisecond,
+		})
+	}
+	cfg := experiments.Config{Dynamic: *dynamic, Sched: sched}
 	if *quick && *dynamic == 0 {
 		cfg.Dynamic = 600000
+	}
+	if *checkpoint != "" {
+		// The key pins every flag that shapes the fan-out sequence the
+		// journal's (seq, idx) cells are keyed by.
+		key := fmt.Sprintf("paper|only=%s|n=%d", *only, cfg.Dynamic)
+		var j *sim.Journal
+		var err error
+		if *resume {
+			if j, err = sim.ResumeJournal(*checkpoint, key); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "paper: resuming %s (%d completed cells cached)\n", *checkpoint, j.Cells())
+		} else if j, err = sim.CreateJournal(*checkpoint, key); err != nil {
+			return err
+		}
+		j.PartEvery = *partEvery
+		defer j.Close()
+		cfg.Sched = sched.WithJournal(j)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -67,159 +111,192 @@ func run(args []string) error {
 		return nil
 	}
 
+	// artifact runs one generator with a degradation guard: an error or a
+	// panic (a canceled sweep, an injected fault reaching a Must-
+	// constructor) is annotated and the remaining artifacts still run.
+	var fails []string
+	artifact := func(name string, gen func() error) {
+		defer func() {
+			if r := recover(); r != nil {
+				fails = append(fails, fmt.Sprintf("%s: %v", name, r))
+				fmt.Fprintf(os.Stderr, "paper: [!] %s did not complete: %v\n", name, r)
+			}
+		}()
+		if err := gen(); err != nil {
+			fails = append(fails, fmt.Sprintf("%s: %v", name, err))
+			fmt.Fprintf(os.Stderr, "paper: [!] %s did not complete: %v\n", name, err)
+		}
+	}
+
 	start := time.Now()
 
 	if sel("table1") {
-		if err := emit("table1.txt", experiments.RenderTable1(experiments.Table1())); err != nil {
-			return err
-		}
+		artifact("table1", func() error {
+			return emit("table1.txt", experiments.RenderTable1(experiments.Table1()))
+		})
 	}
 	if sel("table2") {
-		if err := emit("table2.txt", experiments.RenderTable2(experiments.Table2(cfg))); err != nil {
-			return err
-		}
+		artifact("table2", func() error {
+			return emit("table2.txt", experiments.RenderTable2(experiments.Table2(cfg)))
+		})
 	}
 
 	if sel("fig2") || sel("fig3") || sel("fig4") {
-		fmt.Fprintf(os.Stderr, "paper: running Figures 2-4 sweep (every gshare history length x every size x 14 benchmarks)...\n")
-		f := experiments.Figures234(cfg)
-		if sel("fig2") {
-			var b strings.Builder
-			b.WriteString(experiments.RenderSizeCurves(f.SPECAvg))
-			b.WriteString("\n")
-			b.WriteString(experiments.RenderSizeCurves(f.IBSAvg))
-			b.WriteString("\ngshare.best history bits per size:\n")
-			fmt.Fprintf(&b, "  SPEC: %v\n  IBS:  %v\n  (sizes 2^%v counters)\n",
-				f.BestHistorySPEC, f.BestHistoryIBS, f.SizeBits)
-			fmt.Fprintf(&b, "\ncost advantage of bi-mode over gshare.best at equal accuracy (upper half of axis):\n")
-			fmt.Fprintf(&b, "  SPEC: %s   IBS: %s\n",
-				formatAdvantage(experiments.CostAdvantage(f.SPECAvg)),
-				formatAdvantage(experiments.CostAdvantage(f.IBSAvg)))
-			if err := emit("figure2.txt", b.String()); err != nil {
-				return err
-			}
-			if err := emit("figure2.csv", experiments.CurvesCSV(append([]experiments.SizeCurves{f.SPECAvg}, f.IBSAvg))); err != nil {
-				return err
-			}
-		}
-		if sel("fig3") {
-			var b strings.Builder
-			for _, c := range f.SPEC {
-				b.WriteString(experiments.RenderSizeCurves(c))
+		artifact("figures2-4", func() error {
+			fmt.Fprintf(os.Stderr, "paper: running Figures 2-4 sweep (every gshare history length x every size x 14 benchmarks)...\n")
+			f := experiments.Figures234(cfg)
+			// Failed cells render as gaps with a footnote on each affected
+			// figure; they also count against the run's exit status.
+			fails = append(fails, f.Failures...)
+			notes := experiments.RenderFootnotes(f.Failures)
+			if sel("fig2") {
+				var b strings.Builder
+				b.WriteString(experiments.RenderSizeCurves(f.SPECAvg))
 				b.WriteString("\n")
+				b.WriteString(experiments.RenderSizeCurves(f.IBSAvg))
+				b.WriteString("\ngshare.best history bits per size:\n")
+				fmt.Fprintf(&b, "  SPEC: %v\n  IBS:  %v\n  (sizes 2^%v counters)\n",
+					f.BestHistorySPEC, f.BestHistoryIBS, f.SizeBits)
+				fmt.Fprintf(&b, "\ncost advantage of bi-mode over gshare.best at equal accuracy (upper half of axis):\n")
+				fmt.Fprintf(&b, "  SPEC: %s   IBS: %s\n",
+					formatAdvantage(experiments.CostAdvantage(f.SPECAvg)),
+					formatAdvantage(experiments.CostAdvantage(f.IBSAvg)))
+				b.WriteString(notes)
+				if err := emit("figure2.txt", b.String()); err != nil {
+					return err
+				}
+				if err := emit("figure2.csv", experiments.CurvesCSV(append([]experiments.SizeCurves{f.SPECAvg}, f.IBSAvg))); err != nil {
+					return err
+				}
 			}
-			if err := emit("figure3.txt", b.String()); err != nil {
-				return err
+			if sel("fig3") {
+				var b strings.Builder
+				for _, c := range f.SPEC {
+					b.WriteString(experiments.RenderSizeCurves(c))
+					b.WriteString("\n")
+				}
+				b.WriteString(notes)
+				if err := emit("figure3.txt", b.String()); err != nil {
+					return err
+				}
+				if err := emit("figure3.csv", experiments.CurvesCSV(f.SPEC)); err != nil {
+					return err
+				}
 			}
-			if err := emit("figure3.csv", experiments.CurvesCSV(f.SPEC)); err != nil {
-				return err
+			if sel("fig4") {
+				var b strings.Builder
+				for _, c := range f.IBS {
+					b.WriteString(experiments.RenderSizeCurves(c))
+					b.WriteString("\n")
+				}
+				b.WriteString(notes)
+				if err := emit("figure4.txt", b.String()); err != nil {
+					return err
+				}
+				if err := emit("figure4.csv", experiments.CurvesCSV(f.IBS)); err != nil {
+					return err
+				}
 			}
-		}
-		if sel("fig4") {
-			var b strings.Builder
-			for _, c := range f.IBS {
-				b.WriteString(experiments.RenderSizeCurves(c))
-				b.WriteString("\n")
-			}
-			if err := emit("figure4.txt", b.String()); err != nil {
-				return err
-			}
-			if err := emit("figure4.csv", experiments.CurvesCSV(f.IBS)); err != nil {
-				return err
-			}
-		}
+			return nil
+		})
 	}
 
 	if sel("fig5") {
-		hist, addr, err := experiments.Figure5("gcc", cfg)
-		if err != nil {
-			return err
-		}
-		content := experiments.RenderBreakdown(hist) + "\n" + experiments.RenderBreakdown(addr)
-		if err := emit("figure5.txt", content); err != nil {
-			return err
-		}
-		if err := emit("figure5.csv", experiments.BreakdownCSV(hist, addr)); err != nil {
-			return err
-		}
+		artifact("fig5", func() error {
+			hist, addr, err := experiments.Figure5("gcc", cfg)
+			if err != nil {
+				return err
+			}
+			content := experiments.RenderBreakdown(hist) + "\n" + experiments.RenderBreakdown(addr)
+			if err := emit("figure5.txt", content); err != nil {
+				return err
+			}
+			return emit("figure5.csv", experiments.BreakdownCSV(hist, addr))
+		})
 	}
 	if sel("fig6") {
-		bm, err := experiments.Figure6("gcc", cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("figure6.txt", experiments.RenderBreakdown(bm)); err != nil {
-			return err
-		}
+		artifact("fig6", func() error {
+			bm, err := experiments.Figure6("gcc", cfg)
+			if err != nil {
+				return err
+			}
+			return emit("figure6.txt", experiments.RenderBreakdown(bm))
+		})
 	}
 	if sel("table3") {
-		ex, err := experiments.Table3("gcc", cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("table3.txt", experiments.RenderTable3(ex)); err != nil {
-			return err
-		}
+		artifact("table3", func() error {
+			ex, err := experiments.Table3("gcc", cfg)
+			if err != nil {
+				return err
+			}
+			return emit("table3.txt", experiments.RenderTable3(ex))
+		})
 	}
 	if sel("table4") {
-		t, err := experiments.Table4("gcc", cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("table4.txt", experiments.RenderTable4(t)); err != nil {
-			return err
-		}
+		artifact("table4", func() error {
+			t, err := experiments.Table4("gcc", cfg)
+			if err != nil {
+				return err
+			}
+			return emit("table4.txt", experiments.RenderTable4(t))
+		})
 	}
 	if sel("fig7") {
-		pts, err := experiments.Figures78("gcc", cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("figure7.txt", experiments.RenderFigures78("gcc", pts)); err != nil {
-			return err
-		}
-		if err := emit("figure7.csv", experiments.ClassBreakdownCSV("gcc", pts)); err != nil {
-			return err
-		}
+		artifact("fig7", func() error {
+			pts, err := experiments.Figures78("gcc", cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("figure7.txt", experiments.RenderFigures78("gcc", pts)); err != nil {
+				return err
+			}
+			return emit("figure7.csv", experiments.ClassBreakdownCSV("gcc", pts))
+		})
 	}
 	if sel("programs") {
-		res, err := experiments.ProgramsCrossCheck(cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("programs.txt", experiments.RenderProgramsCrossCheck(res)); err != nil {
-			return err
-		}
+		artifact("programs", func() error {
+			res, err := experiments.ProgramsCrossCheck(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("programs.txt", experiments.RenderProgramsCrossCheck(res))
+		})
 	}
 	if sel("ctxswitch") {
-		rows, err := experiments.ContextSwitch("gcc", "sdet", 500, cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("ctxswitch.txt", experiments.RenderContextSwitch("gcc", "sdet", 500, rows)); err != nil {
-			return err
-		}
+		artifact("ctxswitch", func() error {
+			rows, err := experiments.ContextSwitch("gcc", "sdet", 500, cfg)
+			if err != nil {
+				return err
+			}
+			return emit("ctxswitch.txt", experiments.RenderContextSwitch("gcc", "sdet", 500, rows))
+		})
 	}
 	if sel("rivals") {
-		rows := experiments.Rivals(cfg)
-		if err := emit("rivals.txt", experiments.RenderRivals(rows)); err != nil {
-			return err
-		}
+		artifact("rivals", func() error {
+			return emit("rivals.txt", experiments.RenderRivals(experiments.Rivals(cfg)))
+		})
 	}
 	if sel("fig8") {
-		pts, err := experiments.Figures78("go", cfg)
-		if err != nil {
-			return err
-		}
-		if err := emit("figure8.txt", experiments.RenderFigures78("go", pts)); err != nil {
-			return err
-		}
-		if err := emit("figure8.csv", experiments.ClassBreakdownCSV("go", pts)); err != nil {
-			return err
-		}
+		artifact("fig8", func() error {
+			pts, err := experiments.Figures78("go", cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("figure8.txt", experiments.RenderFigures78("go", pts)); err != nil {
+				return err
+			}
+			return emit("figure8.csv", experiments.ClassBreakdownCSV("go", pts))
+		})
 	}
 
 	fmt.Fprintf(os.Stderr, "paper: done in %v\n", time.Since(start).Round(time.Second))
+	if len(fails) > 0 {
+		notePath := filepath.Join(*out, "footnotes.txt")
+		if werr := os.WriteFile(notePath, []byte(experiments.RenderFootnotes(fails)), 0o644); werr != nil {
+			return fmt.Errorf("%d artifact(s) did not complete (and writing %s failed: %v)", len(fails), notePath, werr)
+		}
+		return fmt.Errorf("%d artifact(s) did not complete; see %s", len(fails), notePath)
+	}
 	return nil
 }
 

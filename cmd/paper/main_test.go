@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,5 +44,42 @@ func TestPaperErrors(t *testing.T) {
 	}
 	if err := run([]string{"-out", "/dev/null/impossible"}); err == nil {
 		t.Fatalf("bad output dir must fail")
+	}
+}
+
+// TestPaperDegradedRun pins graceful degradation: with a per-job deadline
+// no simulation can meet, the affected artifacts become annotated
+// footnotes, the artifacts that need no simulation are still produced,
+// and the exit status is non-zero.
+func TestPaperDegradedRun(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-only", "table1,fig2", "-n", "400000", "-job-timeout", "1ms"})
+	if err == nil {
+		t.Fatal("degraded run must exit non-zero")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.txt")); err != nil {
+		t.Errorf("unaffected artifact missing: %v", err)
+	}
+	notes, err := os.ReadFile(filepath.Join(dir, "footnotes.txt"))
+	if err != nil {
+		t.Fatalf("degraded run wrote no footnotes.txt: %v", err)
+	}
+	if !strings.Contains(string(notes), "figures2-4") {
+		t.Errorf("footnotes.txt does not name the failed artifact:\n%s", notes)
+	}
+}
+
+func TestPaperCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "paper.ckpt")
+	args := []string{"-out", dir, "-only", "table2", "-n", "25000", "-checkpoint", ckpt}
+	if err := run(args); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if err := run(append(args[:len(args):len(args)], "-resume")); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := run(append(args[:len(args):len(args)], "-n", "26000", "-resume")); err == nil {
+		t.Fatal("resume with a different plan must fail")
 	}
 }

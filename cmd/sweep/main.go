@@ -7,15 +7,20 @@
 //	sweep -w gcc,go,vortex -min 10 -max 15
 //	sweep -w all-spec -schemes bimode,gshare1,gsharebest,smith,agree,gskew,yags
 //	sweep -w gcc -n 3000000
+//	sweep -checkpoint sweep.ckpt            # interrupt, then:
+//	sweep -checkpoint sweep.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"bimode/internal/baselines"
 	"bimode/internal/core"
@@ -109,15 +114,20 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		wl       = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
-		schemeL  = fs.String("schemes", "gshare1,gsharebest,bimode", "comma list of schemes: gshare1,gsharebest,bimode,trimode,filter,smith,agree,gskew,yags,gag,pag")
-		minBits  = fs.Int("min", 10, "log2 of the smallest gshare-equivalent counter count")
-		maxBits  = fs.Int("max", 17, "log2 of the largest")
-		dynamic  = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep grid (0 = sequential reference path)")
+		wl         = fs.String("w", "all-spec", "workloads: comma list, or all-spec / all-ibs / all")
+		schemeL    = fs.String("schemes", "gshare1,gsharebest,bimode", "comma list of schemes: gshare1,gsharebest,bimode,trimode,filter,smith,agree,gskew,yags,gag,pag")
+		minBits    = fs.Int("min", 10, "log2 of the smallest gshare-equivalent counter count")
+		maxBits    = fs.Int("max", 17, "log2 of the largest")
+		dynamic    = fs.Int("n", 0, "dynamic branches per workload (0 = calibrated default)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep grid (0 = sequential reference path)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job deadline (0 = none); timed-out jobs are retried per -retries")
+		retries    = fs.Int("retries", 0, "retry budget per job for transient failures")
+		checkpoint = fs.String("checkpoint", "", "journal completed cells to this file; rerun with -resume to continue a killed run")
+		resume     = fs.Bool("resume", false, "resume from the -checkpoint file instead of truncating it")
+		partEvery  = fs.Int("part-every", 1<<20, "records between mid-cell snapshots when checkpointing (0 = completed cells only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +135,40 @@ func run(args []string, out io.Writer) error {
 	if *minBits < 4 || *maxBits > 24 || *minBits > *maxBits {
 		return fmt.Errorf("size range [%d,%d] invalid", *minBits, *maxBits)
 	}
-	sched := sim.NewScheduler(*parallel)
+	// Workload generation runs through the scheduler too; a cancellation
+	// there surfaces as a panic from the Must-materialization, which we
+	// convert into the clean partial-exit the simulation path gets.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep aborted: %v", r)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sched := sim.NewScheduler(*parallel).WithContext(ctx)
+	if *jobTimeout > 0 || *retries > 0 {
+		sched = sched.WithPolicy(sim.Policy{
+			JobTimeout: *jobTimeout,
+			MaxRetries: *retries,
+			Backoff:    100 * time.Millisecond,
+		})
+	}
+	if *checkpoint != "" {
+		key := fmt.Sprintf("sweep|w=%s|schemes=%s|min=%d|max=%d|n=%d", *wl, *schemeL, *minBits, *maxBits, *dynamic)
+		var j *sim.Journal
+		if *resume {
+			if j, err = sim.ResumeJournal(*checkpoint, key); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sweep: resuming %s (%d completed cells cached)\n", *checkpoint, j.Cells())
+		} else if j, err = sim.CreateJournal(*checkpoint, key); err != nil {
+			return err
+		}
+		j.PartEvery = *partEvery
+		defer j.Close()
+		sched = sched.WithJournal(j)
+	}
 	cfg := experiments.Config{Dynamic: *dynamic, Sched: sched}
 
 	var sources []trace.Source
@@ -158,6 +201,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// rate[scheme][size][workload]
+	var fails []string
 	for _, sc := range sel {
 		fmt.Fprintf(out, "\n%s\n", sc.name)
 		fmt.Fprintf(out, "%-12s", "workload")
@@ -179,18 +223,49 @@ func run(args []string, out io.Writer) error {
 			}
 			perSize = append(perSize, sched.RunAll(jobs))
 		}
+		for j, results := range perSize {
+			for _, r := range results {
+				if r.Err != nil {
+					fails = append(fails, fmt.Sprintf("%s @ %s, size 2^%d: %v", sc.name, r.Workload, *minBits+j, r.Err))
+				}
+			}
+		}
 		for i, src := range sources {
 			fmt.Fprintf(out, "%-12s", src.Name())
 			for j := range perSize {
-				fmt.Fprintf(out, "%10.2f", 100*perSize[j][i].MispredictRate())
+				fmt.Fprint(out, cellText(perSize[j][i]))
 			}
 			fmt.Fprintln(out)
 		}
 		fmt.Fprintf(out, "%-12s", "AVERAGE")
 		for j := range perSize {
-			fmt.Fprintf(out, "%10.2f", 100*sim.AverageRate(perSize[j]))
+			fmt.Fprint(out, avgText(perSize[j]))
 		}
 		fmt.Fprintln(out)
 	}
+	if len(fails) > 0 {
+		fmt.Fprintf(out, "\n%s", experiments.RenderFootnotes(fails))
+		return fmt.Errorf("%d cell(s) did not complete", len(fails))
+	}
 	return nil
+}
+
+// cellText renders one table cell, degrading a failed cell to an aligned
+// gap instead of a bogus number.
+func cellText(r sim.Result) string {
+	if r.Err != nil {
+		return fmt.Sprintf("%10s", "--")
+	}
+	return fmt.Sprintf("%10.2f", 100*r.MispredictRate())
+}
+
+// avgText renders a suite-average cell; any failed constituent makes the
+// average a gap (a partial average would silently misstate the suite).
+func avgText(results []sim.Result) string {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Sprintf("%10s", "--")
+		}
+	}
+	return fmt.Sprintf("%10.2f", 100*sim.AverageRate(results))
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -84,5 +85,28 @@ func TestSweepErrors(t *testing.T) {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	args := []string{"-w", "xlisp", "-schemes", "bimode,smith",
+		"-min", "8", "-max", "9", "-n", "20000", "-checkpoint", ckpt}
+	var first, resumed bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if err := run(append(args[:len(args):len(args)], "-resume"), &resumed); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if first.String() != resumed.String() {
+		t.Errorf("resumed output differs from the original run:\n%s\nvs\n%s", first.String(), resumed.String())
+	}
+	// A different size axis changes the fan-out plan; the journal key
+	// must refuse it.
+	bad := append(args[:len(args):len(args)], "-max", "10", "-resume")
+	if err := run(bad, io.Discard); err == nil {
+		t.Fatal("resume with a different plan must fail")
 	}
 }

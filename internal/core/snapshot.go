@@ -1,0 +1,96 @@
+package core
+
+import "fmt"
+
+// predictor.Snapshotter implementations for the bi-mode and tri-mode
+// predictors. Each snapshot is a one-byte type tag followed by the
+// constituent table and register snapshots in a fixed order; the tag
+// catches a snapshot restored into the wrong predictor kind before the
+// shape checks inside counter/history reject the details. dirScratch is
+// deliberately absent from the bi-mode encoding: it is a transient view
+// copied from and back to the banks at RunBatch boundaries, never live
+// state between calls.
+const (
+	snapTagBiMode  = 0x01
+	snapTagTriMode = 0x02
+)
+
+// Snapshot implements predictor.Snapshotter.
+func (b *BiMode) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapTagBiMode)
+	dst = b.choice.AppendSnapshot(dst)
+	dst = b.banks[BankNotTaken].AppendSnapshot(dst)
+	dst = b.banks[BankTaken].AppendSnapshot(dst)
+	return b.ghr.AppendSnapshot(dst)
+}
+
+// RestoreSnapshot implements predictor.Snapshotter.
+func (b *BiMode) RestoreSnapshot(data []byte) error {
+	rest, err := checkSnapTag("bi-mode", snapTagBiMode, data)
+	if err != nil {
+		return err
+	}
+	if rest, err = b.choice.ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: bi-mode choice table: %w", err)
+	}
+	if rest, err = b.banks[BankNotTaken].ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: bi-mode not-taken bank: %w", err)
+	}
+	if rest, err = b.banks[BankTaken].ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: bi-mode taken bank: %w", err)
+	}
+	if rest, err = b.ghr.ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: bi-mode history: %w", err)
+	}
+	return checkSnapEmpty("bi-mode", rest)
+}
+
+// Snapshot implements predictor.Snapshotter.
+func (t *TriMode) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapTagTriMode)
+	dst = t.choice.AppendSnapshot(dst)
+	for _, bank := range t.banks {
+		dst = bank.AppendSnapshot(dst)
+	}
+	return t.ghr.AppendSnapshot(dst)
+}
+
+// RestoreSnapshot implements predictor.Snapshotter.
+func (t *TriMode) RestoreSnapshot(data []byte) error {
+	rest, err := checkSnapTag("tri-mode", snapTagTriMode, data)
+	if err != nil {
+		return err
+	}
+	if rest, err = t.choice.ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: tri-mode choice table: %w", err)
+	}
+	for i, bank := range t.banks {
+		if rest, err = bank.ReadSnapshot(rest); err != nil {
+			return fmt.Errorf("core: tri-mode bank %d: %w", i, err)
+		}
+	}
+	if rest, err = t.ghr.ReadSnapshot(rest); err != nil {
+		return fmt.Errorf("core: tri-mode history: %w", err)
+	}
+	return checkSnapEmpty("tri-mode", rest)
+}
+
+// checkSnapTag consumes and validates the leading type tag.
+func checkSnapTag(kind string, tag byte, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty %s snapshot", kind)
+	}
+	if data[0] != tag {
+		return nil, fmt.Errorf("core: snapshot tag %#x is not a %s snapshot (want %#x)", data[0], kind, tag)
+	}
+	return data[1:], nil
+}
+
+// checkSnapEmpty rejects trailing bytes, which indicate a shape mismatch
+// the per-field checks could not see.
+func checkSnapEmpty(kind string, rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %s snapshot has %d trailing bytes", kind, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot encoding for counter tables, the building block behind the
+// predictor.Snapshotter implementations: one byte of counter width, a
+// uvarint entry count, then the raw entry bytes. The width and count are
+// redundant with the receiving table's construction parameters, which is
+// the point — ReadSnapshot validates them so a snapshot can never be
+// restored into a table of a different shape, and validates every entry
+// against the counter range so corrupted bytes are rejected instead of
+// smuggling out-of-range states into the branch-free simulation loops
+// (which rely on SatNext-produced values for bounds-check elimination).
+
+// AppendSnapshot appends the table's counter state to dst and returns the
+// extended slice.
+func (t *Table) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, byte(t.bits))
+	dst = binary.AppendUvarint(dst, uint64(len(t.entries)))
+	for _, v := range t.entries {
+		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
+// ReadSnapshot restores counter state previously captured by
+// AppendSnapshot, consuming it from the front of data and returning the
+// remainder. The snapshot must match the table's width and length exactly
+// and every entry must be in range; on error the table is unchanged.
+func (t *Table) ReadSnapshot(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("counter: snapshot truncated before width byte")
+	}
+	if int(data[0]) != t.bits {
+		return nil, fmt.Errorf("counter: snapshot width %d does not match table width %d", data[0], t.bits)
+	}
+	n, used := binary.Uvarint(data[1:])
+	if used <= 0 {
+		return nil, fmt.Errorf("counter: snapshot truncated in entry count")
+	}
+	if n != uint64(len(t.entries)) {
+		return nil, fmt.Errorf("counter: snapshot holds %d entries, table holds %d", n, len(t.entries))
+	}
+	body := data[1+used:]
+	if uint64(len(body)) < n {
+		return nil, fmt.Errorf("counter: snapshot truncated: %d of %d entries", len(body), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if State(body[i]) > t.max {
+			return nil, fmt.Errorf("counter: snapshot entry %d value %d exceeds max %d", i, body[i], t.max)
+		}
+	}
+	for i := range t.entries {
+		t.entries[i] = State(body[i])
+	}
+	return body[n:], nil
+}

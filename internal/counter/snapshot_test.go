@@ -1,0 +1,86 @@
+package counter
+
+import (
+	"bytes"
+	"testing"
+)
+
+// scrambled returns a 2-bit table with a deterministic non-uniform
+// pattern so round-trips cannot pass by restoring into default state.
+func scrambled(n int) *Table {
+	t := NewTwoBit(n, WeakNotTaken)
+	for i := 0; i < n; i++ {
+		t.Set(i, State(i%4))
+	}
+	return t
+}
+
+func TestTableSnapshotRoundTrip(t *testing.T) {
+	src := scrambled(37)
+	snap := src.AppendSnapshot(nil)
+
+	dst := NewTwoBit(37, WeakTaken)
+	rest, err := dst.ReadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("ReadSnapshot left %d bytes", len(rest))
+	}
+	for i := 0; i < 37; i++ {
+		if dst.Value(i) != src.Value(i) {
+			t.Fatalf("entry %d: restored %d, want %d", i, dst.Value(i), src.Value(i))
+		}
+	}
+	if again := dst.AppendSnapshot(nil); !bytes.Equal(again, snap) {
+		t.Fatalf("re-snapshot differs from original")
+	}
+}
+
+func TestTableSnapshotAppendsToPrefix(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	snap := scrambled(5).AppendSnapshot(append([]byte(nil), prefix...))
+	if !bytes.Equal(snap[:2], prefix) {
+		t.Fatalf("AppendSnapshot clobbered the prefix: % x", snap[:2])
+	}
+	dst := NewTwoBit(5, WeakTaken)
+	if _, err := dst.ReadSnapshot(snap[2:]); err != nil {
+		t.Fatalf("ReadSnapshot after prefix: %v", err)
+	}
+}
+
+func TestTableSnapshotRejectsMismatch(t *testing.T) {
+	snap := scrambled(16).AppendSnapshot(nil)
+	cases := []struct {
+		name string
+		dst  *Table
+		data []byte
+	}{
+		{"wrong width", NewTable(16, 3, 0), snap},
+		{"wrong length", NewTwoBit(8, WeakTaken), snap},
+		{"truncated empty", NewTwoBit(16, WeakTaken), nil},
+		{"truncated count", NewTwoBit(16, WeakTaken), snap[:1]},
+		{"truncated body", NewTwoBit(16, WeakTaken), snap[:len(snap)-3]},
+	}
+	for _, tc := range cases {
+		before := append([]State(nil), tc.dst.Raw()...)
+		if _, err := tc.dst.ReadSnapshot(tc.data); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted bad data", tc.name)
+		}
+		for i, v := range tc.dst.Raw() {
+			if v != before[i] {
+				t.Errorf("%s: table mutated on error at entry %d", tc.name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestTableSnapshotRejectsOutOfRangeEntry(t *testing.T) {
+	snap := scrambled(4).AppendSnapshot(nil)
+	snap[len(snap)-1] = 0x7f // beyond a 2-bit counter's max of 3
+	dst := NewTwoBit(4, WeakTaken)
+	if _, err := dst.ReadSnapshot(snap); err == nil {
+		t.Fatalf("ReadSnapshot accepted an out-of-range entry")
+	}
+}

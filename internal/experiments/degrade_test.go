@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+)
+
+// degradedPanel is a deterministic fixture standing in for a sweep with
+// two failed cells: one gshare.best point and one bi-mode point are NaN,
+// with the matching footnote annotations.
+func degradedPanel() (SizeCurves, []string) {
+	c := SizeCurves{
+		Workload:   "CINT95-AVERAGE",
+		GshareCost: []float64{64, 128, 256},
+		BiModeCost: []float64{96, 192, 384},
+		Gshare1PHT: []float64{0.141, 0.122, 0.103},
+		GshareBest: []float64{0.128, math.NaN(), 0.094},
+		BiMode:     []float64{0.119, 0.101, math.NaN()},
+	}
+	fails := []string{
+		"gshare.best @ go, size 2^9: sim: job 3 of 14 panicked: injected fault",
+		"bi-mode @ gcc, size 2^10: context canceled",
+	}
+	return c, fails
+}
+
+// TestGoldenDegradedPanel pins the degraded rendering: failed cells
+// appear as aligned "--" gaps in the table, the chart still renders (NaN
+// points skipped), and the footnote block annotates each failure — the
+// suite reports what it measured instead of aborting.
+func TestGoldenDegradedPanel(t *testing.T) {
+	c, fails := degradedPanel()
+	checkGolden(t, "fig2_degraded.txt.golden", RenderSizeCurves(c)+"\n"+RenderFootnotes(fails))
+}
+
+// TestRenderFootnotesEmpty: a clean sweep renders no footnote block at
+// all, keeping healthy artifacts byte-identical to the pre-degradation
+// format.
+func TestRenderFootnotesEmpty(t *testing.T) {
+	if got := RenderFootnotes(nil); got != "" {
+		t.Fatalf("clean sweep rendered a footnote block: %q", got)
+	}
+}
+
+// TestFiguresDegradeOnFailedCells drives the real sweep through a
+// scheduler whose context is already canceled: every simulation cell
+// fails, and the driver must return a fully annotated figure — every
+// curve point NaN, every cell in Failures — rather than aborting or
+// fabricating zeros.
+func TestFiguresDegradeOnFailedCells(t *testing.T) {
+	cfg := Config{Dynamic: 1000, MinSizeBits: 8, MaxSizeBits: 8}
+	// Warm the suite memo with a healthy scheduler: the degradation under
+	// test is per-cell simulation failure, not workload generation.
+	SuiteSources(synth.SuiteSPEC, cfg)
+	SuiteSources(synth.SuiteIBS, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Sched = sim.NewScheduler(0).WithContext(ctx)
+	f := Figures234(cfg)
+	if len(f.Failures) == 0 {
+		t.Fatalf("canceled sweep reported no failures")
+	}
+	for _, y := range f.SPECAvg.BiMode {
+		if !math.IsNaN(y) {
+			t.Fatalf("canceled sweep produced a measured point: %v", y)
+		}
+	}
+	for _, fail := range f.Failures {
+		if !strings.Contains(fail, "context canceled") {
+			t.Fatalf("failure annotation lost the error: %q", fail)
+		}
+	}
+	// The degraded figure must still render end to end.
+	if out := RenderSizeCurves(f.SPECAvg) + RenderFootnotes(f.Failures); !strings.Contains(out, "--") {
+		t.Fatalf("degraded panel rendered no gaps:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"strconv"
@@ -115,8 +116,12 @@ func SuiteSources(suite string, cfg Config) []trace.Source {
 			profs = append(profs, p)
 		}
 		mems := make([]*trace.Memory, len(profs))
-		mustAll(cfg.sched().Do(len(profs), func(i int) error {
-			mems[i] = trace.Materialize(synth.MustWorkload(profs[i]))
+		mustAll(cfg.sched().DoContext(len(profs), func(ctx context.Context, i int) error {
+			m, err := trace.MaterializeContext(ctx, synth.MustWorkload(profs[i]))
+			if err != nil {
+				return err
+			}
+			mems[i] = m
 			return nil
 		}))
 		e.mems = mems

@@ -40,6 +40,12 @@ type Fig234 struct {
 	BestHistorySPEC, BestHistoryIBS []int
 	// SizeBits echoes the swept sizes.
 	SizeBits []int
+	// Failures annotates every grid cell that did not complete (one line
+	// per failed (scheme, workload, size) cell, in sweep order). The
+	// corresponding curve points are NaN — rendered as gaps — instead of
+	// aborting the whole figure; RenderFootnotes turns these lines into
+	// the figure's error footnote.
+	Failures []string
 }
 
 // Figures234 runs the full sweep behind Figures 2, 3 and 4: for every
@@ -57,18 +63,52 @@ func Figures234(cfg Config) *Fig234 {
 	specSources := SuiteSources(synth.SuiteSPEC, cfg)
 	ibsSources := SuiteSources(synth.SuiteIBS, cfg)
 
-	out.SPECAvg, out.SPEC, out.BestHistorySPEC = sweepSuite(cfg.sched(), "CINT95-AVERAGE", specSources, out.SizeBits)
-	out.IBSAvg, out.IBS, out.BestHistoryIBS = sweepSuite(cfg.sched(), "IBS-AVERAGE", ibsSources, out.SizeBits)
+	var specFails, ibsFails []string
+	out.SPECAvg, out.SPEC, out.BestHistorySPEC, specFails = sweepSuite(cfg.sched(), "CINT95-AVERAGE", specSources, out.SizeBits)
+	out.IBSAvg, out.IBS, out.BestHistoryIBS, ibsFails = sweepSuite(cfg.sched(), "IBS-AVERAGE", ibsSources, out.SizeBits)
+	out.Failures = append(specFails, ibsFails...)
 	return out
 }
 
-func sweepSuite(sched *sim.Scheduler, avgName string, sources []trace.Source, sizeBits []int) (SizeCurves, []SizeCurves, []int) {
+// cellRate converts one sweep cell to a curve point: a failed cell (a
+// canceled suite, a panicked job) becomes NaN — a gap in the rendered
+// panel — rather than a fake zero or an abort.
+func cellRate(res sim.Result) float64 {
+	if res.Err != nil {
+		return math.NaN()
+	}
+	return res.MispredictRate()
+}
+
+// suiteRate averages a suite row, NaN if any constituent cell failed
+// (a partial average would silently misstate the suite).
+func suiteRate(results []sim.Result) float64 {
+	for _, r := range results {
+		if r.Err != nil {
+			return math.NaN()
+		}
+	}
+	return sim.AverageRate(results)
+}
+
+// noteFailures appends one annotation per failed cell of a sweep row.
+func noteFailures(fails []string, scheme string, sizeBits int, results []sim.Result) []string {
+	for _, r := range results {
+		if r.Err != nil {
+			fails = append(fails, fmt.Sprintf("%s @ %s, size 2^%d: %v", scheme, r.Workload, sizeBits, r.Err))
+		}
+	}
+	return fails
+}
+
+func sweepSuite(sched *sim.Scheduler, avgName string, sources []trace.Source, sizeBits []int) (SizeCurves, []SizeCurves, []int, []string) {
 	avg := SizeCurves{Workload: avgName}
 	per := make([]SizeCurves, len(sources))
 	for i, src := range sources {
 		per[i].Workload = src.Name()
 	}
 	var bestHist []int
+	var fails []string
 
 	for _, s := range sizeBits {
 		sweep := sched.SweepGshare(s, sources)
@@ -87,24 +127,40 @@ func sweepSuite(sched *sim.Scheduler, avgName string, sources []trace.Source, si
 		}
 		bimodeRes := sched.RunAll(jobs)
 
+		fails = noteFailures(fails, "gshare.1PHT", s, onePHT)
+		fails = noteFailures(fails, "gshare.best", s, best.PerWorkload)
+		fails = noteFailures(fails, "bi-mode", s, bimodeRes)
+
 		gCost := float64(int(1) << uint(s) * 2 / 8)
 		bCost := float64(3 * (int(1) << uint(bankBits)) * 2 / 8)
 		avg.GshareCost = append(avg.GshareCost, gCost)
 		avg.BiModeCost = append(avg.BiModeCost, bCost)
-		avg.Gshare1PHT = append(avg.Gshare1PHT, sim.AverageRate(onePHT))
-		avg.GshareBest = append(avg.GshareBest, best.AvgRate)
-		avg.BiMode = append(avg.BiMode, sim.AverageRate(bimodeRes))
+		avg.Gshare1PHT = append(avg.Gshare1PHT, suiteRate(onePHT))
+		avg.GshareBest = append(avg.GshareBest, bestAvgRate(best))
+		avg.BiMode = append(avg.BiMode, suiteRate(bimodeRes))
 		bestHist = append(bestHist, best.HistoryBits)
 
 		for i := range sources {
 			per[i].GshareCost = append(per[i].GshareCost, gCost)
 			per[i].BiModeCost = append(per[i].BiModeCost, bCost)
-			per[i].Gshare1PHT = append(per[i].Gshare1PHT, onePHT[i].MispredictRate())
-			per[i].GshareBest = append(per[i].GshareBest, best.PerWorkload[i].MispredictRate())
-			per[i].BiMode = append(per[i].BiMode, bimodeRes[i].MispredictRate())
+			per[i].Gshare1PHT = append(per[i].Gshare1PHT, cellRate(onePHT[i]))
+			per[i].GshareBest = append(per[i].GshareBest, cellRate(best.PerWorkload[i]))
+			per[i].BiMode = append(per[i].BiMode, cellRate(bimodeRes[i]))
 		}
 	}
-	return avg, per, bestHist
+	return avg, per, bestHist, fails
+}
+
+// bestAvgRate is best.AvgRate unless the winning row carried a failed
+// cell, in which case the average is NaN like any other damaged suite
+// aggregate.
+func bestAvgRate(best sim.BestGshare) float64 {
+	for _, r := range best.PerWorkload {
+		if r.Err != nil {
+			return math.NaN()
+		}
+	}
+	return best.AvgRate
 }
 
 // RenderSizeCurves formats one panel as a table plus an ASCII chart.
@@ -119,7 +175,7 @@ func RenderSizeCurves(c SizeCurves) string {
 	row := func(name string, ys []float64) {
 		fmt.Fprintf(&b, "%-12s", name)
 		for _, y := range ys {
-			fmt.Fprintf(&b, "%8.2f", 100*y)
+			b.WriteString(fmtRate(y))
 		}
 		b.WriteString("\n")
 	}
@@ -155,6 +211,32 @@ func RenderSizeCurves(c SizeCurves) string {
 		},
 	}
 	b.WriteString(chart.Render())
+	return b.String()
+}
+
+// fmtRate renders one table cell of a panel: the fixed-precision
+// percentage for a measured point, a right-aligned "--" gap for a NaN
+// (failed) cell. Healthy cells are byte-identical to the historical
+// "%8.2f" rendering, so goldens only change where cells actually failed.
+func fmtRate(y float64) string {
+	if math.IsNaN(y) {
+		return fmt.Sprintf("%8s", "--")
+	}
+	return fmt.Sprintf("%8.2f", 100*y)
+}
+
+// RenderFootnotes renders the failed-cell annotations of a sweep as a
+// footnote block for the figure artifacts, or "" when the sweep was
+// clean. Each failure is one bullet, in sweep order.
+func RenderFootnotes(failures []string) string {
+	if len(failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cell(s) did not complete; gaps (--) mark them above:\n", len(failures))
+	for _, f := range failures {
+		fmt.Fprintf(&b, "  [!] %s\n", f)
+	}
 	return b.String()
 }
 

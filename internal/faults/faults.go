@@ -1,0 +1,227 @@
+// Package faults provides deterministic, seed-driven fault injectors for
+// exercising the simulation runtime's failure paths: corrupted and
+// truncated traces, panicking jobs, artificial stalls, and transient
+// construction failures. Every injector is a plain wrapper around the
+// interfaces the runtime already consumes (trace.Source, Job.Make), so
+// faults flow through exactly the code paths real failures would — panic
+// recovery in the scheduler, retry classification via sim.Transient,
+// cooperative deadlines in MaterializeContext — and the chaos suite can
+// assert the runtime's contract: a clean partial report or a resumable
+// checkpoint, never a hang or silent data loss.
+//
+// Determinism is the point. Given the same seed and the same grid, a
+// chaos schedule injects byte-for-byte the same faults, so a failing seed
+// from CI reproduces locally with no further machinery. Injectors
+// therefore take explicit positions and counts rather than rolling dice
+// internally; the dice live in the chaos test's schedule builder.
+//
+// Every injected fault increments the sim_faults_injected expvar, which
+// cmd/obsreport surfaces alongside the scheduler's retry and cancel
+// counters.
+package faults
+
+import (
+	"bytes"
+	"expvar"
+	"fmt"
+	"time"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+)
+
+// faultsInjected counts fault activations process-wide: one per stream
+// truncation, injected panic, stall pause, corrupted trace decode, and
+// flaky construction failure.
+var faultsInjected = expvar.NewInt("sim_faults_injected")
+
+// wrap is the common base of the source injectors: it preserves the
+// wrapped source's identity (name, static count) while deliberately NOT
+// forwarding the optional Batched/Sized capabilities, so the runtime
+// treats an injected source like any other streaming generator and
+// materializes it through the cancelable path.
+type wrap struct{ src trace.Source }
+
+func (w wrap) Name() string     { return w.src.Name() }
+func (w wrap) StaticCount() int { return w.src.StaticCount() }
+
+// Truncate returns a source that ends src's stream after n records,
+// modeling a trace file cut short. n <= 0 yields an empty stream; n
+// beyond the trace length yields the whole trace (and injects nothing).
+func Truncate(src trace.Source, n int) trace.Source {
+	return &truncateSource{wrap{src}, n}
+}
+
+type truncateSource struct {
+	wrap
+	n int
+}
+
+func (s *truncateSource) Stream() trace.Stream {
+	return &truncateStream{st: s.src.Stream(), left: s.n}
+}
+
+type truncateStream struct {
+	st   trace.Stream
+	left int
+}
+
+func (s *truncateStream) Next() (trace.Record, bool) {
+	if s.left <= 0 {
+		if _, more := s.st.Next(); more {
+			faultsInjected.Add(1) // records existed beyond the cut
+		}
+		return trace.Record{}, false
+	}
+	s.left--
+	return s.st.Next()
+}
+
+// PanicAfter returns a source whose streams panic with msg after yielding
+// n records, modeling a crashing workload generator. The panic surfaces
+// through the scheduler's per-job recovery as a Result.Err, leaving the
+// rest of the suite to finish.
+func PanicAfter(src trace.Source, n int, msg string) trace.Source {
+	return &panicSource{wrap{src}, n, msg}
+}
+
+type panicSource struct {
+	wrap
+	n   int
+	msg string
+}
+
+func (s *panicSource) Stream() trace.Stream {
+	return &panicStream{st: s.src.Stream(), left: s.n, msg: s.msg}
+}
+
+type panicStream struct {
+	st   trace.Stream
+	left int
+	msg  string
+}
+
+func (s *panicStream) Next() (trace.Record, bool) {
+	if s.left <= 0 {
+		faultsInjected.Add(1)
+		panic(fmt.Sprintf("faults: injected panic: %s", s.msg))
+	}
+	s.left--
+	return s.st.Next()
+}
+
+// Stall returns a source whose streams pause for d before every every-th
+// record, modeling a slow or intermittently wedged generator. Stalls
+// change timing only, never records: a stalled run must produce exactly
+// the un-stalled counts (or a deadline error, if the scheduler's
+// Policy.JobTimeout bounds the attempt first).
+func Stall(src trace.Source, every int, d time.Duration) trace.Source {
+	if every < 1 {
+		every = 1
+	}
+	return &stallSource{wrap{src}, every, d}
+}
+
+type stallSource struct {
+	wrap
+	every int
+	d     time.Duration
+}
+
+func (s *stallSource) Stream() trace.Stream {
+	return &stallStream{st: s.src.Stream(), every: s.every, d: s.d}
+}
+
+type stallStream struct {
+	st    trace.Stream
+	every int
+	d     time.Duration
+	n     int
+}
+
+func (s *stallStream) Next() (trace.Record, bool) {
+	if s.n%s.every == 0 {
+		faultsInjected.Add(1)
+		time.Sleep(s.d)
+	}
+	s.n++
+	return s.st.Next()
+}
+
+// Corrupt returns a source that round-trips src through the binary trace
+// format with the payload byte at offset pos (mod the encoded length,
+// past the magic) flipped, modeling on-disk corruption. Depending on
+// where the flip lands the decode either fails — the stream panics with
+// the decode error, surfacing as a Result.Err — or yields a valid trace
+// with altered records; both outcomes are legitimate corruption
+// behaviors the runtime must survive. The corrupted decode is computed
+// once, on first use, and is deterministic in (src, pos).
+func Corrupt(src trace.Source, pos int64) trace.Source {
+	return &corruptSource{wrap: wrap{src}, pos: pos}
+}
+
+type corruptSource struct {
+	wrap
+	pos    int64
+	mem    *trace.Memory
+	decErr error
+}
+
+func (s *corruptSource) decode() {
+	if s.mem != nil || s.decErr != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, trace.Materialize(s.src)); err != nil {
+		s.decErr = err
+		return
+	}
+	data := buf.Bytes()
+	// Skip the 4-byte magic: flipping it models a different failure (not a
+	// trace at all) that the loader rejects before any record machinery.
+	if len(data) > 4 {
+		i := 4 + int(s.pos%int64(len(data)-4))
+		data[i] ^= 0x40
+		faultsInjected.Add(1)
+	}
+	s.mem, s.decErr = trace.Read(bytes.NewReader(data))
+}
+
+func (s *corruptSource) Stream() trace.Stream {
+	s.decode()
+	if s.decErr != nil {
+		panic(fmt.Errorf("faults: corrupted trace %q: %w", s.src.Name(), s.decErr))
+	}
+	return s.mem.Stream()
+}
+
+// StaticCount defers to the decoded trace when it survives decoding,
+// since corruption may legitimately alter the static count header.
+func (s *corruptSource) StaticCount() int {
+	s.decode()
+	if s.decErr == nil {
+		return s.mem.StaticCount()
+	}
+	return s.src.StaticCount()
+}
+
+// FlakyMake wraps a predictor constructor so its first failures calls
+// panic with a sim.Transient error, modeling a transient resource
+// failure at job start. Because the panic value is an error carrying the
+// transient classification, the scheduler's recovery keeps it retryable:
+// a Policy with MaxRetries >= failures completes the job, fewer retries
+// surface the transient error in the cell's Result.Err. The returned
+// constructor counts its calls without synchronization — give each Job
+// its own rather than sharing one across cells.
+func FlakyMake(mk func() predictor.Predictor, failures int) func() predictor.Predictor {
+	calls := 0
+	return func() predictor.Predictor {
+		calls++
+		if calls <= failures {
+			faultsInjected.Add(1)
+			panic(sim.Transient(fmt.Errorf("faults: injected construction failure %d of %d", calls, failures)))
+		}
+		return mk()
+	}
+}

@@ -1,0 +1,141 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"bimode/internal/faults"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+func testTrace() *trace.Memory {
+	recs := make([]trace.Record, 500)
+	for i := range recs {
+		recs[i] = trace.Record{PC: uint64(0x1000 + 4*(i%7)), Static: uint32(i % 7), Taken: i%3 != 0}
+	}
+	return trace.NewMemory("unit", 7, recs)
+}
+
+func drain(t *testing.T, src trace.Source) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	st := src.Stream()
+	for {
+		r, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	mem := testTrace()
+	got := drain(t, faults.Truncate(mem, 123))
+	if len(got) != 123 {
+		t.Fatalf("truncated stream yielded %d records, want 123", len(got))
+	}
+	for i, r := range got {
+		if r != mem.Records()[i] {
+			t.Fatalf("record %d altered by truncation", i)
+		}
+	}
+	if n := len(drain(t, faults.Truncate(mem, 10_000))); n != mem.Len() {
+		t.Fatalf("over-length truncate yielded %d records, want all %d", n, mem.Len())
+	}
+	if n := len(drain(t, faults.Truncate(mem, 0))); n != 0 {
+		t.Fatalf("zero truncate yielded %d records", n)
+	}
+}
+
+func TestPanicAfter(t *testing.T) {
+	mem := testTrace()
+	src := faults.PanicAfter(mem, 42, "unit fault")
+	st := src.Stream()
+	for i := 0; i < 42; i++ {
+		if _, ok := st.Next(); !ok {
+			t.Fatalf("stream ended at %d, before the injected panic", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("record 43 did not panic")
+		}
+	}()
+	st.Next()
+}
+
+func TestStallPreservesRecords(t *testing.T) {
+	mem := testTrace()
+	got := drain(t, faults.Stall(mem, 100, time.Microsecond))
+	if len(got) != mem.Len() {
+		t.Fatalf("stalled stream yielded %d records, want %d", len(got), mem.Len())
+	}
+	for i, r := range got {
+		if r != mem.Records()[i] {
+			t.Fatalf("record %d altered by stalling", i)
+		}
+	}
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	mem := testTrace()
+	run := func() (recs []trace.Record, panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		return drain(t, faults.Corrupt(mem, 99)), false
+	}
+	recsA, panicA := run()
+	recsB, panicB := run()
+	if panicA != panicB || len(recsA) != len(recsB) {
+		t.Fatalf("same corruption position produced different outcomes: %v/%d vs %v/%d",
+			panicA, len(recsA), panicB, len(recsB))
+	}
+	for i := range recsA {
+		if recsA[i] != recsB[i] {
+			t.Fatalf("record %d differs between identical corruptions", i)
+		}
+	}
+	if !panicA {
+		same := len(recsA) == mem.Len()
+		if same {
+			for i := range recsA {
+				if recsA[i] != mem.Records()[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("corruption changed nothing: decode succeeded with identical records")
+		}
+	}
+}
+
+func TestFlakyMake(t *testing.T) {
+	mk := faults.FlakyMake(func() predictor.Predictor { return zoo.MustNew("smith:a=12") }, 2)
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("construction %d did not fail", i)
+				}
+				err, ok := r.(error)
+				if !ok || !sim.Retryable(err) {
+					t.Fatalf("construction %d panicked with %v, want a retryable error", i, r)
+				}
+			}()
+			mk()
+		}()
+	}
+	if p := mk(); p == nil {
+		t.Fatalf("construction after the flakes returned nil")
+	}
+}

@@ -1,0 +1,39 @@
+package history
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot encoding for history registers, the second building block of
+// the predictor.Snapshotter implementations: one byte of register width
+// followed by the 8-byte little-endian register value. The width is
+// validated on restore so a snapshot can only land in an identically
+// configured register, and the value is validated against the register
+// mask so corrupted bytes cannot set history bits the predictor's index
+// arithmetic assumes are zero.
+
+// AppendSnapshot appends the register's state to dst and returns the
+// extended slice.
+func (g *Global) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, byte(g.n))
+	return binary.LittleEndian.AppendUint64(dst, g.bits)
+}
+
+// ReadSnapshot restores register state previously captured by
+// AppendSnapshot, consuming it from the front of data and returning the
+// remainder. On error the register is unchanged.
+func (g *Global) ReadSnapshot(data []byte) ([]byte, error) {
+	if len(data) < 9 {
+		return nil, fmt.Errorf("history: snapshot truncated: %d of 9 bytes", len(data))
+	}
+	if int(data[0]) != g.n {
+		return nil, fmt.Errorf("history: snapshot width %d does not match register width %d", data[0], g.n)
+	}
+	v := binary.LittleEndian.Uint64(data[1:9])
+	if v&^g.mask != 0 {
+		return nil, fmt.Errorf("history: snapshot value %#x exceeds %d-bit register", v, g.n)
+	}
+	g.bits = v
+	return data[9:], nil
+}

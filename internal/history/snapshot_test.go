@@ -1,0 +1,64 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGlobalSnapshotRoundTrip(t *testing.T) {
+	src := NewGlobal(11)
+	for i, taken := range []bool{true, true, false, true, false, false, true} {
+		_ = i
+		src.Push(taken)
+	}
+	snap := src.AppendSnapshot(nil)
+
+	dst := NewGlobal(11)
+	rest, err := dst.ReadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("ReadSnapshot left %d bytes", len(rest))
+	}
+	if dst.Value() != src.Value() {
+		t.Fatalf("restored %#x, want %#x", dst.Value(), src.Value())
+	}
+	if again := dst.AppendSnapshot(nil); !bytes.Equal(again, snap) {
+		t.Fatalf("re-snapshot differs from original")
+	}
+}
+
+func TestGlobalSnapshotRejectsMismatch(t *testing.T) {
+	src := NewGlobal(11)
+	src.Push(true)
+	snap := src.AppendSnapshot(nil)
+
+	cases := []struct {
+		name string
+		dst  *Global
+		data []byte
+	}{
+		{"wrong width", NewGlobal(12), snap},
+		{"truncated", NewGlobal(11), snap[:4]},
+		{"empty", NewGlobal(11), nil},
+	}
+	for _, tc := range cases {
+		before := tc.dst.Value()
+		if _, err := tc.dst.ReadSnapshot(tc.data); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted bad data", tc.name)
+		}
+		if tc.dst.Value() != before {
+			t.Errorf("%s: register mutated on error", tc.name)
+		}
+	}
+}
+
+func TestGlobalSnapshotRejectsMaskedBits(t *testing.T) {
+	snap := NewGlobal(4).AppendSnapshot(nil)
+	snap[5] = 0xff // set bits above a 4-bit register's mask
+	dst := NewGlobal(4)
+	if _, err := dst.ReadSnapshot(snap); err == nil {
+		t.Fatalf("ReadSnapshot accepted out-of-mask history bits")
+	}
+}

@@ -15,6 +15,10 @@ import (
 //	Stepper     ⇒ Predictor (a fused step must have the split protocol)
 //	Probe       ⇒ Predictor and Indexed (observability agrees with the
 //	                                     counter-attribution interface)
+//	Snapshotter ⇒ Predictor (checkpointable state belongs to a predictor;
+//	                         the round-trip property test drives the
+//	                         restored instance through the Predictor
+//	                         protocol)
 var CapLadderAnalyzer = &Analyzer{
 	Name: "capladder",
 	Doc:  "predictor capability implementers must implement the rungs below",
@@ -27,6 +31,7 @@ func runCapLadder(pass *Pass) {
 	batchI := pass.Prog.predictorInterface("BatchRunner")
 	probeI := pass.Prog.predictorInterface("Probe")
 	indexedI := pass.Prog.predictorInterface("Indexed")
+	snapshotterI := pass.Prog.predictorInterface("Snapshotter")
 	if predictorI == nil || stepperI == nil || batchI == nil || probeI == nil || indexedI == nil {
 		return // ladder interfaces missing; nothing to enforce
 	}
@@ -64,6 +69,9 @@ func runCapLadder(pass *Pass) {
 			if !impl(indexedI) {
 				report("Probe", "Indexed", "ProbeLookup reports counter identities, so the type must define the CounterID space")
 			}
+		}
+		if snapshotterI != nil && impl(snapshotterI) && !impl(predictorI) {
+			report("Snapshotter", "Predictor", "checkpointable state belongs to a predictor; resume drives the restored instance through the Predictor protocol")
 		}
 	}
 }

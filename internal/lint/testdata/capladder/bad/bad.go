@@ -25,3 +25,12 @@ type ProbeOnly struct{} // want `implements predictor.Probe but not predictor.Pr
 
 // ProbeLookup implements predictor.Probe.
 func (ProbeOnly) ProbeLookup(pc uint64) predictor.Lookup { return predictor.Lookup{} }
+
+// SnapshotOnly serializes state that no predictor protocol can replay.
+type SnapshotOnly struct{} // want `implements predictor.Snapshotter but not predictor.Predictor`
+
+// Snapshot implements predictor.Snapshotter.
+func (SnapshotOnly) Snapshot(dst []byte) []byte { return dst }
+
+// RestoreSnapshot implements predictor.Snapshotter.
+func (SnapshotOnly) RestoreSnapshot(data []byte) error { return nil }

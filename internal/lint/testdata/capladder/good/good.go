@@ -41,6 +41,12 @@ func (*Full) NumCounters() int { return 1 }
 // ProbeLookup implements predictor.Probe.
 func (*Full) ProbeLookup(pc uint64) predictor.Lookup { return predictor.Lookup{} }
 
+// Snapshot implements predictor.Snapshotter.
+func (*Full) Snapshot(dst []byte) []byte { return dst }
+
+// RestoreSnapshot implements predictor.Snapshotter.
+func (*Full) RestoreSnapshot(data []byte) error { return nil }
+
 // BaseOnly implements just the base protocol, which is always legal.
 type BaseOnly struct{}
 

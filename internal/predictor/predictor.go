@@ -66,6 +66,32 @@ type BatchRunner interface {
 	RunBatch(recs []trace.Record) (mispredicts int)
 }
 
+// Snapshotter is the optional checkpoint capability: a predictor that can
+// serialize its complete mutable state (counter tables and history
+// registers) and later restore it into an identically configured
+// instance. The suite checkpoint/resume machinery in internal/sim uses it
+// to persist in-flight cells, so the contract is strict: after
+// RestoreSnapshot(Snapshot(nil)) the predictor must be Step-for-Step
+// indistinguishable from the instance that was snapshotted, for any
+// subsequent stream (the property test in internal/sim enforces this for
+// every implementation in the repository).
+//
+// Snapshots encode only mutable state, not configuration: restoring is
+// defined only into a predictor built with the same constructor
+// parameters. Implementations must validate what they can (type tag,
+// table widths and lengths, counter ranges) and reject anything else with
+// an error, never panic, since snapshot bytes come from checkpoint files.
+type Snapshotter interface {
+	// Snapshot appends the predictor's mutable state to dst and returns
+	// the extended slice (append-style; dst may be nil).
+	Snapshot(dst []byte) []byte
+
+	// RestoreSnapshot replaces the predictor's mutable state with a
+	// previously captured snapshot. On error the predictor's state is
+	// unspecified; callers should Reset or discard it.
+	RestoreSnapshot(data []byte) error
+}
+
 // Indexed is implemented by predictors whose prediction comes from a
 // single identifiable counter in a second-level table. The Section 4
 // analysis uses it to attribute each dynamic branch to the counter it

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"bimode/internal/trace"
+)
+
+// Journal is the suite-level checkpoint: an append-only JSONL file
+// recording every completed (fan-out, cell) Result and, optionally,
+// mid-cell predictor snapshots for cells still in flight. A scheduler
+// carrying a Journal (see WithJournal) writes cells as they complete and,
+// on a resumed run, serves cached cells instead of re-simulating them —
+// so a suite killed partway re-runs only the work it lost, and the
+// resumed output is Result-for-Result identical to an uninterrupted run
+// (TestKillResumeEquivalence pins this for every zoo spec over the whole
+// suite).
+//
+// Cells are keyed by (seq, idx): idx is the job's position in its RunAll
+// call and seq numbers the RunAll (and materialization) fan-outs a
+// scheduler issues, in order. That key is only meaningful because the
+// CLIs issue their fan-outs from a single goroutine in a deterministic
+// order fixed by the flags; the journal's header key (built from those
+// flags) guards against resuming under a different plan. Cached cells are
+// additionally validated against the live job's workload name, and
+// mid-cell snapshots against the predictor name too — a mismatched entry
+// is ignored and the cell re-run, never trusted.
+//
+// Each line is flushed as it is written, so a killed process loses at
+// most the line in flight; Load tolerates a truncated trailing line.
+type Journal struct {
+	// PartEvery, when positive, is the record interval at which the
+	// scheduler writes mid-cell snapshots for predictors implementing
+	// predictor.Snapshotter. Zero journals completed cells only.
+	PartEvery int
+
+	// OnCell, when non-nil, is called after each newly completed cell is
+	// journaled (not for cells served from cache). Callers use it for
+	// progress output; tests use it to cancel a run at a chosen cell. It
+	// may be called concurrently from worker goroutines.
+	OnCell func(seq, idx int, res Result)
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	key   string
+	seq   int
+	cells map[cellKey]cellRecord
+	parts map[cellKey]partRecord
+}
+
+type cellKey struct{ Seq, Idx int }
+
+// cellRecord is one completed Result. Only successful cells are
+// journaled: a failed cell must re-run on resume, and Err would not
+// survive JSON anyway.
+type cellRecord struct {
+	Seq         int     `json:"seq"`
+	Idx         int     `json:"idx"`
+	Predictor   string  `json:"predictor"`
+	Workload    string  `json:"workload"`
+	CostBytes   float64 `json:"cost_bytes"`
+	Branches    int     `json:"branches"`
+	Mispredicts int     `json:"mispredicts"`
+}
+
+// partRecord is a mid-cell snapshot: the predictor's serialized state
+// after Cursor records, plus the mispredictions counted so far.
+type partRecord struct {
+	Seq         int    `json:"seq"`
+	Idx         int    `json:"idx"`
+	Predictor   string `json:"predictor"`
+	Workload    string `json:"workload"`
+	Cursor      int    `json:"cursor"`
+	Mispredicts int    `json:"mispredicts"`
+	Snap        []byte `json:"snap"`
+}
+
+// journalLine is the on-disk union: exactly one field set per line.
+type journalLine struct {
+	V    int         `json:"v,omitempty"`
+	Key  string      `json:"key,omitempty"`
+	Cell *cellRecord `json:"cell,omitempty"`
+	Part *partRecord `json:"part,omitempty"`
+}
+
+const journalVersion = 1
+
+// CreateJournal starts a fresh checkpoint file at path, truncating any
+// existing one. key identifies the run plan (the CLIs build it from the
+// flags that determine the job grid); ResumeJournal refuses a different
+// key rather than serving cells from a different plan.
+func CreateJournal(path, key string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		f:     f,
+		w:     bufio.NewWriter(f),
+		key:   key,
+		cells: map[cellKey]cellRecord{},
+		parts: map[cellKey]partRecord{},
+	}
+	if err := j.writeLine(journalLine{V: journalVersion, Key: key}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal loads an existing checkpoint file and reopens it for
+// appending, so the resumed run both serves the cached cells and keeps
+// journaling new ones. A truncated trailing line (a killed writer) is
+// tolerated; a key mismatch or a malformed interior is an error.
+func ResumeJournal(path, key string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		f:     f,
+		cells: map[cellKey]cellRecord{},
+		parts: map[cellKey]partRecord{},
+	}
+	if err := j.load(f, key); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.key = key
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load parses the journal, populating the cell and part caches. Later
+// lines win, so a cell completed after a resume shadows stale parts.
+func (j *Journal) load(r io.Reader, key string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			// A torn final line is the expected residue of a killed
+			// writer; a torn interior line (or header) means the file is
+			// damaged.
+			if lineNo > 1 && !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("sim: checkpoint line %d malformed: %v", lineNo, err)
+		}
+		switch {
+		case lineNo == 1:
+			if line.V != journalVersion {
+				return fmt.Errorf("sim: checkpoint version %d, want %d", line.V, journalVersion)
+			}
+			if line.Key != key {
+				return fmt.Errorf("sim: checkpoint was written for a different run (key %q, want %q)", line.Key, key)
+			}
+		case line.Cell != nil:
+			k := cellKey{line.Cell.Seq, line.Cell.Idx}
+			j.cells[k] = *line.Cell
+			delete(j.parts, k) // the completed cell supersedes its parts
+		case line.Part != nil:
+			j.parts[cellKey{line.Part.Seq, line.Part.Idx}] = *line.Part
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sim: reading checkpoint: %w", err)
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("sim: checkpoint file is empty")
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w != nil {
+		if err := j.w.Flush(); err != nil {
+			j.f.Close()
+			return err
+		}
+	}
+	return j.f.Close()
+}
+
+// Cells returns the number of completed cells currently cached; the CLIs
+// report it when announcing a resume.
+func (j *Journal) Cells() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// beginRun allocates the sequence number for one scheduler fan-out.
+func (j *Journal) beginRun() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.seq
+	j.seq++
+	return seq
+}
+
+// cached returns the journaled Result for (seq, idx) if one exists and
+// matches the live job's workload; a mismatch (the plan changed despite
+// the key) falls through to a re-run.
+func (j *Journal) cached(seq, idx int, src trace.Source) (Result, bool) {
+	j.mu.Lock()
+	c, ok := j.cells[cellKey{seq, idx}]
+	j.mu.Unlock()
+	if !ok || src == nil || c.Workload != src.Name() {
+		return Result{}, false
+	}
+	return Result{
+		Predictor:   c.Predictor,
+		Workload:    c.Workload,
+		CostBytes:   c.CostBytes,
+		Branches:    c.Branches,
+		Mispredicts: c.Mispredicts,
+	}, true
+}
+
+// part returns the latest mid-cell snapshot for (seq, idx), if any.
+func (j *Journal) part(seq, idx int) (partRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.parts[cellKey{seq, idx}]
+	return p, ok
+}
+
+// recordCell journals one completed Result and fires OnCell.
+func (j *Journal) recordCell(seq, idx int, res Result) {
+	rec := cellRecord{
+		Seq:         seq,
+		Idx:         idx,
+		Predictor:   res.Predictor,
+		Workload:    res.Workload,
+		CostBytes:   res.CostBytes,
+		Branches:    res.Branches,
+		Mispredicts: res.Mispredicts,
+	}
+	j.mu.Lock()
+	j.cells[cellKey{seq, idx}] = rec
+	delete(j.parts, cellKey{seq, idx})
+	j.writeLine(journalLine{Cell: &rec})
+	j.mu.Unlock()
+	if j.OnCell != nil {
+		j.OnCell(seq, idx, res)
+	}
+}
+
+// recordPart journals a mid-cell snapshot.
+func (j *Journal) recordPart(rec partRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.parts[cellKey{rec.Seq, rec.Idx}] = rec
+	j.writeLine(journalLine{Part: &rec})
+}
+
+// writeLine appends one JSONL line and flushes it, so a kill loses at
+// most the line being written. Write errors are reported once via the
+// file close; checkpointing is best-effort and never fails a simulation.
+func (j *Journal) writeLine(line journalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}

@@ -1,0 +1,392 @@
+package sim_test
+
+// Cancellation, deadline and retry tests for the fault-tolerant
+// scheduler layer. Everything here runs under -race in CI (test-race and
+// test-chaos jobs).
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+func expvarInt(t *testing.T, name string) int64 {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	iv, ok := v.(*expvar.Int)
+	if !ok {
+		t.Fatalf("expvar %q is %T, want *expvar.Int", name, v)
+	}
+	return iv.Value()
+}
+
+// TestDoEdgeCases pins the documented boundary behaviors of Do: n <= 0
+// returns an empty slice without invoking the task, and a negative
+// worker count clamps to the sequential path.
+func TestDoEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		n       int
+	}{
+		{"zero jobs sequential", 0, 0},
+		{"zero jobs pooled", 4, 0},
+		{"negative jobs", 4, -3},
+		{"negative workers", -2, 5},
+		{"more workers than jobs", 16, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			errs := sim.NewScheduler(tc.workers).Do(tc.n, func(i int) error {
+				calls.Add(1)
+				return nil
+			})
+			wantCalls := int64(tc.n)
+			if wantCalls < 0 {
+				wantCalls = 0
+			}
+			if calls.Load() != wantCalls {
+				t.Errorf("task ran %d times, want %d", calls.Load(), wantCalls)
+			}
+			if len(errs) != int(wantCalls) {
+				t.Errorf("got %d error slots, want %d", len(errs), wantCalls)
+			}
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("slot %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDoContextSkipsAfterCancel proves cancellation semantics on the
+// sequential path, where ordering is deterministic: jobs before the
+// cancel complete, jobs after it are skipped with context.Canceled and
+// never invoked.
+func TestDoContextSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n, cutoff = 10, 4
+	ran := make([]bool, n)
+	errs := sim.NewScheduler(0).WithContext(ctx).DoContext(n, func(_ context.Context, i int) error {
+		ran[i] = true
+		if i == cutoff {
+			cancel()
+		}
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		if i <= cutoff {
+			if !ran[i] {
+				t.Errorf("job %d should have run before the cancel", i)
+			}
+			if errs[i] != nil {
+				t.Errorf("job %d: unexpected error %v", i, errs[i])
+			}
+		} else {
+			if ran[i] {
+				t.Errorf("job %d ran after the cancel", i)
+			}
+			if !errors.Is(errs[i], context.Canceled) {
+				t.Errorf("job %d: error %v, want context.Canceled", i, errs[i])
+			}
+		}
+	}
+}
+
+// TestRunAllCancelKeepsPrefix is the suite-level cancellation contract:
+// a canceled RunAll returns every completed cell intact and tags the
+// rest with context.Canceled, and sim_sched_cancelled counts them.
+func TestRunAllCancelKeepsPrefix(t *testing.T) {
+	mem := suiteTraces()[0]
+	jobs := make([]sim.Job, 8)
+	for i := range jobs {
+		jobs[i] = sim.Job{
+			Make:   func() predictor.Predictor { return zoo.MustNew("bimode:b=11") },
+			Source: mem,
+		}
+	}
+	want := sim.NewScheduler(0).RunAll(jobs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	cancelJobs := make([]sim.Job, len(jobs))
+	for i := range jobs {
+		i := i
+		cancelJobs[i] = sim.Job{
+			Make: func() predictor.Predictor {
+				p := zoo.MustNew("bimode:b=11")
+				if done.Add(1) == 3 {
+					cancel()
+				}
+				return p
+			},
+			Source: jobs[i].Source,
+		}
+	}
+	before := expvarInt(t, "sim_sched_cancelled")
+	got := sim.NewScheduler(0).WithContext(ctx).RunAll(cancelJobs)
+
+	completed, cancelled := 0, 0
+	for i, r := range got {
+		switch {
+		case r.Err == nil:
+			completed++
+			if r != want[i] {
+				t.Errorf("completed cell %d: %+v != sequential %+v", i, r, want[i])
+			}
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+			if r.Workload != mem.Name() {
+				t.Errorf("cancelled cell %d: workload %q, want %q", i, r.Workload, mem.Name())
+			}
+		default:
+			t.Errorf("cell %d: unexpected error class %v", i, r.Err)
+		}
+	}
+	if completed == 0 || cancelled == 0 {
+		t.Fatalf("expected a completed prefix and cancelled remainder, got %d completed / %d cancelled", completed, cancelled)
+	}
+	if gotCancelled := expvarInt(t, "sim_sched_cancelled") - before; gotCancelled < int64(cancelled) {
+		t.Errorf("sim_sched_cancelled advanced %d, want >= %d", gotCancelled, cancelled)
+	}
+}
+
+// stallStream blocks inside Next until its context is canceled, then
+// ends the stream; it models a hung trace generator that only cooperates
+// via cancellation.
+type stallStream struct{ ctx context.Context }
+
+func (s *stallStream) Next() (trace.Record, bool) {
+	<-s.ctx.Done()
+	return trace.Record{}, false
+}
+
+type stallSource struct{ ctx context.Context }
+
+func (s *stallSource) Name() string         { return "stall" }
+func (s *stallSource) StaticCount() int     { return 1 }
+func (s *stallSource) Stream() trace.Stream { return &stallStream{ctx: s.ctx} }
+
+// TestChunkedCancelStopsMidCell proves the record-batch granularity: a
+// cell already running when the context is canceled stops at the next
+// batch boundary instead of finishing the trace.
+func TestChunkedCancelStopsMidCell(t *testing.T) {
+	mem := suiteTraces()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []sim.Job{{
+		Make: func() predictor.Predictor {
+			p := zoo.MustNew("bimode:b=11")
+			cancel() // cancel after the job starts but before its loop
+			return p
+		},
+		Source: mem,
+	}}
+	got := sim.NewScheduler(0).WithContext(ctx).RunAll(jobs)
+	if !errors.Is(got[0].Err, context.Canceled) {
+		t.Fatalf("mid-cell cancel: err %v, want context.Canceled", got[0].Err)
+	}
+	if got[0].Branches != 0 {
+		t.Fatalf("cancelled cell leaked partial counts: %+v", got[0])
+	}
+}
+
+// TestPolicyRetriesTransient proves the retry loop: a job failing with a
+// Transient-wrapped error is re-attempted up to MaxRetries and succeeds
+// once the fault clears, with sim_sched_retries counting the
+// re-attempts.
+func TestPolicyRetriesTransient(t *testing.T) {
+	var attempts atomic.Int64
+	before := expvarInt(t, "sim_sched_retries")
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{MaxRetries: 3, Backoff: time.Microsecond})
+	errs := s.Do(1, func(int) error {
+		if attempts.Add(1) <= 2 {
+			return sim.Transient(fmt.Errorf("flaky I/O"))
+		}
+		return nil
+	})
+	if errs[0] != nil {
+		t.Fatalf("job failed despite retries: %v", errs[0])
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("job attempted %d times, want 3", attempts.Load())
+	}
+	if got := expvarInt(t, "sim_sched_retries") - before; got < 2 {
+		t.Errorf("sim_sched_retries advanced %d, want >= 2", got)
+	}
+}
+
+// TestPolicyRetryBudgetExhausted: a persistently transient job fails
+// after MaxRetries re-attempts, and the transient classification is
+// still visible on the returned error.
+func TestPolicyRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{MaxRetries: 2, Backoff: time.Microsecond})
+	errs := s.Do(1, func(int) error {
+		attempts.Add(1)
+		return sim.Transient(fmt.Errorf("still down"))
+	})
+	if errs[0] == nil {
+		t.Fatalf("persistently failing job reported success")
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("job attempted %d times, want 1 + 2 retries", attempts.Load())
+	}
+	if !sim.Retryable(errs[0]) {
+		t.Errorf("returned error lost its transient classification: %v", errs[0])
+	}
+}
+
+// TestPolicyDoesNotRetryPermanent: an unclassified error is never
+// re-attempted, whatever the budget.
+func TestPolicyDoesNotRetryPermanent(t *testing.T) {
+	var attempts atomic.Int64
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{MaxRetries: 5, Backoff: time.Microsecond})
+	permanent := errors.New("bad spec")
+	errs := s.Do(1, func(int) error {
+		attempts.Add(1)
+		return permanent
+	})
+	if !errors.Is(errs[0], permanent) {
+		t.Fatalf("got %v, want the permanent error", errs[0])
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent failure attempted %d times, want 1", attempts.Load())
+	}
+}
+
+// TestPolicyJobTimeout: a stalled job is abandoned at its deadline and
+// the error both names the deadline and unwraps to
+// context.DeadlineExceeded; the suite context stays live.
+func TestPolicyJobTimeout(t *testing.T) {
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{JobTimeout: 10 * time.Millisecond})
+	errs := s.DoContext(1, func(ctx context.Context, _ int) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(errs[0], context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded in the chain", errs[0])
+	}
+	if !sim.Retryable(errs[0]) {
+		t.Errorf("a job timeout should be retryable: %v", errs[0])
+	}
+}
+
+// TestPolicyTimeoutRetryRecovers composes the two: a job that stalls
+// past its deadline once and then behaves completes successfully.
+func TestPolicyTimeoutRetryRecovers(t *testing.T) {
+	var attempts atomic.Int64
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{
+		JobTimeout: 20 * time.Millisecond,
+		MaxRetries: 1,
+		Backoff:    time.Microsecond,
+	})
+	errs := s.DoContext(1, func(ctx context.Context, _ int) error {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	})
+	if errs[0] != nil {
+		t.Fatalf("stall-once job failed: %v", errs[0])
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempted %d times, want 2", attempts.Load())
+	}
+}
+
+// TestCancelNotRetryable: whole-suite cancellation is never retried,
+// even under a generous budget — the caller asked the work to stop.
+func TestCancelNotRetryable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int64
+	s := sim.NewScheduler(0).WithContext(ctx).WithPolicy(sim.Policy{MaxRetries: 5, Backoff: time.Microsecond})
+	errs := s.DoContext(1, func(context.Context, int) error {
+		attempts.Add(1)
+		cancel()
+		return ctx.Err()
+	})
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", errs[0])
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("cancelled job attempted %d times, want 1", attempts.Load())
+	}
+}
+
+// TestPanicPreservesErrorClass: a panic whose value is an error keeps
+// its classification through the recovery, so a fault injector can panic
+// with a Transient error and still be retried.
+func TestPanicPreservesErrorClass(t *testing.T) {
+	var attempts atomic.Int64
+	s := sim.NewScheduler(0).WithPolicy(sim.Policy{MaxRetries: 1, Backoff: time.Microsecond})
+	errs := s.Do(1, func(int) error {
+		if attempts.Add(1) == 1 {
+			panic(sim.Transient(fmt.Errorf("injected")))
+		}
+		return nil
+	})
+	if errs[0] != nil {
+		t.Fatalf("panicking-transient job did not recover via retry: %v", errs[0])
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempted %d times, want 2", attempts.Load())
+	}
+}
+
+// TestObserveContextCancel: the instrumented tier also honors
+// cancellation, and Observe (the background form) still works.
+func TestObserveContextCancel(t *testing.T) {
+	mem := suiteTraces()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.ObserveContext(ctx, zoo.MustNew("bimode:b=11"), mem, sim.ObserveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ObserveContext under canceled ctx: err %v, want context.Canceled", err)
+	}
+	rep, err := sim.ObserveContext(context.Background(), zoo.MustNew("bimode:b=11"), mem, sim.ObserveOptions{})
+	if err != nil || rep.Branches != mem.Len() {
+		t.Fatalf("ObserveContext background run: %v, branches %d want %d", err, rep.Branches, mem.Len())
+	}
+}
+
+// TestMaterializeContextCancel: a canceled context stops a stalled
+// generator's materialization (the stall source only yields when its
+// stream's context fires, so an uncancelable Materialize would hang).
+func TestMaterializeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := trace.MaterializeContext(ctx, &stallSource{ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MaterializeContext: err %v, want context.Canceled", err)
+	}
+}
+
+// TestChunkedRunMatchesPlainRun: attaching a cancelable context (never
+// canceled) switches runCell to the chunked loop; its results must be
+// byte-identical to the plain path for the whole spec x workload grid.
+func TestChunkedRunMatchesPlainRun(t *testing.T) {
+	jobs := oracleJobs(t)
+	want := sim.NewScheduler(0).RunAll(jobs)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := sim.NewScheduler(0).WithContext(ctx).RunAll(jobs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("job %d: chunked %+v != plain %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Error classification for the fault-tolerant runtime. The scheduler's
+// retry policy acts on exactly one property of a failure: whether
+// retrying the job could plausibly succeed. That property travels on the
+// error itself via the retryable interface, so any layer (a fault
+// injector, a trace loader, a predictor constructor) can mark a failure
+// transient without the scheduler knowing its type, and wrapping with
+// fmt.Errorf("...: %w", err) preserves the classification.
+//
+// The classes are:
+//
+//	transient  — marked via Transient (or any error whose chain reports
+//	             Retryable() == true): retried up to Policy.MaxRetries.
+//	deadline   — a job that exceeded Policy.JobTimeout while the suite as
+//	             a whole was still live: retryable (the stall may pass).
+//	permanent  — everything else, including cancellation of the whole
+//	             suite (context.Canceled is never retryable: the caller
+//	             asked the work to stop).
+
+// retryable is the interface an error (anywhere in its Unwrap chain)
+// implements to opt into the scheduler's retry policy.
+type retryable interface {
+	Retryable() bool
+}
+
+// Transient wraps err as a retryable failure. The scheduler retries jobs
+// whose error chain contains a transient error, up to Policy.MaxRetries.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return "sim: transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Retryable() bool { return true }
+
+// Retryable reports whether err's chain opts into the retry policy. The
+// outermost classification wins, so a wrapper can veto an inner
+// transient marker by reporting Retryable() == false.
+func Retryable(err error) bool {
+	for err != nil {
+		if r, ok := err.(retryable); ok {
+			return r.Retryable()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// jobTimeoutError tags a job that exceeded its per-job deadline. It
+// unwraps to context.DeadlineExceeded (so errors.Is sees the standard
+// sentinel) and is retryable: the timeout bounds one attempt, not the
+// fault behind it.
+type jobTimeoutError struct {
+	timeout time.Duration
+	err     error
+}
+
+func (e *jobTimeoutError) Error() string {
+	return fmt.Sprintf("sim: job exceeded its %v deadline: %v", e.timeout, e.err)
+}
+func (e *jobTimeoutError) Unwrap() error   { return e.err }
+func (e *jobTimeoutError) Retryable() bool { return true }

@@ -20,3 +20,12 @@ var (
 	schedInFlight  = expvar.NewInt("sim_sched_jobs_inflight")
 	schedCompleted = expvar.NewInt("sim_sched_jobs_completed")
 )
+
+// Fault-tolerance counters: retries issued by the scheduler's Policy
+// (sim_sched_retries counts re-attempts, not first attempts) and jobs
+// whose slot ended context.Canceled because the suite was canceled before
+// or during them.
+var (
+	schedRetries   = expvar.NewInt("sim_sched_retries")
+	schedCancelled = expvar.NewInt("sim_sched_cancelled")
+)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -29,6 +30,21 @@ type ObserveOptions struct {
 // predictor.Probe), choice metrics need predictor.Probe with a steering
 // structure; the H2P ranking and throughput need only the base interface.
 func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Report {
+	rep, err := ObserveContext(context.Background(), p, src, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels and the
+		// instrumented loop has no other failure mode.
+		panic(err)
+	}
+	return rep
+}
+
+// ObserveContext is Observe with cooperative cancellation: every 4096
+// records the loop checks ctx and, if it is done, abandons the run and
+// returns ctx's error instead of a report. With a non-cancelable context
+// the check is skipped entirely and the run is identical to Observe.
+func ObserveContext(ctx context.Context, p predictor.Predictor, src trace.Source, opts ObserveOptions) (*Report, error) {
+	cancelable := ctx.Done() != nil
 	rep := &Report{
 		Predictor: p.Name(),
 		Workload:  src.Name(),
@@ -75,6 +91,11 @@ func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Repo
 	st := src.Stream()
 	start := time.Now()
 	for {
+		if cancelable && rep.Branches&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, ok := st.Next()
 		if !ok {
 			break
@@ -169,7 +190,7 @@ func Observe(p predictor.Predictor, src trace.Source, opts ObserveOptions) *Repo
 	observedRuns.Add(1)
 	observedBranches.Add(int64(rep.Branches))
 	observedMispredicts.Add(int64(rep.Mispredicts))
-	return rep
+	return rep, nil
 }
 
 // rankBranches builds the H2P top-N: static branches ordered by

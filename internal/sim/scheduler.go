@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
 	"sync"
+	"time"
 
+	"bimode/internal/predictor"
 	"bimode/internal/trace"
 )
 
@@ -26,8 +30,41 @@ import (
 // surfaced as errors (Result.Err for RunAll) rather than taking down the
 // whole suite, and the expvar counters sim_sched_jobs_inflight /
 // sim_sched_jobs_completed track progress.
+//
+// The fault-tolerant layer rides on three optional attachments, each set
+// by a With* copy (the zero configuration behaves exactly as before):
+//
+//   - WithContext: a Context whose cancellation stops the fan-out in
+//     bounded time — queued jobs are skipped with a context.Canceled
+//     error, running RunAll cells stop at the next record batch
+//     (batchRecords), and completed results are kept.
+//   - WithPolicy: a per-job deadline and a bounded retry-with-backoff
+//     policy for failures whose error chain is Retryable.
+//   - WithJournal: a checkpoint file that records completed cells and
+//     serves them back on a resumed run; see Journal.
 type Scheduler struct {
 	workers int
+	ctx     context.Context
+	policy  Policy
+	journal *Journal
+}
+
+// Policy bounds how hard the scheduler works to complete one job. The
+// zero value — no deadline, no retries — is the policy of every run that
+// does not opt in.
+type Policy struct {
+	// JobTimeout, when positive, bounds each attempt of a job: the job's
+	// context expires after this long and cooperative checkpoints (the
+	// record-batch loop, MaterializeContext) abandon the attempt with an
+	// error that unwraps to context.DeadlineExceeded. The timeout is
+	// retryable — it bounds an attempt, not the fault behind it.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a job failing with a retryable error
+	// (see Retryable) is re-attempted after its first failure.
+	MaxRetries int
+	// Backoff is the wait before the first retry, doubling each retry
+	// after that. The wait respects the scheduler's context.
+	Backoff time.Duration
 }
 
 // NewScheduler returns a scheduler with the given number of pool workers.
@@ -45,36 +82,91 @@ func DefaultScheduler() *Scheduler {
 	return &Scheduler{workers: runtime.GOMAXPROCS(0)}
 }
 
+// WithContext returns a copy of s whose fan-outs stop cooperatively when
+// ctx is canceled. The scheduler never fails results that completed
+// before the cancellation: RunAll returns them alongside the canceled
+// slots.
+func (s *Scheduler) WithContext(ctx context.Context) *Scheduler {
+	c := *s
+	c.ctx = ctx
+	return &c
+}
+
+// WithPolicy returns a copy of s applying the given per-job deadline and
+// retry policy.
+func (s *Scheduler) WithPolicy(p Policy) *Scheduler {
+	c := *s
+	c.policy = p
+	return &c
+}
+
+// WithJournal returns a copy of s that checkpoints completed RunAll cells
+// into j and serves cached cells from it. The journal's (seq, idx) keying
+// assumes fan-outs are issued from one goroutine in a deterministic
+// order; see Journal.
+func (s *Scheduler) WithJournal(j *Journal) *Scheduler {
+	c := *s
+	c.journal = j
+	return &c
+}
+
 // Workers reports the pool width; 0 means sequential execution.
 func (s *Scheduler) Workers() int { return s.workers }
 
 // Sequential reports whether this scheduler is the inline reference path.
 func (s *Scheduler) Sequential() bool { return s.workers == 0 }
 
+// Context returns the scheduler's cancellation context
+// (context.Background() unless WithContext attached one).
+func (s *Scheduler) Context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
 // Do runs task(0) .. task(n-1) and returns one error slot per task. With
 // workers, tasks are distributed over the pool; without, they run inline
 // in index order. A panicking task is recovered into its error slot and
 // the remaining tasks still run. Tasks writing to disjoint slots of a
 // shared slice indexed by their argument is the intended result-passing
-// pattern; Do establishes the necessary happens-before edges.
+// pattern; Do establishes the necessary happens-before edges. n <= 0
+// returns an empty slice. Cancellation and the retry policy apply as in
+// DoContext; tasks that want to observe the per-attempt context (for
+// cooperative deadline checks) use DoContext directly.
 func (s *Scheduler) Do(n int, task func(int) error) []error {
+	return s.DoContext(n, func(_ context.Context, i int) error { return task(i) })
+}
+
+// DoContext is Do for context-aware tasks: each attempt receives a
+// context that carries the scheduler's cancellation and, when
+// Policy.JobTimeout is set, the attempt's deadline. Jobs not yet started
+// when the scheduler's context is canceled are skipped with a
+// context.Canceled error in their slot (counted by sim_sched_cancelled);
+// jobs failing with a retryable error are re-attempted per the Policy
+// (counted by sim_sched_retries).
+func (s *Scheduler) DoContext(n int, task func(ctx context.Context, i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
+	parent := s.Context()
 	errs := make([]error, n)
 	run := func(i int) {
 		schedInFlight.Add(1)
 		defer func() {
 			schedInFlight.Add(-1)
 			schedCompleted.Add(1)
-			if r := recover(); r != nil {
-				errs[i] = fmt.Errorf("sim: job %d of %d panicked: %v", i, n, r)
-			}
 		}()
-		errs[i] = task(i)
+		errs[i] = s.runJob(parent, n, i, task)
+		if errors.Is(errs[i], context.Canceled) {
+			schedCancelled.Add(1)
+		}
 	}
 
 	workers := s.workers
+	if workers < 0 {
+		workers = 0
+	}
 	if workers > n {
 		workers = n
 	}
@@ -104,6 +196,67 @@ func (s *Scheduler) Do(n int, task func(int) error) []error {
 	return errs
 }
 
+// runJob drives one job through the attempt/retry loop.
+func (s *Scheduler) runJob(parent context.Context, n, i int, task func(context.Context, int) error) error {
+	for attempt := 0; ; attempt++ {
+		// Skip-if-canceled: a canceled suite stops dispatching instantly,
+		// leaving the untouched jobs tagged rather than half-run.
+		if err := parent.Err(); err != nil {
+			return err
+		}
+		err := s.attempt(parent, n, i, task)
+		if err == nil || attempt >= s.policy.MaxRetries || !Retryable(err) {
+			return err
+		}
+		schedRetries.Add(1)
+		if !sleepBackoff(parent, s.policy.Backoff<<uint(attempt)) {
+			return err
+		}
+	}
+}
+
+// attempt runs one attempt of one job under the per-job deadline, with
+// panic recovery. A panic whose value is an error is wrapped with %w so
+// classifications (Retryable, context sentinels) survive the recovery.
+func (s *Scheduler) attempt(parent context.Context, n, i int, task func(context.Context, int) error) (err error) {
+	ctx := parent
+	if s.policy.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, s.policy.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("sim: job %d of %d panicked: %w", i, n, e)
+			} else {
+				err = fmt.Errorf("sim: job %d of %d panicked: %v", i, n, r)
+			}
+		}
+		if err != nil && s.policy.JobTimeout > 0 &&
+			errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+			err = &jobTimeoutError{timeout: s.policy.JobTimeout, err: err}
+		}
+	}()
+	return task(ctx, i)
+}
+
+// sleepBackoff waits d (no-op when d <= 0), returning false if ctx was
+// canceled first.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // RunAll executes the jobs through the scheduler and returns results in
 // job order, byte-identical to the sequential scheduler's output. Each
 // distinct Source is materialized once up front and the in-memory trace
@@ -111,27 +264,129 @@ func (s *Scheduler) Do(n int, task func(int) error) []error {
 // workload regenerates the trace once instead of N times and every cell
 // takes the batched fast path. A job that panics (in Make, the predictor,
 // or the source) yields a Result whose Err field records the panic; the
-// other jobs are unaffected.
+// other jobs are unaffected. Under a canceled context the completed
+// prefix is returned, with context.Canceled-tagged Err fields on the
+// remaining slots; with a journal attached, completed cells are
+// checkpointed and served from cache on a resumed run.
 func (s *Scheduler) RunAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
+	seq := 0
+	if s.journal != nil {
+		seq = s.journal.beginRun()
+	}
 	shared, matErrs := s.sharedSources(jobs)
-	errs := s.Do(len(jobs), func(i int) error {
+	errs := s.DoContext(len(jobs), func(ctx context.Context, i int) error {
+		if s.journal != nil {
+			if res, ok := s.journal.cached(seq, i, shared[i]); ok {
+				results[i] = res
+				return nil
+			}
+		}
 		if matErrs[i] != nil {
 			return matErrs[i]
 		}
-		results[i] = Run(jobs[i].Make(), shared[i])
+		res, err := s.runCell(ctx, jobs[i], shared[i], seq, i)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		if s.journal != nil {
+			s.journal.recordCell(seq, i, res)
+		}
 		return nil
 	})
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
-		results[i].Err = err
-		if results[i].Workload == "" {
-			results[i].Workload = safeSourceName(jobs[i].Source)
-		}
+		results[i] = Result{Err: err, Workload: safeSourceName(jobs[i].Source)}
 	}
 	return results
+}
+
+// batchRecords is the cooperative-cancellation granularity of a RunAll
+// cell: between consecutive sub-batches the cell re-checks its context
+// and (when journaling parts) snapshots the predictor. Running a record
+// slice as consecutive sub-slices is state-identical to one call for
+// every engine tier — RunBatch, Step and Predict/Update all advance the
+// same per-record state machine — so the chunked loop returns exactly
+// what Run would (TestRunCellChunkEquivalence pins it).
+const batchRecords = 1 << 16
+
+// runCell simulates one RunAll cell. Without a cancelable context or a
+// journal it is exactly Run; with them it runs the materialized records
+// in batchRecords chunks, checking the context between chunks and
+// journaling mid-cell snapshots for predictors that implement
+// predictor.Snapshotter. A usable journaled part (matching predictor,
+// workload and cursor) restores the predictor and skips the records
+// already simulated.
+func (s *Scheduler) runCell(ctx context.Context, job Job, src trace.Source, seq, idx int) (Result, error) {
+	b, batched := src.(trace.Batched)
+	if !batched || (ctx.Done() == nil && s.journal == nil) {
+		return Run(job.Make(), src), nil
+	}
+	p := job.Make()
+	res := Result{
+		Predictor: p.Name(),
+		Workload:  src.Name(),
+		CostBytes: predictor.CostBytes(p),
+	}
+	recs := b.Records()
+	pos, miss := 0, 0
+
+	partEvery := 0
+	var snapper predictor.Snapshotter
+	if s.journal != nil && s.journal.PartEvery > 0 {
+		if sn, ok := p.(predictor.Snapshotter); ok {
+			partEvery = s.journal.PartEvery
+			snapper = sn
+		}
+	}
+	if s.journal != nil {
+		if part, ok := s.journal.part(seq, idx); ok && snapper != nil &&
+			part.Predictor == res.Predictor && part.Workload == res.Workload &&
+			part.Cursor > 0 && part.Cursor <= len(recs) {
+			if err := snapper.RestoreSnapshot(part.Snap); err == nil {
+				pos, miss = part.Cursor, part.Mispredicts
+			} else {
+				p.Reset() // a bad snapshot must not leave partial state behind
+			}
+		}
+	}
+
+	nextPart := len(recs) + 1
+	if partEvery > 0 {
+		nextPart = pos + partEvery
+	}
+	for pos < len(recs) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		end := pos + batchRecords
+		if end > nextPart {
+			end = nextPart
+		}
+		if end > len(recs) {
+			end = len(recs)
+		}
+		miss += runRecords(p, recs[pos:end])
+		pos = end
+		if pos == nextPart && pos < len(recs) {
+			s.journal.recordPart(partRecord{
+				Seq:         seq,
+				Idx:         idx,
+				Predictor:   res.Predictor,
+				Workload:    res.Workload,
+				Cursor:      pos,
+				Mispredicts: miss,
+				Snap:        snapper.Snapshot(nil),
+			})
+			nextPart = pos + partEvery
+		}
+	}
+	res.Branches = len(recs)
+	res.Mispredicts = miss
+	return res, nil
 }
 
 // safeSourceName names a source for an error-carrying Result without
@@ -146,10 +401,12 @@ func safeSourceName(src trace.Source) (name string) {
 
 // sharedSources maps each job to a materialized trace, deduplicating
 // identical sources by interface identity; the distinct materializations
-// themselves run through the scheduler. Sources whose dynamic type is not
-// comparable cannot be used as memo keys and are materialized
-// individually. A source whose materialization panics gets a nil slot and
-// a per-job error for every job that shares it.
+// themselves run through the scheduler (and therefore observe the
+// cancellation context and per-job deadline cooperatively, via
+// trace.MaterializeContext). Sources whose dynamic type is not comparable
+// cannot be used as memo keys and are materialized individually. A source
+// whose materialization panics or fails gets a nil slot and a per-job
+// error for every job that shares it.
 func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
 	out := make([]trace.Source, len(jobs))
 	jobErrs := make([]error, len(jobs))
@@ -189,8 +446,12 @@ func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
 
 	// Second pass: materialize the distinct sources through the pool.
 	mems := make([]*trace.Memory, len(slots))
-	matErrs := s.Do(len(slots), func(k int) error {
-		mems[k] = trace.Materialize(slots[k].src)
+	matErrs := s.DoContext(len(slots), func(ctx context.Context, k int) error {
+		m, err := trace.MaterializeContext(ctx, slots[k].src)
+		if err != nil {
+			return err
+		}
+		mems[k] = m
 		return nil
 	})
 	for k, sl := range slots {

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func encodedFixture(t *testing.T) (*Memory, []byte) {
+	t.Helper()
+	recs := []Record{
+		{PC: 0x1000, Static: 0, Taken: true},
+		{PC: 0x1010, Static: 1, Taken: false},
+		{PC: 0x1000, Static: 0, Taken: true},
+		{PC: 0x1024, Static: 2, Taken: true},
+	}
+	m := NewMemory("decode-fixture", 3, recs)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return m, buf.Bytes()
+}
+
+// TestDecodeErrorLocatesHeaderDamage: failures before any record carry
+// Record == -1 and still satisfy errors.Is(err, ErrBadFormat).
+func TestDecodeErrorLocatesHeaderDamage(t *testing.T) {
+	_, err := Read(strings.NewReader("NOPE...."))
+	var dec *DecodeError
+	if !errors.As(err, &dec) {
+		t.Fatalf("bad magic: error %v is not a *DecodeError", err)
+	}
+	if dec.Record != -1 {
+		t.Errorf("header failure reported record %d, want -1", dec.Record)
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic no longer unwraps to ErrBadFormat: %v", err)
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Errorf("header failure message does not say so: %q", err)
+	}
+}
+
+// TestDecodeErrorLocatesMidStreamTruncation: a file cut inside the
+// record stream names the record being decoded and the byte offset of
+// the cut, and unwraps to the standard truncation sentinel.
+func TestDecodeErrorLocatesMidStreamTruncation(t *testing.T) {
+	m, enc := encodedFixture(t)
+	// Cut two bytes into the record payload region: past the header, so
+	// the failure lands on a record, not the header.
+	cut := len(enc) - 3
+	_, err := Read(bytes.NewReader(enc[:cut]))
+	var dec *DecodeError
+	if !errors.As(err, &dec) {
+		t.Fatalf("truncated stream: error %v is not a *DecodeError", err)
+	}
+	if dec.Record < 0 || dec.Record >= int64(m.Len()) {
+		t.Errorf("record index %d out of range [0,%d)", dec.Record, m.Len())
+	}
+	if dec.Offset <= 0 || dec.Offset > int64(cut) {
+		t.Errorf("offset %d outside the %d-byte prefix", dec.Offset, cut)
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation does not unwrap to an EOF sentinel: %v", err)
+	}
+}
+
+// TestDecodeErrorLocatesCorruptRecord: structural damage inside a record
+// (an out-of-range static site) reports the record index and offset and
+// remains an ErrBadFormat.
+func TestDecodeErrorLocatesCorruptRecord(t *testing.T) {
+	m, enc := encodedFixture(t)
+	// The last record's outcome word is 2 bytes from the end (site<<1|taken,
+	// then the pc delta). Force its site beyond the static count.
+	corrupt := append([]byte(nil), enc...)
+	corrupt[len(corrupt)-2] = byte(m.StaticCount()) << 1
+	_, err := Read(bytes.NewReader(corrupt))
+	var dec *DecodeError
+	if !errors.As(err, &dec) {
+		t.Fatalf("corrupt record: error %v is not a *DecodeError", err)
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("corrupt record no longer unwraps to ErrBadFormat: %v", err)
+	}
+	if dec.Record != int64(m.Len()-1) {
+		t.Errorf("corrupt record reported index %d, want %d", dec.Record, m.Len()-1)
+	}
+	if dec.Offset <= 0 || dec.Offset > int64(len(corrupt)) {
+		t.Errorf("offset %d outside the file", dec.Offset)
+	}
+}

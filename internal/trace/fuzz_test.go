@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -57,6 +58,9 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add("gcc", uint16(8), []byte{0x01, 0x02, 0x03, 0x04, 0xFF, 0x00, 0x10, 0x81})
 	f.Add("", uint16(1), []byte{})
 	f.Add("a trace with a long-ish name", uint16(1024), bytes.Repeat([]byte{0xAB, 0x40, 0x07}, 40))
+	// A record-heavy trace so the prefix scan spends most cuts mid-stream,
+	// deep in the record loop rather than the header.
+	f.Add("midstream", uint16(16), bytes.Repeat([]byte{0x5A, 0x01, 0x03, 0x01}, 64))
 
 	f.Fuzz(func(t *testing.T, name string, statics uint16, raw []byte) {
 		nStatics := int(statics)%1024 + 1
@@ -102,9 +106,22 @@ func FuzzRoundTrip(f *testing.F) {
 
 		// Truncation at EVERY boundary must error, never panic: the header
 		// carries the record count, so a strict prefix can never satisfy it.
+		// The error must be a located *DecodeError whose offset points
+		// inside the prefix and whose record index is in range.
 		for cut := 0; cut < len(enc); cut++ {
-			if _, err := Read(bytes.NewReader(enc[:cut])); err == nil {
+			_, err := Read(bytes.NewReader(enc[:cut]))
+			if err == nil {
 				t.Fatalf("truncation to %d/%d bytes was accepted", cut, len(enc))
+			}
+			var dec *DecodeError
+			if !errors.As(err, &dec) {
+				t.Fatalf("truncation to %d bytes: error %v is not a *DecodeError", cut, err)
+			}
+			if dec.Offset < 0 || dec.Offset > int64(cut) {
+				t.Fatalf("truncation to %d bytes: offset %d outside the prefix", cut, dec.Offset)
+			}
+			if dec.Record < -1 || dec.Record >= int64(len(recs)) {
+				t.Fatalf("truncation to %d bytes: record index %d out of range", cut, dec.Record)
 			}
 		}
 

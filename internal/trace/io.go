@@ -64,34 +64,92 @@ func Write(w io.Writer, m *Memory) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace previously written by Write.
+// DecodeError locates a trace-decoding failure: the index of the record
+// being decoded when the decoder stopped (headerRecord while still in the
+// file header) and the byte offset it had consumed. It wraps the
+// underlying cause, so errors.Is still sees ErrBadFormat, io.EOF and
+// io.ErrUnexpectedEOF through it — callers branch on the class with %w
+// semantics and render the location from the fields.
+type DecodeError struct {
+	// Record is the zero-based index of the record being decoded, or
+	// headerRecord (-1) if decoding failed in the file header.
+	Record int64
+	// Offset is the number of encoded bytes consumed when decoding
+	// stopped — the position of the damage, for corrupt files.
+	Offset int64
+	// Err is the underlying cause.
+	Err error
+}
+
+// headerRecord is the DecodeError.Record value for failures in the file
+// header, before any record.
+const headerRecord = -1
+
+func (e *DecodeError) Error() string {
+	if e.Record == headerRecord {
+		return fmt.Sprintf("trace: decoding header at byte %d: %v", e.Offset, e.Err)
+	}
+	return fmt.Sprintf("trace: decoding record %d at byte %d: %v", e.Record, e.Offset, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// countingReader tracks how many bytes the decoder has consumed, giving
+// DecodeError its offset. It implements io.ByteReader for the uvarint
+// decoder and io.Reader for the fixed-size header fields.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// Read deserializes a trace previously written by Write. Failures are
+// reported as a *DecodeError carrying the record index and byte offset
+// where decoding stopped, wrapping the underlying cause (ErrBadFormat for
+// structural damage, an I/O error for truncation).
 func Read(r io.Reader) (*Memory, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{br: bufio.NewReader(r)}
+	headerErr := func(err error) error {
+		return &DecodeError{Record: headerRecord, Offset: cr.off, Err: err}
+	}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, headerErr(fmt.Errorf("reading magic: %w", err))
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+		return nil, headerErr(fmt.Errorf("%w: bad magic %q", ErrBadFormat, head))
 	}
-	statics, err := binary.ReadUvarint(br)
+	statics, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading static count: %w", err)
+		return nil, headerErr(fmt.Errorf("reading static count: %w", err))
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading record count: %w", err)
+		return nil, headerErr(fmt.Errorf("reading record count: %w", err))
 	}
-	nameLen, err := binary.ReadUvarint(br)
+	nameLen, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, headerErr(fmt.Errorf("reading name length: %w", err))
 	}
 	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrBadFormat, nameLen)
+		return nil, headerErr(fmt.Errorf("%w: unreasonable name length %d", ErrBadFormat, nameLen))
 	}
 	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+	if _, err := io.ReadFull(cr, nameBuf); err != nil {
+		return nil, headerErr(fmt.Errorf("reading name: %w", err))
 	}
 	// Preallocation is capped: count is untrusted input and records are
 	// appended (and validated) one at a time anyway.
@@ -102,17 +160,20 @@ func Read(r io.Reader) (*Memory, error) {
 	recs := make([]Record, 0, prealloc)
 	prevPC := uint64(0)
 	for i := uint64(0); i < count; i++ {
-		v, err := binary.ReadUvarint(br)
+		recordErr := func(err error) error {
+			return &DecodeError{Record: int64(i), Offset: cr.off, Err: err}
+		}
+		v, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+			return nil, recordErr(fmt.Errorf("reading outcome word: %w", err))
 		}
 		static := v >> 1
 		if static >= statics {
-			return nil, fmt.Errorf("%w: record %d site %d >= static count %d", ErrBadFormat, i, static, statics)
+			return nil, recordErr(fmt.Errorf("%w: site %d >= static count %d", ErrBadFormat, static, statics))
 		}
-		delta, err := binary.ReadUvarint(br)
+		delta, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading record %d pc: %w", i, err)
+			return nil, recordErr(fmt.Errorf("reading pc delta: %w", err))
 		}
 		pc := prevPC + uint64(unzigzag(delta))
 		prevPC = pc

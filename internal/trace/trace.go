@@ -9,6 +9,8 @@
 // can attribute substreams to static branches without hashing PCs.
 package trace
 
+import "context"
+
 // Record is one dynamic conditional branch.
 type Record struct {
 	// PC is the branch instruction address. Word-aligned; bit 63 may carry
@@ -118,8 +120,24 @@ func (m *Memory) Records() []Record { return m.recs }
 // implementing Sized get an exact preallocation instead of growth
 // doublings.
 func Materialize(src Source) *Memory {
+	m, err := MaterializeContext(context.Background(), src)
+	if err != nil {
+		// Unreachable: the background context never cancels and
+		// MaterializeContext has no other failure mode.
+		panic(err)
+	}
+	return m
+}
+
+// MaterializeContext is Materialize with cooperative cancellation: while
+// draining the stream it checks ctx between 64K-record chunks and
+// abandons the materialization with ctx's error, so a canceled or
+// deadline-bounded suite is not stuck behind an expensive (or stalled)
+// generator. With a non-cancelable ctx the check compiles down to
+// nothing and the drain is identical to Materialize.
+func MaterializeContext(ctx context.Context, src Source) (*Memory, error) {
 	if m, ok := src.(*Memory); ok {
-		return m
+		return m, nil
 	}
 	capacity := 1 << 20
 	if s, ok := src.(Sized); ok {
@@ -127,14 +145,20 @@ func Materialize(src Source) *Memory {
 			capacity = n
 		}
 	}
+	cancelable := ctx.Done() != nil
 	recs := make([]Record, 0, capacity)
 	st := src.Stream()
 	for {
+		if cancelable && len(recs)&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		r, ok := st.Next()
 		if !ok {
 			break
 		}
 		recs = append(recs, r)
 	}
-	return NewMemory(src.Name(), src.StaticCount(), recs)
+	return NewMemory(src.Name(), src.StaticCount(), recs), nil
 }
