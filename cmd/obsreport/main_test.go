@@ -120,12 +120,13 @@ func TestObsreportErrors(t *testing.T) {
 }
 
 // TestObsreportDegradedRun pins graceful degradation: reports that blow
-// their per-job deadline become annotated gaps and a non-zero exit, and
-// the runtime-counters block still renders.
+// their per-job deadline (1ns has always elapsed by the first
+// cooperative check, however fast the engine gets) become annotated gaps
+// and a non-zero exit, and the runtime-counters block still renders.
 func TestObsreportDegradedRun(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{"-w", "xlisp", "-p", "bimode:b=8,smith:a=8",
-		"-n", "500000", "-job-timeout", "1ms"}, &buf)
+		"-n", "500000", "-job-timeout", "1ns"}, &buf)
 	if err == nil {
 		t.Fatal("degraded run must exit non-zero")
 	}

@@ -58,18 +58,30 @@ type Result struct {
 }
 
 // SuiteParallel is the suite-level scheduler measurement: the full
-// (spec x workload) job grid dispatched once through the sequential
-// reference scheduler and once through the worker pool. Unlike the
+// (spec x workload) job grid dispatched through the sequential reference
+// scheduler and through worker pools of increasing width. Unlike the
 // per-spec engine numbers it measures RunAll itself — pool dispatch,
-// shared materialization and result collection. On a single-core host the
-// speedup sits near 1.0 by construction; the guard never reads this field
-// (pool speedup is a property of the host's core count, not the code).
+// shared materialization and result collection. The Workers/Parallel*
+// fields are the widest (GOMAXPROCS) point of the curve. On a
+// single-core host every speedup sits near 1.0 by construction — above
+// it only by what the pool saves in dispatch overhead — and the guard
+// never reads these fields (pool speedup is a property of the host's
+// core count, not the code).
 type SuiteParallel struct {
-	Jobs                     int     `json:"jobs"`
-	Workers                  int     `json:"workers"`
-	SequentialBranchesPerSec float64 `json:"sequential_branches_per_sec"`
-	ParallelBranchesPerSec   float64 `json:"parallel_branches_per_sec"`
-	Speedup                  float64 `json:"speedup"`
+	Jobs                     int           `json:"jobs"`
+	Workers                  int           `json:"workers"`
+	SequentialBranchesPerSec float64       `json:"sequential_branches_per_sec"`
+	ParallelBranchesPerSec   float64       `json:"parallel_branches_per_sec"`
+	Speedup                  float64       `json:"speedup"`
+	Curve                    []WorkerPoint `json:"curve"`
+}
+
+// WorkerPoint is one pool width's measurement of the suite grid.
+type WorkerPoint struct {
+	Workers        int     `json:"workers"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+	// Speedup is relative to the sequential reference scheduler.
+	Speedup float64 `json:"speedup"`
 }
 
 // Report is the top-level BENCH_sim.json document.
@@ -160,9 +172,12 @@ func run(args []string) error {
 
 	sp := measureSuite(parsed, srcs, *reps)
 	rep.SuiteParallel = &sp
-	fmt.Printf("%-20s seq %9.1f Mbr/s  pool(%d) %6.1f Mbr/s  speedup %.2fx  (%d jobs)\n",
-		"suite RunAll", sp.SequentialBranchesPerSec/1e6, sp.Workers,
-		sp.ParallelBranchesPerSec/1e6, sp.Speedup, sp.Jobs)
+	fmt.Printf("%-20s seq %9.1f Mbr/s  (%d jobs)\n",
+		"suite RunAll", sp.SequentialBranchesPerSec/1e6, sp.Jobs)
+	for _, pt := range sp.Curve {
+		fmt.Printf("%-20s pool(%d) %7.1f Mbr/s  speedup %.2fx\n",
+			"", pt.Workers, pt.BranchesPerSec/1e6, pt.Speedup)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -241,11 +256,22 @@ func guardAgainst(path string, fresh []Result, tol float64) error {
 	return nil
 }
 
+// suiteWorkerCounts returns the pool widths the suite curve samples:
+// powers of two up to GOMAXPROCS, always ending at GOMAXPROCS itself.
+func suiteWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
+}
+
 // measureSuite times the full (spec x workload) grid through RunAll on
-// the sequential reference scheduler and on a GOMAXPROCS-wide pool,
-// keeping each path's best of reps passes. Both paths run the identical
-// grid, so the ratio isolates what the pool buys (or costs) at suite
-// granularity on this host.
+// the sequential reference scheduler and on pools of every width in
+// suiteWorkerCounts, keeping each path's best of reps passes. Every
+// width runs the identical grid, so each curve point isolates what that
+// pool width buys (or costs) at suite granularity on this host.
 func measureSuite(specs []string, srcs []trace.Source, reps int) SuiteParallel {
 	var jobs []sim.Job
 	for _, spec := range specs {
@@ -275,16 +301,24 @@ func measureSuite(specs []string, srcs []trace.Source, reps int) SuiteParallel {
 		}
 		return best.Seconds()
 	}
-	workers := runtime.GOMAXPROCS(0)
 	seqSecs := grid(sim.NewScheduler(0))
-	parSecs := grid(sim.NewScheduler(workers))
-	return SuiteParallel{
+	sp := SuiteParallel{
 		Jobs:                     len(jobs),
-		Workers:                  workers,
 		SequentialBranchesPerSec: float64(branches) / seqSecs,
-		ParallelBranchesPerSec:   float64(branches) / parSecs,
-		Speedup:                  seqSecs / parSecs,
 	}
+	for _, w := range suiteWorkerCounts() {
+		secs := grid(sim.NewScheduler(w))
+		sp.Curve = append(sp.Curve, WorkerPoint{
+			Workers:        w,
+			BranchesPerSec: float64(branches) / secs,
+			Speedup:        seqSecs / secs,
+		})
+		// The widest point doubles as the headline parallel measurement.
+		sp.Workers = w
+		sp.ParallelBranchesPerSec = float64(branches) / secs
+		sp.Speedup = seqSecs / secs
+	}
+	return sp
 }
 
 // measure runs the given engine for one spec over every source, reps

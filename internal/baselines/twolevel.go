@@ -5,6 +5,7 @@ import (
 
 	"bimode/internal/counter"
 	"bimode/internal/history"
+	"bimode/internal/trace"
 )
 
 // TwoLevel implements the Yeh/Patt two-level adaptive predictor taxonomy
@@ -127,6 +128,61 @@ func (t *TwoLevel) Step(pc uint64, taken bool) bool {
 		t.ghr.Push(taken)
 	}
 	return pred
+}
+
+// RunBatch implements predictor.BatchRunner. The global-history variants
+// (GAg/GAs) get the whole-trace loop with the PHT, the history register
+// and the index masks in locals — the same branch-free shape as the
+// gshare and fused bi-mode kernels, since a global two-level index is
+// just set-bits concatenated with the history pattern. The per-address
+// variants keep their first level inside history.PerAddress, so they run
+// the fused Step per record instead; their bottleneck is the BHT
+// indirection, not dispatch.
+//
+//bimode:hotpath
+func (t *TwoLevel) RunBatch(recs []trace.Record) int {
+	if t.perAddr {
+		return t.runBatchPerAddr(recs)
+	}
+	tab := t.table.Raw()
+	if len(tab) == 0 {
+		return 0 // unreachable (the PHT is non-empty); lets the compiler drop bounds checks
+	}
+	tabMask := uint64(len(tab) - 1)
+	setMask := t.setMask
+	shift := uint(t.histBits)
+	h := t.ghr.Value()
+	var hMask uint64
+	if nb := t.ghr.Bits(); nb > 0 {
+		hMask = 1<<uint(nb) - 1
+	}
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		tk := counter.OutcomeBit(r.Taken)
+		idx := (((r.PC>>2)&setMask)<<shift | h) & tabMask
+		v := tab[idx]
+		miss += int(v.TakenBit() ^ tk)
+		tab[idx] = counter.SatNext(v, tk)
+		h = (h<<1 | uint64(tk)) & hMask
+	}
+	t.ghr.Set(h)
+	return miss
+}
+
+// runBatchPerAddr is RunBatch for the per-address-history variants
+// (PAg/PAs): the fused Step loop.
+//
+//bimode:hotpath
+func (t *TwoLevel) runBatchPerAddr(recs []trace.Record) int {
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		if t.Step(r.PC, r.Taken) != r.Taken {
+			miss++
+		}
+	}
+	return miss
 }
 
 // Reset implements predictor.Predictor.

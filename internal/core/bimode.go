@@ -23,6 +23,15 @@
 // Initialization (paper footnote 2): the choice predictor is reset to
 // weakly taken, the not-taken bank to weakly not-taken, and the taken bank
 // to weakly taken.
+//
+// Representation: the logical counter tables live in the packed
+// structure-of-arrays planes described in packed.go — a pre-shifted
+// choice byte plane and a direction plane holding both banks' counters
+// for the same index in one byte — so the simulation loops do one probe
+// per logical table walk and step every counter through a single fused
+// transition LUT. The packing is invisible outside the package: all
+// accessors speak counter.State and the snapshot wire format is
+// byte-identical to the unpacked tables this layout replaced.
 package core
 
 import (
@@ -87,17 +96,20 @@ func (c Config) validate() error {
 
 // BiMode is the bi-mode branch predictor.
 type BiMode struct {
-	cfg     Config
-	choice  *counter.Table
-	banks   [2]*counter.Table
+	cfg Config
+	// choicePlane and dirPlane are the packed counter planes (layout in
+	// packed.go): choicePlane[ci] holds the choice counter pre-shifted
+	// into bits 4:6, dirPlane[di] holds the not-taken bank counter in
+	// bits 0:2 and the taken bank counter in bits 2:4.
+	choicePlane []uint8
+	dirPlane    []uint8
+	// lut is the fused transition table for this configuration's ablation
+	// knobs; one lookup yields the next choice field, the next direction
+	// pair and the mispredict bit.
+	lut     *[256]uint8
 	ghr     *history.Global
 	chMask  uint64
 	dirMask uint64
-	// dirScratch is a lazily allocated contiguous view of both direction
-	// banks (not-taken bank first) used by RunBatch so bank selection is
-	// index arithmetic instead of a data-dependent branch; it is copied
-	// from and back to the banks at the batch boundaries.
-	dirScratch []counter.State
 }
 
 // New returns a bi-mode predictor for the given configuration.
@@ -106,14 +118,15 @@ func New(cfg Config) (*BiMode, error) {
 		return nil, err
 	}
 	b := &BiMode{
-		cfg:     cfg,
-		choice:  counter.NewTwoBit(1<<uint(cfg.ChoiceBits), counter.WeakTaken),
-		ghr:     history.NewGlobal(cfg.HistoryBits),
-		chMask:  1<<uint(cfg.ChoiceBits) - 1,
-		dirMask: 1<<uint(cfg.BankBits) - 1,
+		cfg:         cfg,
+		choicePlane: make([]uint8, 1<<uint(cfg.ChoiceBits)),
+		dirPlane:    make([]uint8, 1<<uint(cfg.BankBits)),
+		lut:         fusedLUTFor(cfg),
+		ghr:         history.NewGlobal(cfg.HistoryBits),
+		chMask:      1<<uint(cfg.ChoiceBits) - 1,
+		dirMask:     1<<uint(cfg.BankBits) - 1,
 	}
-	b.banks[BankNotTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakNotTaken)
-	b.banks[BankTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
+	b.resetPlanes()
 	return b, nil
 }
 
@@ -125,6 +138,17 @@ func MustNew(cfg Config) *BiMode {
 		panic(err)
 	}
 	return b
+}
+
+// resetPlanes restores the paper's initialization (footnote 2) in packed
+// form.
+func (b *BiMode) resetPlanes() {
+	for i := range b.choicePlane {
+		b.choicePlane[i] = fusedChoiceInit
+	}
+	for i := range b.dirPlane {
+		b.dirPlane[i] = fusedPairInit
+	}
 }
 
 // Name implements predictor.Predictor.
@@ -165,182 +189,156 @@ func bankFor(choiceTaken bool) int {
 	return BankNotTaken
 }
 
+// choiceBitAt returns the steering bit (1 = taken bank) of the choice
+// counter at plane index ci.
+//
+//bimode:hotpath
+func (b *BiMode) choiceBitAt(ci int) uint8 {
+	return b.choicePlane[ci] >> (fusedChoiceShift + 1)
+}
+
+// dirStateAt returns the given bank's counter at plane index di as a
+// counter.State.
+//
+//bimode:hotpath
+func (b *BiMode) dirStateAt(bank, di int) counter.State {
+	return eightStates[b.dirPlane[di]>>(uint(bank)*fusedBankTShift)&3]
+}
+
 // Predict implements predictor.Predictor.
 func (b *BiMode) Predict(pc uint64) bool {
-	bank := bankFor(b.choice.Taken(b.choiceIndex(pc)))
-	return b.banks[bank].Taken(b.dirIndex(pc))
+	cb := b.choiceBitAt(b.choiceIndex(pc))
+	return b.dirStateAt(int(cb), b.dirIndex(pc)).Taken2()
+}
+
+// stepAt applies the full bi-mode transition — selective bank training and
+// the partial choice update, per this configuration's LUT — at the given
+// plane indices and returns the mispredict bit. Shared by Update, Step and
+// UpdateCounters; RunBatch inlines the same expression with the planes in
+// locals.
+//
+//bimode:hotpath
+func (b *BiMode) stepAt(ci, di int, tk uint8) uint8 {
+	key := tk<<fusedOutcomeShift | b.choicePlane[ci] | b.dirPlane[di]
+	v := b.lut[key]
+	b.dirPlane[di] = v & fusedPairMask
+	b.choicePlane[ci] = v & fusedChoiceMask
+	return v >> fusedMissShift
 }
 
 // Update implements predictor.Predictor, applying the paper's partial
 // update policy (or the ablation variants selected in the Config).
 func (b *BiMode) Update(pc uint64, taken bool) {
-	ci := b.choiceIndex(pc)
-	di := b.dirIndex(pc)
-	choiceTaken := b.choice.Taken(ci)
-	sel := bankFor(choiceTaken)
-	dirPred := b.banks[sel].Taken(di)
-
-	// Direction banks: only the selected counter learns the outcome.
-	b.banks[sel].Update(di, taken)
-	if b.cfg.UpdateBothBanks {
-		b.banks[1-sel].Update(di, taken)
-	}
-
-	// Choice predictor: always updated with the outcome, except when the
-	// choice was wrong about the bias but the selected direction counter
-	// still got the branch right.
-	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && dirPred == taken) {
-		b.choice.Update(ci, taken)
-	}
-
+	b.stepAt(b.choiceIndex(pc), b.dirIndex(pc), counter.OutcomeBit(taken))
 	b.ghr.Push(taken)
 }
 
 // Step implements predictor.Stepper: Predict and Update fused into one
-// call that computes the choice and direction indices once and reads the
-// consulted counters once, instead of the two passes the split protocol
-// pays.
+// call that computes the choice and direction indices once and performs
+// the whole counter transition as a single fused-LUT probe.
 //
 //bimode:hotpath
 func (b *BiMode) Step(pc uint64, taken bool) bool {
-	ci := b.choiceIndex(pc)
-	di := b.dirIndex(pc)
-	choiceTaken := b.choice.Taken(ci)
-	sel := bankFor(choiceTaken)
-	pred := b.banks[sel].Taken(di)
-
-	b.banks[sel].Update(di, taken)
-	if b.cfg.UpdateBothBanks {
-		b.banks[1-sel].Update(di, taken)
-	}
-	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && pred == taken) {
-		b.choice.Update(ci, taken)
-	}
+	tk := counter.OutcomeBit(taken)
+	missBit := b.stepAt(b.choiceIndex(pc), b.dirIndex(pc), tk)
 	b.ghr.Push(taken)
-	return pred
-}
-
-// choiceNext2[hold<<3|outcome<<2|state] is the choice counter transition
-// under the paper's partial update rule: the saturating step when hold=0,
-// the unchanged value when hold=1 (choice wrong about the bias but the
-// selected bank predicted correctly).
-var choiceNext2 = [16]counter.State{
-	0, 0, 1, 2, 1, 2, 3, 3, // hold=0: counter.SatNext2
-	0, 1, 2, 3, 0, 1, 2, 3, // hold=1: identity
+	return missBit^tk == 1
 }
 
 // RunBatch implements predictor.BatchRunner: the whole-trace loop with the
-// choice table, a contiguous two-bank direction view and the history
-// register held in locals, so the per-branch work is branch-free slice
-// arithmetic — the only conditional branch left is the record loop itself.
-// Counter transitions go through lookup tables (counter.SatNext,
-// choiceNext2) and bank selection is index arithmetic, because every one
-// of those conditions depends on trace data the host CPU cannot predict.
-// All three tables are two-bit by construction (New), so the taken
-// threshold is the counter's high bit and the LUT transitions match
-// counter.Table.Update exactly. The paper's partial choice update becomes
-// the bit expression hold = (choiceBit^outcome) & ^(predBit^outcome).
+// packed planes, the transition LUT and the history register held in
+// locals. Per branch it does exactly two plane loads, one LUT probe and
+// two plane stores — no conditional branch but the record loop itself, for
+// every configuration including the ablation variants (their policy
+// differences are baked into the LUT at construction). The paper's partial
+// update rule costs nothing here: it is pre-applied in the LUT's choice
+// field (mask algebra in DESIGN.md §12). The uint8 key makes the LUT probe
+// bounds-check-free; the plane masks are len-1 by construction.
 //
 //bimode:hotpath
 func (b *BiMode) RunBatch(recs []trace.Record) int {
-	if b.cfg.FullChoiceUpdate || b.cfg.UpdateBothBanks {
-		return b.runBatchAblation(recs)
-	}
-	choice := b.choice.Raw()
-	bankNT := b.banks[BankNotTaken].Raw()
-	bankT := b.banks[BankTaken].Raw()
-	n := len(bankNT)
-	if b.dirScratch == nil {
-		b.dirScratch = make([]counter.State, 2*n) //bimode:allow hotpath -- amortized scratch allocation at the batch boundary, not per record
-	}
-	dir := b.dirScratch
+	choice := b.choicePlane
+	dir := b.dirPlane
+	lut := b.lut
 	if len(choice) == 0 || len(dir) == 0 {
-		return 0 // unreachable (tables are non-empty); lets the compiler drop bounds checks
+		return 0 // unreachable (planes are non-empty); lets the compiler drop bounds checks
 	}
-	copy(dir[:n], bankNT)
-	copy(dir[n:], bankT)
-
 	chMask := uint64(len(choice) - 1)
-	dirMask := uint64(n - 1)
-	bankSize := uint64(n)
-	allMask := uint64(len(dir) - 1)
+	dirMask := uint64(len(dir) - 1)
 	h := b.ghr.Value()
 	var hMask uint64
 	if nb := b.ghr.Bits(); nb > 0 {
 		hMask = 1<<uint(nb) - 1
 	}
 
-	miss := 0
-	for i := range recs {
-		r := &recs[i]
-		addr := r.PC >> 2
-		var tk uint8
-		if r.Taken {
-			tk = 1
-		}
-
+	// Two-way unroll with split mispredict accumulators: halves the loop
+	// overhead per record and keeps the two LUT probe chains independent
+	// of each other's count update. The table state itself is serially
+	// dependent by definition (record i+1 may hit the byte record i just
+	// wrote), which the in-order store->load forwarding handles.
+	miss0, miss1 := 0, 0
+	i := 0
+	for ; i+1 < len(recs); i += 2 {
+		r0 := &recs[i]
+		addr := r0.PC >> 2
+		tk := counter.OutcomeBit(r0.Taken)
 		ci := addr & chMask
-		cv := choice[ci]
-		choiceBit := cv.TakenBit() // 1 = steer to the taken bank
+		di := (addr ^ h) & dirMask
+		v := lut[tk<<fusedOutcomeShift|choice[ci]|dir[di]]
+		dir[di] = v & fusedPairMask
+		choice[ci] = v & fusedChoiceMask
+		miss0 += int(v >> fusedMissShift)
+		h = (h<<1 | uint64(tk)) & hMask
 
-		// Bank selection as an index offset (multiply, not a branch).
-		di := ((addr^h)&dirMask + uint64(choiceBit)*bankSize) & allMask
-		dv := dir[di]
-		predBit := dv.TakenBit()
-		miss += int(predBit ^ tk)
-
-		// Selected bank always learns the outcome.
-		dir[di] = counter.SatNext(dv, tk)
-
-		// Choice predictor: the paper's partial update rule.
-		hold := (choiceBit ^ tk) & (predBit ^ tk ^ 1)
-		choice[ci] = choiceNext2[(hold<<3|tk<<2|counter.Bits(cv))&15]
-
+		r1 := &recs[i+1]
+		addr = r1.PC >> 2
+		tk = counter.OutcomeBit(r1.Taken)
+		ci = addr & chMask
+		di = (addr ^ h) & dirMask
+		v = lut[tk<<fusedOutcomeShift|choice[ci]|dir[di]]
+		dir[di] = v & fusedPairMask
+		choice[ci] = v & fusedChoiceMask
+		miss1 += int(v >> fusedMissShift)
 		h = (h<<1 | uint64(tk)) & hMask
 	}
-	copy(bankNT, dir[:n])
-	copy(bankT, dir[n:])
-	b.ghr.Set(h)
-	return miss
-}
-
-// runBatchAblation is RunBatch for the ablation configurations
-// (FullChoiceUpdate / UpdateBothBanks); the paper's design takes the
-// tight loop above.
-//
-//bimode:hotpath
-func (b *BiMode) runBatchAblation(recs []trace.Record) int {
-	miss := 0
-	for _, r := range recs {
-		if b.Step(r.PC, r.Taken) != r.Taken {
-			miss++
-		}
+	for ; i < len(recs); i++ {
+		r := &recs[i]
+		addr := r.PC >> 2
+		tk := counter.OutcomeBit(r.Taken)
+		ci := addr & chMask
+		di := (addr ^ h) & dirMask
+		v := lut[tk<<fusedOutcomeShift|choice[ci]|dir[di]]
+		dir[di] = v & fusedPairMask
+		choice[ci] = v & fusedChoiceMask
+		miss0 += int(v >> fusedMissShift)
+		h = (h<<1 | uint64(tk)) & hMask
 	}
-	return miss
+	b.ghr.Set(h)
+	return miss0 + miss1
 }
 
 // Reset implements predictor.Predictor, restoring the paper's
 // initialization (footnote 2).
 func (b *BiMode) Reset() {
-	b.choice.Reset()
-	b.banks[BankNotTaken].Reset()
-	b.banks[BankTaken].Reset()
+	b.resetPlanes()
 	b.ghr.Reset()
 }
 
 // CostBits implements predictor.Predictor: choice counters plus both
-// direction banks. With ChoiceBits == BankBits this is 3*2^BankBits
-// two-bit counters, i.e. 1.5x the cost of a 2^(BankBits+1)-counter gshare,
-// matching the paper's placement on the size axis.
+// direction banks, all two bits wide. With ChoiceBits == BankBits this is
+// 3*2^BankBits two-bit counters, i.e. 1.5x the cost of a
+// 2^(BankBits+1)-counter gshare, matching the paper's placement on the
+// size axis. The cost is the modeled hardware budget, not the packed
+// in-memory footprint.
 func (b *BiMode) CostBits() int {
-	return b.choice.CostBits() + b.banks[0].CostBits() + b.banks[1].CostBits()
+	return 2*len(b.choicePlane) + 2*2*len(b.dirPlane)
 }
 
 // CounterID implements predictor.Indexed. The two banks' counters get
 // disjoint dense identifiers: bank*2^BankBits + index. The identifier
 // reflects the counter the *current* choice state would consult.
 func (b *BiMode) CounterID(pc uint64) int {
-	bank := bankFor(b.choice.Taken(b.choiceIndex(pc)))
+	bank := int(b.choiceBitAt(b.choiceIndex(pc)))
 	return bank<<uint(b.cfg.BankBits) + b.dirIndex(pc)
 }
 
@@ -351,24 +349,50 @@ func (b *BiMode) NumCounters() int { return 2 << uint(b.cfg.BankBits) }
 // steers pc to, the choice direction itself, and the direction counter the
 // selected bank would consult. Read-only, like Predict.
 func (b *BiMode) ProbeLookup(pc uint64) predictor.Lookup {
-	choiceTaken := b.choice.Taken(b.choiceIndex(pc))
-	bank := bankFor(choiceTaken)
+	bank := int(b.choiceBitAt(b.choiceIndex(pc)))
 	return predictor.Lookup{
 		CounterID:   bank<<uint(b.cfg.BankBits) + b.dirIndex(pc),
 		Bank:        bank,
-		ChoiceTaken: choiceTaken,
+		ChoiceTaken: bank == BankTaken,
 		HasChoice:   true,
 	}
 }
 
 // ChoiceState returns the raw state of the choice counter for pc; exposed
 // for the analysis tooling and tests.
-func (b *BiMode) ChoiceState(pc uint64) counter.State { return b.choice.Value(b.choiceIndex(pc)) }
+func (b *BiMode) ChoiceState(pc uint64) counter.State {
+	return eightStates[b.choicePlane[b.choiceIndex(pc)]>>fusedChoiceShift&3]
+}
 
 // BankCounterState returns the raw state of the given bank's counter that
 // pc currently maps to; exposed for tests.
 func (b *BiMode) BankCounterState(bank int, pc uint64) counter.State {
-	return b.banks[bank].Value(b.dirIndex(pc))
+	return b.dirStateAt(bank, b.dirIndex(pc))
+}
+
+// choiceStates appends the unpacked choice table to dst in index order;
+// the unpacked view behind the snapshot codec and the property tests.
+func (b *BiMode) choiceStates(dst []counter.State) []counter.State {
+	return unpackPlaneField(dst, b.choicePlane, fusedChoiceShift, 2)
+}
+
+// bankStates appends the given direction bank's unpacked counters to dst
+// in index order.
+func (b *BiMode) bankStates(bank int, dst []counter.State) []counter.State {
+	return unpackPlaneField(dst, b.dirPlane, uint(bank)*fusedBankTShift, 2)
+}
+
+// setChoiceStates overwrites the choice table from an unpacked view;
+// len(states) must equal the table length.
+func (b *BiMode) setChoiceStates(states []counter.State) {
+	packPlaneField(b.choicePlane, states, fusedChoiceShift, 2)
+}
+
+// setBankStates overwrites one direction bank from an unpacked view,
+// leaving the other bank's bits intact; len(states) must equal the bank
+// length.
+func (b *BiMode) setBankStates(bank int, states []counter.State) {
+	packPlaneField(b.dirPlane, states, uint(bank)*fusedBankTShift, 2)
 }
 
 // HistoryValue implements predictor.SpeculativeHistory.
@@ -387,15 +411,5 @@ func (b *BiMode) PushHistory(taken bool) { b.ghr.Push(taken) }
 func (b *BiMode) UpdateCounters(pc uint64, history uint64, taken bool) {
 	ci := b.choiceIndex(pc)
 	di := int(((pc >> 2) ^ history) & b.dirMask)
-	choiceTaken := b.choice.Taken(ci)
-	sel := bankFor(choiceTaken)
-	dirPred := b.banks[sel].Taken(di)
-
-	b.banks[sel].Update(di, taken)
-	if b.cfg.UpdateBothBanks {
-		b.banks[1-sel].Update(di, taken)
-	}
-	if b.cfg.FullChoiceUpdate || !(choiceTaken != taken && dirPred == taken) {
-		b.choice.Update(ci, taken)
-	}
+	b.stepAt(ci, di, counter.OutcomeBit(taken))
 }

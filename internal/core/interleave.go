@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bimode/internal/counter"
+	"bimode/internal/trace"
+)
+
+// Interleaved execution of independent bi-mode simulations.
+//
+// A single RunBatch chain is latency-bound: record i+1's LUT probe cannot
+// issue before record i's plane stores retire, so with tables larger than
+// the fast cache levels the core idles on serially dependent loads.
+// Distinct jobs have no such dependence — each lane owns its own planes
+// and history register — so stepping K lanes in lockstep gives the
+// out-of-order window K independent load chains to overlap. The schedule
+// is round-robin by record position: lane 0 record j, lane 1 record j,
+// ..., then record j+1, exactly as if each lane ran alone.
+
+// Lane pairs one bi-mode predictor with the trace it should consume.
+// The predictors must be distinct objects: lanes share nothing.
+type Lane struct {
+	P    *BiMode
+	Recs []trace.Record
+}
+
+// laneState is the per-lane register set of the interleaved loop: the
+// same locals RunBatch keeps for its single chain, one copy per lane.
+type laneState struct {
+	choice  []uint8
+	dir     []uint8
+	lut     *[256]uint8
+	recs    []trace.Record
+	h       uint64
+	hMask   uint64
+	chMask  uint64
+	dirMask uint64
+	miss    int
+}
+
+// RunBatchInterleaved runs every lane to completion and returns the
+// per-lane mispredict counts, in lane order. Each lane's final predictor
+// state and miss count are exactly what lane-by-lane RunBatch calls would
+// produce — interleaving changes the instruction schedule, not the
+// simulation.
+//
+//bimode:hotpath
+func RunBatchInterleaved(lanes []Lane) []int {
+	misses := make([]int, len(lanes))       //bimode:allow hotpath -- per-call result slice, not per-record
+	states := make([]laneState, len(lanes)) //bimode:allow hotpath -- per-call lane registers, not per-record
+	minLen := -1
+	for i := range lanes {
+		p := lanes[i].P
+		s := &states[i]
+		s.choice = p.choicePlane
+		s.dir = p.dirPlane
+		s.lut = p.lut
+		s.recs = lanes[i].Recs
+		s.h = p.ghr.Value()
+		if nb := p.ghr.Bits(); nb > 0 {
+			s.hMask = 1<<uint(nb) - 1
+		}
+		s.chMask = uint64(len(p.choicePlane) - 1)
+		s.dirMask = uint64(len(p.dirPlane) - 1)
+		if minLen < 0 || len(s.recs) < minLen {
+			minLen = len(s.recs)
+		}
+	}
+	if minLen < 0 {
+		return misses
+	}
+
+	// Lockstep phase: one record per lane per round. The inner loop body
+	// is RunBatch's per-record body with the lane's registers behind a
+	// single pointer.
+	for j := 0; j < minLen; j++ {
+		for l := range states {
+			s := &states[l]
+			r := &s.recs[j]
+			addr := r.PC >> 2
+			tk := counter.OutcomeBit(r.Taken)
+			ci := addr & s.chMask
+			di := (addr ^ s.h) & s.dirMask
+			v := s.lut[tk<<fusedOutcomeShift|s.choice[ci]|s.dir[di]]
+			s.dir[di] = v & fusedPairMask
+			s.choice[ci] = v & fusedChoiceMask
+			s.miss += int(v >> fusedMissShift)
+			s.h = (s.h<<1 | uint64(tk)) & s.hMask
+		}
+	}
+
+	// Tails: lanes longer than the shortest finish on the plain batched
+	// kernel. The history register is written back first so RunBatch
+	// resumes from the lockstep phase's state.
+	for i := range lanes {
+		s := &states[i]
+		lanes[i].P.ghr.Set(s.h)
+		misses[i] = s.miss + lanes[i].P.RunBatch(s.recs[minLen:])
+	}
+	return misses
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bimode/internal/trace"
+)
+
+// interleaveTrace builds a deterministic synthetic record stream.
+func interleaveTrace(seed int64, n int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:     uint64(rng.Intn(1<<14)) << 2,
+			Taken:  rng.Intn(100) < 60,
+			Static: uint32(rng.Intn(64)),
+		}
+	}
+	return recs
+}
+
+// TestRunBatchInterleavedEquivalence proves the lockstep kernel is
+// Result-for-Result identical to running each lane alone with RunBatch:
+// same miss counts, same final table state (via snapshots), same history —
+// across uneven lane lengths, distinct configs per lane, and the ablation
+// variants.
+func TestRunBatchInterleavedEquivalence(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(6),
+		DefaultConfig(9),
+		{ChoiceBits: 5, BankBits: 8, HistoryBits: 4},
+		{ChoiceBits: 8, BankBits: 6, HistoryBits: 6, FullChoiceUpdate: true},
+		{ChoiceBits: 7, BankBits: 7, HistoryBits: 7, UpdateBothBanks: true},
+		{ChoiceBits: 6, BankBits: 6, HistoryBits: 0, FullChoiceUpdate: true, UpdateBothBanks: true},
+	}
+	lens := []int{0, 1, 777, 4096, 5000, 12345}
+	for lanes := 1; lanes <= 6; lanes++ {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			ref := make([]*BiMode, lanes)
+			il := make([]Lane, lanes)
+			wantMiss := make([]int, lanes)
+			for i := 0; i < lanes; i++ {
+				cfg := cfgs[i%len(cfgs)]
+				recs := interleaveTrace(int64(1000*lanes+i), lens[i%len(lens)])
+				ref[i] = MustNew(cfg)
+				wantMiss[i] = ref[i].RunBatch(recs)
+				il[i] = Lane{P: MustNew(cfg), Recs: recs}
+			}
+			got := RunBatchInterleaved(il)
+			if len(got) != lanes {
+				t.Fatalf("got %d miss counts for %d lanes", len(got), lanes)
+			}
+			for i := 0; i < lanes; i++ {
+				if got[i] != wantMiss[i] {
+					t.Errorf("lane %d: interleaved misses = %d, RunBatch = %d", i, got[i], wantMiss[i])
+				}
+				if g, w := il[i].P.HistoryValue(), ref[i].HistoryValue(); g != w {
+					t.Errorf("lane %d: history %#x, want %#x", i, g, w)
+				}
+				gs, ws := il[i].P.Snapshot(nil), ref[i].Snapshot(nil)
+				if string(gs) != string(ws) {
+					t.Errorf("lane %d: final table state diverged from per-lane RunBatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchInterleavedEmpty pins the degenerate inputs.
+func TestRunBatchInterleavedEmpty(t *testing.T) {
+	if got := RunBatchInterleaved(nil); len(got) != 0 {
+		t.Fatalf("no lanes must yield no counts, got %v", got)
+	}
+	b := MustNew(DefaultConfig(5))
+	got := RunBatchInterleaved([]Lane{{P: b, Recs: nil}})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty lane must yield a zero count, got %v", got)
+	}
+}
+
+// BenchmarkRunBatchInterleaved compares K independent simulations run
+// back-to-back against the same K stepped in lockstep. The win appears
+// when the tables outgrow the fast cache levels; at the default zoo sizes
+// the lanes mostly pay loop overhead for each other.
+func BenchmarkRunBatchInterleaved(b *testing.B) {
+	const n = 1 << 16
+	for _, bits := range []int{11, 15} {
+		for _, k := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("bits=%d/lanes=%d", bits, k), func(b *testing.B) {
+				recs := make([][]trace.Record, k)
+				lanes := make([]Lane, k)
+				for i := range lanes {
+					recs[i] = interleaveTrace(int64(i), n)
+				}
+				b.SetBytes(int64(k * n * 16))
+				b.ResetTimer()
+				for it := 0; it < b.N; it++ {
+					b.StopTimer()
+					for i := range lanes {
+						lanes[i] = Lane{P: MustNew(DefaultConfig(bits)), Recs: recs[i]}
+					}
+					b.StartTimer()
+					RunBatchInterleaved(lanes)
+				}
+			})
+		}
+	}
+}

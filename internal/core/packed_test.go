@@ -1,0 +1,116 @@
+package core
+
+// Exhaustive coverage for the packed-plane bit fields: every counter
+// state through every field of both layouts, against every possible
+// value of the co-resident bits. The property and differential tests
+// exercise the planes through realistic streams; these loops close the
+// gap to "all 256 byte values x all states", so a mask or shift typo in
+// the layout constants cannot hide in an unreached corner.
+
+import (
+	"testing"
+
+	"bimode/internal/counter"
+)
+
+// planeFields enumerates every (shift, width) field the two packed
+// layouts use, with the plane byte's bits that do NOT belong to the
+// field.
+var planeFields = []struct {
+	name         string
+	shift, width uint
+}{
+	{"bimode-choice", fusedChoiceShift, 2},
+	{"bimode-nt", 0, 2},
+	{"bimode-t", fusedBankTShift, 2},
+	{"trimode-choice", 0, 3},
+	{"trimode-nt", 0, 2},
+	{"trimode-t", 2, 2},
+	{"trimode-wb", 4, 2},
+}
+
+// TestPackPlaneFieldExhaustive packs every representable state into every
+// field over every possible prior byte value, and checks the field reads
+// back exactly and the co-resident bits are untouched.
+func TestPackPlaneFieldExhaustive(t *testing.T) {
+	for _, fld := range planeFields {
+		t.Run(fld.name, func(t *testing.T) {
+			fieldMask := uint8(1<<fld.width-1) << fld.shift
+			for prior := 0; prior < 256; prior++ {
+				for v := uint8(0); v < 1<<fld.width; v++ {
+					plane := []uint8{uint8(prior)}
+					packPlaneField(plane, []counter.State{eightStates[v]}, fld.shift, fld.width)
+					got := unpackPlaneField(nil, plane, fld.shift, fld.width)
+					if len(got) != 1 || got[0] != eightStates[v] {
+						t.Fatalf("prior %#02x: packed %d, unpacked %v", prior, v, got)
+					}
+					if rest := plane[0] &^ fieldMask; rest != uint8(prior)&^fieldMask {
+						t.Fatalf("prior %#02x state %d: co-resident bits %#02x -> %#02x",
+							prior, v, uint8(prior)&^fieldMask, rest)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBiModePlaneViewsExhaustive drives the predictor-level pack/unpack
+// accessors through every counter state at every index and pins bank
+// isolation: writing one bank's states must not perturb the other's.
+func TestBiModePlaneViewsExhaustive(t *testing.T) {
+	b := MustNew(Config{ChoiceBits: 2, BankBits: 2, HistoryBits: 1})
+	n := len(b.dirPlane)
+	states := func(seed int) []counter.State {
+		out := make([]counter.State, n)
+		for i := range out {
+			out[i] = twoBitStates[(seed+i)&3]
+		}
+		return out
+	}
+	for seed := 0; seed < 4; seed++ {
+		ch, nt, tb := states(seed), states(seed+1), states(seed+2)
+		b.setChoiceStates(ch)
+		b.setBankStates(BankNotTaken, nt)
+		b.setBankStates(BankTaken, tb)
+		for i := 0; i < n; i++ {
+			if got := b.choiceStates(nil)[i]; got != ch[i] {
+				t.Fatalf("seed %d: choice[%d] = %d, want %d", seed, i, got, ch[i])
+			}
+			if got := b.dirStateAt(BankNotTaken, i); got != nt[i] {
+				t.Fatalf("seed %d: nt[%d] = %d, want %d", seed, i, got, nt[i])
+			}
+			if got := b.dirStateAt(BankTaken, i); got != tb[i] {
+				t.Fatalf("seed %d: t[%d] = %d, want %d", seed, i, got, tb[i])
+			}
+		}
+		// Rewrite one bank with fresh values; the other must not move.
+		b.setBankStates(BankNotTaken, states(seed+3))
+		for i := 0; i < n; i++ {
+			if got := b.dirStateAt(BankTaken, i); got != tb[i] {
+				t.Fatalf("seed %d: taken bank leaked at %d after NT rewrite", seed, i)
+			}
+		}
+	}
+}
+
+// TestFusedLUTKeyRange pins the key construction invariant the kernels
+// rely on for bounds-check elimination: every reachable key has the top
+// bit clear and every reachable value's pair field stays representable.
+func TestFusedLUTKeyRange(t *testing.T) {
+	for variant, lut := range fusedLUTs {
+		for tk := uint8(0); tk < 2; tk++ {
+			for cv := uint8(0); cv < 4; cv++ {
+				for pair := uint8(0); pair < 16; pair++ {
+					key := tk<<fusedOutcomeShift | cv<<fusedChoiceShift | pair
+					if key >= 128 {
+						t.Fatalf("variant %d: key %#02x has the top bit set", variant, key)
+					}
+					v := lut[key]
+					if v&^uint8(1<<fusedMissShift|fusedChoiceMask|fusedPairMask) != 0 {
+						t.Fatalf("variant %d key %#02x: value %#02x has stray bits", variant, key, v)
+					}
+				}
+			}
+		}
+	}
+}

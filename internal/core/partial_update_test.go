@@ -6,6 +6,12 @@ package core
 // bank untouched, the selected bank stepped only at the consulted counter,
 // and the choice table stepped only at the branch's choice counter unless
 // the partial-update hold condition applies.
+//
+// The observations go through the unpacked-view accessors
+// (choiceStates/bankStates), so the test also pins the packed plane
+// layout: any cross-talk between the co-located bit fields — a choice
+// store clobbering a direction pair, one bank's update leaking into the
+// other's bits of the same byte — shows up as a spurious diff.
 
 import (
 	"math/rand"
@@ -14,12 +20,7 @@ import (
 	"bimode/internal/counter"
 )
 
-// snapshot copies a counter table's raw state.
-func snapshot(t *counter.Table) []counter.State {
-	return append([]counter.State(nil), t.Raw()...)
-}
-
-// diffAt returns the indices where two snapshots differ.
+// diffAt returns the indices where two unpacked table views differ.
 func diffAt(a, b []counter.State) []int {
 	var idx []int
 	for i := range a {
@@ -60,30 +61,30 @@ func TestPartialUpdateProperty(t *testing.T) {
 				// before Update (dirIndex consumes the pre-update history).
 				ci := b.choiceIndex(pc)
 				di := b.dirIndex(pc)
-				choiceTaken := b.choice.Taken(ci)
+				choiceTaken := b.choiceBitAt(ci) == 1
 				sel := bankFor(choiceTaken)
-				dirPred := b.banks[sel].Taken(di)
+				dirPred := b.dirStateAt(sel, di).Taken2()
 
-				choiceBefore := snapshot(b.choice)
-				selBefore := snapshot(b.banks[sel])
-				otherBefore := snapshot(b.banks[1-sel])
+				choiceBefore := b.choiceStates(nil)
+				selBefore := b.bankStates(sel, nil)
+				otherBefore := b.bankStates(1-sel, nil)
 
 				b.Update(pc, taken)
 
 				// Non-chosen bank: untouched, every counter.
-				if d := diffAt(otherBefore, b.banks[1-sel].Raw()); len(d) != 0 {
+				if d := diffAt(otherBefore, b.bankStates(1-sel, nil)); len(d) != 0 {
 					t.Fatalf("step %d: unselected bank %d changed at %v", step, 1-sel, d)
 				}
 
 				// Chosen bank: only the consulted counter moves, by one
 				// saturating step toward the outcome.
 				wantSel := counter.SatNext(selBefore[di], counter.OutcomeBit(taken))
-				for _, i := range diffAt(selBefore, b.banks[sel].Raw()) {
+				for _, i := range diffAt(selBefore, b.bankStates(sel, nil)) {
 					if i != di {
 						t.Fatalf("step %d: selected bank %d changed at %d, consulted %d", step, sel, i, di)
 					}
 				}
-				if got := b.banks[sel].Value(di); got != wantSel {
+				if got := b.dirStateAt(sel, di); got != wantSel {
 					t.Fatalf("step %d: selected counter %d -> %d, want SatNext=%d (was %d, taken=%v)",
 						step, di, got, wantSel, selBefore[di], taken)
 				}
@@ -99,12 +100,13 @@ func TestPartialUpdateProperty(t *testing.T) {
 				} else {
 					holds++
 				}
-				for _, i := range diffAt(choiceBefore, b.choice.Raw()) {
+				choiceAfter := b.choiceStates(nil)
+				for _, i := range diffAt(choiceBefore, choiceAfter) {
 					if i != ci {
 						t.Fatalf("step %d: choice table changed at %d, branch maps to %d", step, i, ci)
 					}
 				}
-				if got := b.choice.Value(ci); got != wantChoice {
+				if got := choiceAfter[ci]; got != wantChoice {
 					t.Fatalf("step %d: choice counter %d -> %d, want %d (hold=%v, was %d, taken=%v)",
 						step, ci, got, wantChoice, hold, choiceBefore[ci], taken)
 				}
@@ -132,16 +134,16 @@ func TestPartialUpdateAblations(t *testing.T) {
 		taken := rng.Intn(2) == 0
 		ci := b.choiceIndex(pc)
 		di := b.dirIndex(pc)
-		sel := bankFor(b.choice.Taken(ci))
-		choiceWas := b.choice.Value(ci)
-		otherWas := b.banks[1-sel].Value(di)
+		sel := bankFor(b.choiceBitAt(ci) == 1)
+		choiceWas := b.choiceStates(nil)[ci]
+		otherWas := b.dirStateAt(1-sel, di)
 
 		b.Update(pc, taken)
 
-		if got, want := b.choice.Value(ci), counter.SatNext(choiceWas, counter.OutcomeBit(taken)); got != want {
+		if got, want := b.choiceStates(nil)[ci], counter.SatNext(choiceWas, counter.OutcomeBit(taken)); got != want {
 			t.Fatalf("step %d: fullchoice counter -> %d, want %d", step, got, want)
 		}
-		if got, want := b.banks[1-sel].Value(di), counter.SatNext(otherWas, counter.OutcomeBit(taken)); got != want {
+		if got, want := b.dirStateAt(1-sel, di), counter.SatNext(otherWas, counter.OutcomeBit(taken)); got != want {
 			t.Fatalf("step %d: bothbanks unselected counter -> %d, want %d", step, got, want)
 		}
 	}

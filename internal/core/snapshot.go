@@ -1,15 +1,25 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"bimode/internal/counter"
+)
 
 // predictor.Snapshotter implementations for the bi-mode and tri-mode
 // predictors. Each snapshot is a one-byte type tag followed by the
 // constituent table and register snapshots in a fixed order; the tag
 // catches a snapshot restored into the wrong predictor kind before the
-// shape checks inside counter/history reject the details. dirScratch is
-// deliberately absent from the bi-mode encoding: it is a transient view
-// copied from and back to the banks at RunBatch boundaries, never live
-// state between calls.
+// shape checks inside counter/history reject the details.
+//
+// The wire format predates the packed plane layout and is kept
+// byte-identical to it: each logical table is unpacked into counter.State
+// scratch and encoded with counter.AppendStates exactly as the standalone
+// counter.Table it replaced would have, so snapshots taken before the
+// packing (the PR 5 journal corpus) restore into the packed planes and
+// vice versa. Restore goes through the same scratch in the other
+// direction, validating with counter.ReadStates before any plane byte is
+// touched.
 const (
 	snapTagBiMode  = 0x01
 	snapTagTriMode = 0x02
@@ -18,9 +28,10 @@ const (
 // Snapshot implements predictor.Snapshotter.
 func (b *BiMode) Snapshot(dst []byte) []byte {
 	dst = append(dst, snapTagBiMode)
-	dst = b.choice.AppendSnapshot(dst)
-	dst = b.banks[BankNotTaken].AppendSnapshot(dst)
-	dst = b.banks[BankTaken].AppendSnapshot(dst)
+	scratch := make([]counter.State, 0, len(b.choicePlane))
+	dst = counter.AppendStates(dst, 2, b.choiceStates(scratch))
+	dst = counter.AppendStates(dst, 2, b.bankStates(BankNotTaken, scratch[:0]))
+	dst = counter.AppendStates(dst, 2, b.bankStates(BankTaken, scratch[:0]))
 	return b.ghr.AppendSnapshot(dst)
 }
 
@@ -30,27 +41,38 @@ func (b *BiMode) RestoreSnapshot(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if rest, err = b.choice.ReadSnapshot(rest); err != nil {
+	choice := make([]counter.State, len(b.choicePlane))
+	nt := make([]counter.State, len(b.dirPlane))
+	tb := make([]counter.State, len(b.dirPlane))
+	if rest, err = counter.ReadStates(rest, 2, choice); err != nil {
 		return fmt.Errorf("core: bi-mode choice table: %w", err)
 	}
-	if rest, err = b.banks[BankNotTaken].ReadSnapshot(rest); err != nil {
+	if rest, err = counter.ReadStates(rest, 2, nt); err != nil {
 		return fmt.Errorf("core: bi-mode not-taken bank: %w", err)
 	}
-	if rest, err = b.banks[BankTaken].ReadSnapshot(rest); err != nil {
+	if rest, err = counter.ReadStates(rest, 2, tb); err != nil {
 		return fmt.Errorf("core: bi-mode taken bank: %w", err)
 	}
 	if rest, err = b.ghr.ReadSnapshot(rest); err != nil {
 		return fmt.Errorf("core: bi-mode history: %w", err)
 	}
-	return checkSnapEmpty("bi-mode", rest)
+	if err = checkSnapEmpty("bi-mode", rest); err != nil {
+		return err
+	}
+	b.setChoiceStates(choice)
+	b.setBankStates(BankNotTaken, nt)
+	b.setBankStates(BankTaken, tb)
+	return nil
 }
 
 // Snapshot implements predictor.Snapshotter.
 func (t *TriMode) Snapshot(dst []byte) []byte {
 	dst = append(dst, snapTagTriMode)
-	dst = t.choice.AppendSnapshot(dst)
-	for _, bank := range t.banks {
-		dst = bank.AppendSnapshot(dst)
+	scratch := make([]counter.State, 0, len(t.choicePlane))
+	dst = counter.AppendStates(dst, 3, t.choiceStates(scratch))
+	for bank := 0; bank < 3; bank++ {
+		scratch = scratch[:0]
+		dst = counter.AppendStates(dst, 2, t.bankStates(bank, scratch))
 	}
 	return t.ghr.AppendSnapshot(dst)
 }
@@ -61,18 +83,28 @@ func (t *TriMode) RestoreSnapshot(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if rest, err = t.choice.ReadSnapshot(rest); err != nil {
+	choice := make([]counter.State, len(t.choicePlane))
+	if rest, err = counter.ReadStates(rest, 3, choice); err != nil {
 		return fmt.Errorf("core: tri-mode choice table: %w", err)
 	}
-	for i, bank := range t.banks {
-		if rest, err = bank.ReadSnapshot(rest); err != nil {
+	var banks [3][]counter.State
+	for i := range banks {
+		banks[i] = make([]counter.State, len(t.dirPlane))
+		if rest, err = counter.ReadStates(rest, 2, banks[i]); err != nil {
 			return fmt.Errorf("core: tri-mode bank %d: %w", i, err)
 		}
 	}
 	if rest, err = t.ghr.ReadSnapshot(rest); err != nil {
 		return fmt.Errorf("core: tri-mode history: %w", err)
 	}
-	return checkSnapEmpty("tri-mode", rest)
+	if err = checkSnapEmpty("tri-mode", rest); err != nil {
+		return err
+	}
+	t.setChoiceStates(choice)
+	for i := range banks {
+		t.setBankStates(i, banks[i])
+	}
+	return nil
 }
 
 // checkSnapTag consumes and validates the leading type tag.

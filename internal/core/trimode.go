@@ -6,6 +6,7 @@ import (
 	"bimode/internal/counter"
 	"bimode/internal/history"
 	"bimode/internal/predictor"
+	"bimode/internal/trace"
 )
 
 // TriMode is this repository's concrete take on the paper's stated future
@@ -26,15 +27,23 @@ import (
 // is trained, and the choice counter keeps bi-mode's partial update rule
 // (it is not weakened when its direction call was wrong but the selected
 // counter predicted correctly).
+//
+// Representation: like BiMode, the counters live in packed planes — the
+// raw 3-bit confidence counters in one byte plane, all three direction
+// banks' counters for the same index packed into one byte of the other —
+// and the whole per-branch transition (classification, selective bank
+// training, partial choice update) is one probe of the precomputed triLUT
+// (packed.go).
 type TriMode struct {
-	cfg     Config
-	choice  *counter.Table // 3-bit confidence/direction counters
-	banks   [3]*counter.Table
-	ghr     *history.Global
-	chMask  uint64
-	dirMask uint64
-	loBound uint8 // raw choice values in (loBound, hiBound) classify as WB
-	hiBound uint8
+	cfg Config
+	// choicePlane holds the raw 3-bit confidence counters, one byte each.
+	// dirPlane packs the three banks per direction index: not-taken bank
+	// in bits 0:2, taken bank in bits 2:4, WB bank in bits 4:6.
+	choicePlane []uint8
+	dirPlane    []uint8
+	ghr         *history.Global
+	chMask      uint64
+	dirMask     uint64
 }
 
 // bankWeak is the third direction bank, holding weakly biased branches.
@@ -48,17 +57,14 @@ func NewTriMode(cfg Config) (*TriMode, error) {
 		return nil, err
 	}
 	t := &TriMode{
-		cfg:     cfg,
-		choice:  counter.NewTable(1<<uint(cfg.ChoiceBits), 3, 4), // weakly taken, centered
-		ghr:     history.NewGlobal(cfg.HistoryBits),
-		chMask:  1<<uint(cfg.ChoiceBits) - 1,
-		dirMask: 1<<uint(cfg.BankBits) - 1,
-		loBound: 1, // 0..1 -> strong NT class, 2..5 -> WB, 6..7 -> strong T
-		hiBound: 6,
+		cfg:         cfg,
+		choicePlane: make([]uint8, 1<<uint(cfg.ChoiceBits)),
+		dirPlane:    make([]uint8, 1<<uint(cfg.BankBits)),
+		ghr:         history.NewGlobal(cfg.HistoryBits),
+		chMask:      1<<uint(cfg.ChoiceBits) - 1,
+		dirMask:     1<<uint(cfg.BankBits) - 1,
 	}
-	t.banks[BankNotTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakNotTaken)
-	t.banks[BankTaken] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
-	t.banks[bankWeak] = counter.NewTwoBit(1<<uint(cfg.BankBits), counter.WeakTaken)
+	t.resetPlanes()
 	return t, nil
 }
 
@@ -69,6 +75,18 @@ func MustNewTriMode(cfg Config) *TriMode {
 		panic(err)
 	}
 	return t
+}
+
+// resetPlanes restores the initialization: confidence counters weakly
+// taken and centered, NT bank weakly not-taken, T and WB banks weakly
+// taken.
+func (t *TriMode) resetPlanes() {
+	for i := range t.choicePlane {
+		t.choicePlane[i] = triChoiceInit
+	}
+	for i := range t.dirPlane {
+		t.dirPlane[i] = triPairInit
+	}
 }
 
 // Name implements predictor.Predictor.
@@ -88,91 +106,130 @@ func (t *TriMode) dirIndex(pc uint64) int { return int(((pc >> 2) ^ t.ghr.Value(
 //
 //bimode:hotpath
 func (t *TriMode) classify(v counter.State) int {
-	b := counter.Bits(v)
-	switch {
-	case b <= t.loBound:
-		return BankNotTaken
-	case b >= t.hiBound:
-		return BankTaken
-	default:
-		return bankWeak
-	}
+	return triClassify(counter.Bits(v))
+}
+
+// choiceStateAt returns the raw confidence counter at plane index ci as a
+// counter.State; exposed in-package for the tests.
+//
+//bimode:hotpath
+func (t *TriMode) choiceStateAt(ci int) counter.State {
+	return eightStates[t.choicePlane[ci]&7]
+}
+
+// dirStateAt returns the given bank's counter at plane index di.
+//
+//bimode:hotpath
+func (t *TriMode) dirStateAt(bank, di int) counter.State {
+	return eightStates[t.dirPlane[di]>>(uint(bank)*2)&3]
 }
 
 // Predict implements predictor.Predictor.
 func (t *TriMode) Predict(pc uint64) bool {
-	bank := t.classify(t.choice.Value(t.choiceIndex(pc)))
-	return t.banks[bank].Taken(t.dirIndex(pc))
+	bank := triClassify(t.choicePlane[t.choiceIndex(pc)])
+	return t.dirStateAt(bank, t.dirIndex(pc)).Taken2()
+}
+
+// stepAt applies the full tri-mode transition — classification, selective
+// bank training, the partial/always-track choice update — at the given
+// plane indices via one triLUT probe, returning the mispredict bit.
+//
+//bimode:hotpath
+func (t *TriMode) stepAt(ci, di int, tk uint8) uint8 {
+	key := (uint16(tk)<<triOutcomeBit |
+		uint16(t.choicePlane[ci])<<triChoiceShift |
+		uint16(t.dirPlane[di])) & triKeyMask
+	v := triLUT[key]
+	t.dirPlane[di] = uint8(v) & triPairMask
+	t.choicePlane[ci] = uint8(v>>triValueShift) & triChoiceMask
+	return uint8(v >> triMissShift)
 }
 
 // Update implements predictor.Predictor.
+//
+// The choice policy baked into triLUT is partial update in bi-mode's
+// spirit, applied only while the branch is classified strongly biased:
+// the confidence counter moves toward the outcome except when its
+// direction call disagreed with the outcome but the selected bank's
+// counter predicted correctly. For WB-classified branches the counter
+// always tracks the outcome — the exception rule's asymmetric skips would
+// otherwise drift weakly biased branches out of the WB bank.
 func (t *TriMode) Update(pc uint64, taken bool) {
-	ci := t.choiceIndex(pc)
-	di := t.dirIndex(pc)
-	v := t.choice.Value(ci)
-	bank := t.classify(v)
-	dirPred := t.banks[bank].Taken(di)
-
-	t.banks[bank].Update(di, taken)
-
-	// Partial update in bi-mode's spirit, applied only while the branch
-	// is classified strongly biased: the confidence counter moves toward
-	// the outcome except when its direction call disagreed with the
-	// outcome but the selected bank's counter predicted correctly. For
-	// WB-classified branches the counter always tracks the outcome —
-	// the exception rule's asymmetric skips would otherwise drift weakly
-	// biased branches out of the WB bank.
-	choiceTaken := counter.Bits(v) >= 4
-	if bank == bankWeak || !(choiceTaken != taken && dirPred == taken) {
-		t.choice.Update(ci, taken)
-	}
+	t.stepAt(t.choiceIndex(pc), t.dirIndex(pc), counter.OutcomeBit(taken))
 	t.ghr.Push(taken)
 }
 
-// Step implements predictor.Stepper: the fused Predict+Update, computing
-// the choice and direction indices once and classifying the choice
-// counter once per branch.
+// Step implements predictor.Stepper: the fused Predict+Update, one index
+// computation and one LUT probe per branch.
 //
 //bimode:hotpath
 func (t *TriMode) Step(pc uint64, taken bool) bool {
-	ci := t.choiceIndex(pc)
-	di := t.dirIndex(pc)
-	v := t.choice.Value(ci)
-	bank := t.classify(v)
-	pred := t.banks[bank].Taken(di)
-
-	t.banks[bank].Update(di, taken)
-	choiceTaken := counter.Bits(v) >= 4
-	if bank == bankWeak || !(choiceTaken != taken && pred == taken) {
-		t.choice.Update(ci, taken)
-	}
+	tk := counter.OutcomeBit(taken)
+	missBit := t.stepAt(t.choiceIndex(pc), t.dirIndex(pc), tk)
 	t.ghr.Push(taken)
-	return pred
+	return missBit^tk == 1
+}
+
+// RunBatch implements predictor.BatchRunner: the same fused whole-trace
+// loop as BiMode.RunBatch on the tri-mode planes — two plane loads, one
+// triLUT probe and two stores per branch, with classification and both
+// update policies pre-applied in the LUT. The masked uint16 key keeps the
+// LUT probe bounds-check-free.
+//
+//bimode:hotpath
+func (t *TriMode) RunBatch(recs []trace.Record) int {
+	choice := t.choicePlane
+	dir := t.dirPlane
+	if len(choice) == 0 || len(dir) == 0 {
+		return 0 // unreachable (planes are non-empty); lets the compiler drop bounds checks
+	}
+	chMask := uint64(len(choice) - 1)
+	dirMask := uint64(len(dir) - 1)
+	h := t.ghr.Value()
+	var hMask uint64
+	if nb := t.ghr.Bits(); nb > 0 {
+		hMask = 1<<uint(nb) - 1
+	}
+
+	miss := 0
+	for i := range recs {
+		r := &recs[i]
+		addr := r.PC >> 2
+		tk := counter.OutcomeBit(r.Taken)
+
+		ci := addr & chMask
+		di := (addr ^ h) & dirMask
+		key := (uint16(tk)<<triOutcomeBit |
+			uint16(choice[ci])<<triChoiceShift |
+			uint16(dir[di])) & triKeyMask
+		v := triLUT[key]
+		dir[di] = uint8(v) & triPairMask
+		choice[ci] = uint8(v>>triValueShift) & triChoiceMask
+		miss += int(v >> triMissShift)
+
+		h = (h<<1 | uint64(tk)) & hMask
+	}
+	t.ghr.Set(h)
+	return miss
 }
 
 // Reset implements predictor.Predictor.
 func (t *TriMode) Reset() {
-	t.choice.Reset()
-	for _, b := range t.banks {
-		b.Reset()
-	}
+	t.resetPlanes()
 	t.ghr.Reset()
 }
 
 // CostBits implements predictor.Predictor: three two-bit banks plus the
-// 3-bit choice counters.
+// 3-bit choice counters. As with BiMode, the cost models the hardware
+// budget, not the packed in-memory footprint.
 func (t *TriMode) CostBits() int {
-	total := t.choice.CostBits()
-	for _, b := range t.banks {
-		total += b.CostBits()
-	}
-	return total
+	return 3*len(t.choicePlane) + 3*2*len(t.dirPlane)
 }
 
 // CounterID implements predictor.Indexed: dense ids across the three
 // banks.
 func (t *TriMode) CounterID(pc uint64) int {
-	bank := t.classify(t.choice.Value(t.choiceIndex(pc)))
+	bank := triClassify(t.choicePlane[t.choiceIndex(pc)])
 	return bank<<uint(t.cfg.BankBits) + t.dirIndex(pc)
 }
 
@@ -184,12 +241,35 @@ func (t *TriMode) NumCounters() int { return 3 << uint(t.cfg.BankBits) }
 // consult there. ChoiceTaken is the counter's direction half, the vote
 // bi-mode would have made.
 func (t *TriMode) ProbeLookup(pc uint64) predictor.Lookup {
-	v := t.choice.Value(t.choiceIndex(pc))
-	bank := t.classify(v)
+	cv := t.choicePlane[t.choiceIndex(pc)]
+	bank := triClassify(cv)
 	return predictor.Lookup{
 		CounterID:   bank<<uint(t.cfg.BankBits) + t.dirIndex(pc),
 		Bank:        bank,
-		ChoiceTaken: counter.Bits(v) >= 4,
+		ChoiceTaken: cv >= 4,
 		HasChoice:   true,
 	}
+}
+
+// choiceStates appends the unpacked confidence table to dst in index
+// order; behind the snapshot codec and tests.
+func (t *TriMode) choiceStates(dst []counter.State) []counter.State {
+	return unpackPlaneField(dst, t.choicePlane, 0, 3)
+}
+
+// bankStates appends the given bank's unpacked counters to dst in index
+// order.
+func (t *TriMode) bankStates(bank int, dst []counter.State) []counter.State {
+	return unpackPlaneField(dst, t.dirPlane, uint(bank)*2, 2)
+}
+
+// setChoiceStates overwrites the confidence table from an unpacked view.
+func (t *TriMode) setChoiceStates(states []counter.State) {
+	packPlaneField(t.choicePlane, states, 0, 3)
+}
+
+// setBankStates overwrites one bank from an unpacked view, leaving the
+// other banks' bits intact.
+func (t *TriMode) setBankStates(bank int, states []counter.State) {
+	packPlaneField(t.dirPlane, states, uint(bank)*2, 2)
 }

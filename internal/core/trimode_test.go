@@ -57,16 +57,16 @@ func TestTriModeWBIsolation(t *testing.T) {
 	// never touch the strong banks' counters.
 	tm := MustNewTriMode(Config{ChoiceBits: 8, BankBits: 6, HistoryBits: 0})
 	pc := uint64(0x140)
-	ntBefore := tm.banks[BankNotTaken].Value(tm.dirIndex(pc))
-	tBefore := tm.banks[BankTaken].Value(tm.dirIndex(pc))
+	ntBefore := tm.dirStateAt(BankNotTaken, tm.dirIndex(pc))
+	tBefore := tm.dirStateAt(BankTaken, tm.dirIndex(pc))
 	for i := 0; i < 200; i++ {
 		tm.Update(pc, i%2 == 0)
 	}
-	if tm.classify(tm.choice.Value(tm.choiceIndex(pc))) != bankWeak {
+	if tm.classify(tm.choiceStateAt(tm.choiceIndex(pc))) != bankWeak {
 		t.Fatalf("alternating branch should classify WB")
 	}
-	if tm.banks[BankNotTaken].Value(tm.dirIndex(pc)) != ntBefore ||
-		tm.banks[BankTaken].Value(tm.dirIndex(pc)) != tBefore {
+	if tm.dirStateAt(BankNotTaken, tm.dirIndex(pc)) != ntBefore ||
+		tm.dirStateAt(BankTaken, tm.dirIndex(pc)) != tBefore {
 		t.Fatalf("WB branch must not train the strong banks")
 	}
 }
@@ -117,7 +117,7 @@ func TestTriModeReset(t *testing.T) {
 	if !tm.Predict(pc) {
 		t.Fatalf("reset tri-mode must return to the initial WB/taken prediction")
 	}
-	if tm.classify(tm.choice.Value(tm.choiceIndex(pc))) != bankWeak {
+	if tm.classify(tm.choiceStateAt(tm.choiceIndex(pc))) != bankWeak {
 		t.Fatalf("reset choice counters must classify WB")
 	}
 }

@@ -18,12 +18,7 @@ import (
 // AppendSnapshot appends the table's counter state to dst and returns the
 // extended slice.
 func (t *Table) AppendSnapshot(dst []byte) []byte {
-	dst = append(dst, byte(t.bits))
-	dst = binary.AppendUvarint(dst, uint64(len(t.entries)))
-	for _, v := range t.entries {
-		dst = append(dst, byte(v))
-	}
-	return dst
+	return AppendStates(dst, t.bits, t.entries)
 }
 
 // ReadSnapshot restores counter state previously captured by
@@ -31,30 +26,54 @@ func (t *Table) AppendSnapshot(dst []byte) []byte {
 // remainder. The snapshot must match the table's width and length exactly
 // and every entry must be in range; on error the table is unchanged.
 func (t *Table) ReadSnapshot(data []byte) ([]byte, error) {
+	return ReadStates(data, t.bits, t.entries)
+}
+
+// AppendStates appends a counter-state sequence of the given width to dst
+// in the table snapshot encoding. It is the codec behind
+// Table.AppendSnapshot, exported so predictors that keep their counters in
+// a packed layout (internal/core's fused bi-mode planes) can emit
+// snapshots byte-identical to the unpacked tables they replaced.
+func AppendStates(dst []byte, bits int, entries []State) []byte {
+	dst = append(dst, byte(bits))
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, v := range entries {
+		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
+// ReadStates consumes a counter-state sequence previously written by
+// AppendStates from the front of data, storing it into entries and
+// returning the remainder. The snapshot must match the given width and
+// len(entries) exactly and every value must be in the counter range; on
+// error entries is unchanged.
+func ReadStates(data []byte, bits int, entries []State) ([]byte, error) {
 	if len(data) < 1 {
 		return nil, fmt.Errorf("counter: snapshot truncated before width byte")
 	}
-	if int(data[0]) != t.bits {
-		return nil, fmt.Errorf("counter: snapshot width %d does not match table width %d", data[0], t.bits)
+	if int(data[0]) != bits {
+		return nil, fmt.Errorf("counter: snapshot width %d does not match table width %d", data[0], bits)
 	}
+	max := State(1<<uint(bits) - 1)
 	n, used := binary.Uvarint(data[1:])
 	if used <= 0 {
 		return nil, fmt.Errorf("counter: snapshot truncated in entry count")
 	}
-	if n != uint64(len(t.entries)) {
-		return nil, fmt.Errorf("counter: snapshot holds %d entries, table holds %d", n, len(t.entries))
+	if n != uint64(len(entries)) {
+		return nil, fmt.Errorf("counter: snapshot holds %d entries, table holds %d", n, len(entries))
 	}
 	body := data[1+used:]
 	if uint64(len(body)) < n {
 		return nil, fmt.Errorf("counter: snapshot truncated: %d of %d entries", len(body), n)
 	}
 	for i := uint64(0); i < n; i++ {
-		if State(body[i]) > t.max {
-			return nil, fmt.Errorf("counter: snapshot entry %d value %d exceeds max %d", i, body[i], t.max)
+		if State(body[i]) > max {
+			return nil, fmt.Errorf("counter: snapshot entry %d value %d exceeds max %d", i, body[i], max)
 		}
 	}
-	for i := range t.entries {
-		t.entries[i] = State(body[i])
+	for i := range entries {
+		entries[i] = State(body[i])
 	}
 	return body[n:], nil
 }

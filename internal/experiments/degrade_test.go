@@ -4,11 +4,14 @@ import (
 	"context"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"bimode/internal/sim"
 	"bimode/internal/synth"
 )
+
+var retryKeys atomic.Int64
 
 // degradedPanel is a deterministic fixture standing in for a sweep with
 // two failed cells: one gshare.best point and one bi-mode point are NaN,
@@ -44,6 +47,42 @@ func TestGoldenDegradedPanel(t *testing.T) {
 func TestRenderFootnotesEmpty(t *testing.T) {
 	if got := RenderFootnotes(nil); got != "" {
 		t.Fatalf("clean sweep rendered a footnote block: %q", got)
+	}
+}
+
+// TestSuiteSourcesRetryAfterFailedMaterialization: a suite whose cold
+// materialization fails (here: a scheduler whose context is already
+// canceled) must not poison the memo entry — the failure panics per the
+// mustAll contract, and the next call with a healthy scheduler
+// materializes the full suite. Before this guarantee a failed generation
+// left a done sync.Once over nil sources, and every later sweep silently
+// saw an empty suite (zero jobs, zero-branch artifacts, exit 0).
+func TestSuiteSourcesRetryAfterFailedMaterialization(t *testing.T) {
+	// A dynamic count no other test uses, so this test owns its memo key;
+	// the counter keeps the key cold across -count reruns in one process.
+	cfg := Config{Dynamic: 1700 + int(retryKeys.Add(1))}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bad := cfg
+	bad.Sched = sim.NewScheduler(0).WithContext(ctx)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("materialization under a canceled context must panic")
+			}
+		}()
+		SuiteSources(synth.SuiteSPEC, bad)
+	}()
+
+	srcs := SuiteSources(synth.SuiteSPEC, cfg)
+	if len(srcs) == 0 {
+		t.Fatal("memo entry poisoned: healthy retry returned an empty suite")
+	}
+	for _, s := range srcs {
+		if s == nil {
+			t.Fatal("memo entry holds a nil source after retry")
+		}
 	}
 }
 

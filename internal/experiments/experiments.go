@@ -59,9 +59,14 @@ func (c Config) sched() *sim.Scheduler {
 // without the memo each call regenerated identical multi-million-branch
 // traces from scratch. The memo is sharded by key hash so concurrent
 // generators materializing different suites never serialize on one lock,
-// and each entry materializes under a sync.Once so concurrent requests
+// and each entry materializes under its own mutex so concurrent requests
 // for the same key share a single materialization (the shard mutex guards
-// only map access, never trace generation).
+// only map access, never trace generation). The entry deliberately does
+// NOT use sync.Once: Once treats a panicked f as done, so a generation
+// that fails (canceled context, per-job deadline, injected fault) would
+// poison the entry forever and every later caller would silently see an
+// empty suite — zero jobs, zero-branch artifacts, exit 0. A failed
+// materialization leaves done=false so the next caller retries cold.
 var suiteMemo [8]struct {
 	sync.Mutex
 	m map[suiteKey]*suiteEntry
@@ -73,7 +78,8 @@ type suiteKey struct {
 }
 
 type suiteEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	mems []*trace.Memory
 }
 
@@ -104,7 +110,9 @@ func memoEntry(key suiteKey) *suiteEntry {
 // mutated.
 func SuiteSources(suite string, cfg Config) []trace.Source {
 	e := memoEntry(suiteKey{suite: suite, dynamic: cfg.Dynamic})
-	e.once.Do(func() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
 		var profs []synth.Profile
 		for _, p := range synth.Profiles() {
 			if p.Suite != suite {
@@ -125,7 +133,8 @@ func SuiteSources(suite string, cfg Config) []trace.Source {
 			return nil
 		}))
 		e.mems = mems
-	})
+		e.done = true
+	}
 	out := make([]trace.Source, len(e.mems))
 	for i, m := range e.mems {
 		out[i] = m

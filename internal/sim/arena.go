@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"sync"
+
+	"bimode/internal/trace"
+)
+
+// arenaMaxBufs bounds how many record buffers an arena retains; beyond
+// that the smallest is dropped, so a scheduler that once materialized an
+// unusually wide suite does not pin its peak footprint forever.
+const arenaMaxBufs = 16
+
+// matArena recycles the record buffers behind internally materialized
+// traces across RunAll calls. Materialization is the scheduler's largest
+// per-suite allocation — the default suite is 14 workloads x 2^21
+// records x 16 bytes — and simbench-style callers run the same suite
+// dozens of times back to back; with the arena the steady state
+// materializes into the previous run's buffers and allocates nothing.
+// The mutex is uncontended in practice: the arena is touched once per
+// distinct source per RunAll, not per job or per record.
+type matArena struct {
+	mu   sync.Mutex
+	bufs [][]trace.Record
+}
+
+// get pops the largest retained buffer (nil when empty). The caller owns
+// it until it comes back via put or recycle.
+func (a *matArena) get() []trace.Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	best := -1
+	for i := range a.bufs {
+		if best < 0 || cap(a.bufs[i]) > cap(a.bufs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	buf := a.bufs[best]
+	a.bufs[best] = a.bufs[len(a.bufs)-1]
+	a.bufs = a.bufs[:len(a.bufs)-1]
+	return buf
+}
+
+// put returns a buffer to the arena; zero-capacity buffers are ignored
+// and the smallest buffer is dropped once the arena is full.
+func (a *matArena) put(buf []trace.Record) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bufs = append(a.bufs, buf[:0])
+	if len(a.bufs) <= arenaMaxBufs {
+		return
+	}
+	small := 0
+	for i := range a.bufs {
+		if cap(a.bufs[i]) < cap(a.bufs[small]) {
+			small = i
+		}
+	}
+	a.bufs[small] = a.bufs[len(a.bufs)-1]
+	a.bufs = a.bufs[:len(a.bufs)-1]
+}
+
+// recycle returns the buffers of internally materialized traces to the
+// arena. Callers must guarantee the traces are no longer reachable.
+func (a *matArena) recycle(mems []*trace.Memory) {
+	for _, m := range mems {
+		if m != nil {
+			a.put(m.Records())
+		}
+	}
+}

@@ -25,11 +25,21 @@ func expvarInt(t *testing.T, name string) int64 {
 	if v == nil {
 		t.Fatalf("expvar %q not published", name)
 	}
-	iv, ok := v.(*expvar.Int)
-	if !ok {
-		t.Fatalf("expvar %q is %T, want *expvar.Int", name, v)
+	// The scheduler counters are sharded and published as an expvar.Func
+	// summing the shards; the observation counters are plain Ints.
+	switch iv := v.(type) {
+	case *expvar.Int:
+		return iv.Value()
+	case expvar.Func:
+		n, ok := iv().(int64)
+		if !ok {
+			t.Fatalf("expvar %q yields %T, want int64", name, iv())
+		}
+		return n
+	default:
+		t.Fatalf("expvar %q is %T, want *expvar.Int or expvar.Func", name, v)
+		return 0
 	}
-	return iv.Value()
 }
 
 // TestDoEdgeCases pins the documented boundary behaviors of Do: n <= 0

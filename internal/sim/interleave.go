@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+)
+
+// Interleaved RunAll dispatch: on the plain pooled scheduler, adjacent
+// jobs whose predictors are large bi-mode instances are stepped in
+// lockstep through core.RunBatchInterleaved instead of one after the
+// other, so each worker core overlaps several independent table-walk
+// chains (the rationale is in core/interleave.go). The dispatch is an
+// instruction-schedule change only — lane results are exactly what
+// per-job Run calls produce — and it never engages on the sequential
+// reference path, so the determinism oracle keeps its ground truth.
+
+const (
+	// interleaveLanes is how many jobs one worker steps in lockstep: enough
+	// independent load chains to cover a table-walk miss, few enough that
+	// the lane registers stay in L1.
+	interleaveLanes = 4
+	// interleaveMinBytes gates lane formation on the predictor's packed
+	// table footprint. Small tables live in the fast cache levels where
+	// the single-chain kernel is already throughput-bound, and
+	// interleaving only adds loop overhead; the win is hiding load
+	// latency, which needs tables that miss.
+	interleaveMinBytes = 1 << 18
+)
+
+// interleaving reports whether RunAll may use the interleaved dispatch:
+// a pooled scheduler with none of the fault-tolerance attachments. The
+// chunked-cancellation and journaling paths need per-batch control of a
+// single predictor, which lockstep execution does not give.
+func (s *Scheduler) interleaving() bool {
+	return s.workers > 0 && s.ctx == nil && s.journal == nil && s.policy == Policy{}
+}
+
+// interleaveFootprint returns the packed in-memory table footprint that
+// gates lane formation.
+func interleaveFootprint(cfg core.Config) int {
+	return 1<<uint(cfg.ChoiceBits) + 1<<uint(cfg.BankBits)
+}
+
+// runAllInterleaved is RunAll's job loop for the interleaving scheduler:
+// jobs are dispatched to the pool in units of interleaveLanes, each unit
+// runs its eligible jobs through the lockstep kernel and the rest through
+// the ordinary Run, and every job still gets individual panic recovery
+// and its own result slot.
+func (s *Scheduler) runAllInterleaved(jobs []Job, shared []trace.Source, matErrs []error, results []Result) {
+	n := len(jobs)
+	units := (n + interleaveLanes - 1) / interleaveLanes
+	errs := s.Do(units, func(u int) error {
+		lo, hi := u*interleaveLanes, (u+1)*interleaveLanes
+		if hi > n {
+			hi = n
+		}
+		var lanes []core.Lane
+		var laneIdx []int
+		for i := lo; i < hi; i++ {
+			if matErrs[i] != nil {
+				results[i] = Result{Err: matErrs[i], Workload: safeSourceName(jobs[i].Source)}
+				continue
+			}
+			p, err := safeMake(jobs[i], i, n)
+			if err != nil {
+				results[i] = Result{Err: err, Workload: safeSourceName(jobs[i].Source)}
+				continue
+			}
+			if bm, ok := p.(*core.BiMode); ok {
+				if b, ok := shared[i].(trace.Batched); ok && interleaveFootprint(bm.Config()) >= interleaveMinBytes {
+					lanes = append(lanes, core.Lane{P: bm, Recs: b.Records()})
+					laneIdx = append(laneIdx, i)
+					continue
+				}
+			}
+			results[i] = runSafe(p, shared[i], i, n)
+		}
+		switch {
+		case len(lanes) >= 2:
+			misses, err := runLanes(lanes)
+			for k, i := range laneIdx {
+				if err != nil {
+					// The lanes' table state is unspecified after a
+					// recovered panic; rebuild each job and run it alone.
+					if p, mkErr := safeMake(jobs[i], i, n); mkErr == nil {
+						results[i] = runSafe(p, shared[i], i, n)
+					} else {
+						results[i] = Result{Err: mkErr, Workload: safeSourceName(jobs[i].Source)}
+					}
+					continue
+				}
+				results[i] = Result{
+					Predictor:   lanes[k].P.Name(),
+					Workload:    shared[i].Name(),
+					CostBytes:   predictor.CostBytes(lanes[k].P),
+					Branches:    len(lanes[k].Recs),
+					Mispredicts: misses[k],
+				}
+			}
+		case len(lanes) == 1:
+			i := laneIdx[0]
+			results[i] = runSafe(lanes[0].P, shared[i], i, n)
+		}
+		// A unit is one pool task but hi-lo jobs; keep the process-wide
+		// completed counter counting jobs, as on every other path. (Do
+		// itself adds 1 for the unit.)
+		schedCompleted.add(u, int64(hi-lo-1))
+		return nil
+	})
+	// Belt and braces: the unit bodies recover everything themselves, but
+	// should one somehow fail wholesale, tag its jobs instead of leaving
+	// silently empty result slots.
+	for u, err := range errs {
+		if err == nil {
+			continue
+		}
+		lo, hi := u*interleaveLanes, (u+1)*interleaveLanes
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if results[i].Err == nil && results[i].Predictor == "" {
+				results[i] = Result{Err: err, Workload: safeSourceName(jobs[i].Source)}
+			}
+		}
+	}
+}
+
+// runLanes runs the lockstep kernel with panic containment: a recovered
+// panic fails the whole unit (the caller reruns its jobs individually).
+func runLanes(lanes []core.Lane) (misses []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: interleaved unit panicked: %v", r)
+		}
+	}()
+	return core.RunBatchInterleaved(lanes), nil
+}
+
+// safeMake invokes a job's constructor with the panic contract of the
+// ordinary RunAll path.
+func safeMake(job Job, i, n int) (p predictor.Predictor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredErr(r, i, n)
+		}
+	}()
+	return job.Make(), nil
+}
+
+// runSafe is Run with the per-job panic recovery the pooled dispatch
+// owes every cell.
+func runSafe(p predictor.Predictor, src trace.Source, i, n int) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: recoveredErr(r, i, n), Workload: safeSourceName(src)}
+		}
+	}()
+	return Run(p, src)
+}
+
+// recoveredErr formats a recovered panic value like Scheduler.attempt
+// does, keeping error-typed panics unwrappable.
+func recoveredErr(r any, i, n int) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("sim: job %d of %d panicked: %w", i, n, e)
+	}
+	return fmt.Errorf("sim: job %d of %d panicked: %v", i, n, r)
+}

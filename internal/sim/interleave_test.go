@@ -1,0 +1,100 @@
+package sim_test
+
+// Oracle and race coverage for the interleaved RunAll dispatch and the
+// materialization arena. The oracle here uses bi-mode tables past the
+// interleaveMinBytes gate so the lockstep kernel actually engages (the
+// zoo-sized tables in scheduler_test.go stay on the per-job path); the
+// race test hammers one pooled scheduler's arena and sharded counters
+// from several goroutines and runs under -race in CI.
+
+import (
+	"sync"
+	"testing"
+
+	"bimode/internal/core"
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+const interleaveOracleDynamic = 30000
+
+// bigBiMode is a bi-mode instance whose packed footprint (2x256KB)
+// clears the interleave gate.
+func bigBiMode() predictor.Predictor {
+	return core.MustNew(core.Config{ChoiceBits: 18, BankBits: 18, HistoryBits: 14})
+}
+
+// TestRunAllInterleavedOracle proves the interleaved dispatch invisible:
+// a pooled RunAll over a grid that mixes gate-clearing bi-mode jobs,
+// small bi-mode jobs and a non-bi-mode predictor — over both materialized
+// and generator sources — returns exactly the sequential scheduler's
+// results.
+func TestRunAllInterleavedOracle(t *testing.T) {
+	profiles := synth.Profiles()[:3]
+	var jobs []sim.Job
+	for _, p := range profiles {
+		src := synth.MustWorkload(p.WithDynamic(interleaveOracleDynamic))
+		mem := trace.Materialize(synth.MustWorkload(p.WithDynamic(interleaveOracleDynamic)))
+		for _, mk := range []func() predictor.Predictor{
+			bigBiMode,
+			func() predictor.Predictor { return zoo.MustNew("bimode:b=8") },
+			func() predictor.Predictor { return zoo.MustNew("gshare:i=12,h=12") },
+		} {
+			jobs = append(jobs, sim.Job{Make: mk, Source: src})
+			jobs = append(jobs, sim.Job{Make: mk, Source: mem})
+		}
+	}
+	want := sim.NewScheduler(0).RunAll(jobs)
+	for _, workers := range []int{1, 3, 8} {
+		got := sim.NewScheduler(workers).RunAll(jobs)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d job %d: %+v != sequential %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunAllArenaRace runs overlapping suites through one pooled
+// scheduler so the arena's get/put/recycle and the sharded expvar
+// counters are exercised concurrently; any unsynchronized buffer reuse
+// is a -race hit and any cross-suite aliasing shows up as a wrong count
+// against the sequential reference.
+func TestRunAllArenaRace(t *testing.T) {
+	profile := synth.Profiles()[0].WithDynamic(interleaveOracleDynamic)
+	mkJobs := func() []sim.Job {
+		// Fresh generator sources each call: every RunAll materializes
+		// through the arena instead of sharing a *trace.Memory.
+		src := synth.MustWorkload(profile)
+		return []sim.Job{
+			{Make: bigBiMode, Source: src},
+			{Make: bigBiMode, Source: src},
+			{Make: func() predictor.Predictor { return zoo.MustNew("bimode:b=10") }, Source: src},
+			{Make: func() predictor.Predictor { return zoo.MustNew("smith:a=10") }, Source: src},
+		}
+	}
+	want := sim.NewScheduler(0).RunAll(mkJobs())
+	s := sim.NewScheduler(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				got := s.RunAll(mkJobs())
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("job %d: %+v != sequential %+v", i, got[i], want[i])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

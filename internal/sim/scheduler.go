@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bimode/internal/predictor"
@@ -47,6 +48,11 @@ type Scheduler struct {
 	ctx     context.Context
 	policy  Policy
 	journal *Journal
+	// arena recycles the record buffers of traces RunAll materializes
+	// internally (pool schedulers only; nil on the sequential reference
+	// path, which stays allocation-plain). The pointer is shared by every
+	// With* copy, so a scheduler reconfigured mid-flight keeps one pool.
+	arena *matArena
 }
 
 // Policy bounds how hard the scheduler works to complete one job. The
@@ -73,13 +79,17 @@ func NewScheduler(workers int) *Scheduler {
 	if workers < 0 {
 		workers = 0
 	}
-	return &Scheduler{workers: workers}
+	s := &Scheduler{workers: workers}
+	if workers > 0 {
+		s.arena = &matArena{}
+	}
+	return s
 }
 
 // DefaultScheduler returns the scheduler package-level entry points use:
 // one worker per GOMAXPROCS.
 func DefaultScheduler() *Scheduler {
-	return &Scheduler{workers: runtime.GOMAXPROCS(0)}
+	return &Scheduler{workers: runtime.GOMAXPROCS(0), arena: &matArena{}}
 }
 
 // WithContext returns a copy of s whose fan-outs stop cooperatively when
@@ -151,15 +161,17 @@ func (s *Scheduler) DoContext(n int, task func(ctx context.Context, i int) error
 	}
 	parent := s.Context()
 	errs := make([]error, n)
-	run := func(i int) {
-		schedInFlight.Add(1)
+	// run executes job i on behalf of worker w; w doubles as the expvar
+	// shard so workers never contend on a counter cache line.
+	run := func(w, i int) {
+		schedInFlight.add(w, 1)
 		defer func() {
-			schedInFlight.Add(-1)
-			schedCompleted.Add(1)
+			schedInFlight.add(w, -1)
+			schedCompleted.add(w, 1)
 		}()
-		errs[i] = s.runJob(parent, n, i, task)
+		errs[i] = s.runJob(parent, w, n, i, task)
 		if errors.Is(errs[i], context.Canceled) {
-			schedCancelled.Add(1)
+			schedCancelled.add(w, 1)
 		}
 	}
 
@@ -172,32 +184,39 @@ func (s *Scheduler) DoContext(n int, task func(ctx context.Context, i int) error
 	}
 	if workers == 0 {
 		for i := 0; i < n; i++ {
-			run(i)
+			run(0, i)
 		}
 		return errs
 	}
 
+	// Work-stealing-free dispatch: an atomic cursor the workers claim
+	// indices from. The previous channel dispatch cost two goroutine
+	// rendezvous per job (send + receive on an unbuffered channel, each a
+	// scheduler round-trip); the cursor is one uncontended-in-the-common-
+	// case atomic add, so the pool's per-job overhead no longer dwarfs
+	// short jobs.
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var cursor atomic.Int64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				run(i)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(w, i)
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return errs
 }
 
-// runJob drives one job through the attempt/retry loop.
-func (s *Scheduler) runJob(parent context.Context, n, i int, task func(context.Context, int) error) error {
+// runJob drives one job through the attempt/retry loop. w is the worker's
+// expvar shard.
+func (s *Scheduler) runJob(parent context.Context, w, n, i int, task func(context.Context, int) error) error {
 	for attempt := 0; ; attempt++ {
 		// Skip-if-canceled: a canceled suite stops dispatching instantly,
 		// leaving the untouched jobs tagged rather than half-run.
@@ -208,7 +227,7 @@ func (s *Scheduler) runJob(parent context.Context, n, i int, task func(context.C
 		if err == nil || attempt >= s.policy.MaxRetries || !Retryable(err) {
 			return err
 		}
-		schedRetries.Add(1)
+		schedRetries.add(w, 1)
 		if !sleepBackoff(parent, s.policy.Backoff<<uint(attempt)) {
 			return err
 		}
@@ -274,7 +293,18 @@ func (s *Scheduler) RunAll(jobs []Job) []Result {
 	if s.journal != nil {
 		seq = s.journal.beginRun()
 	}
-	shared, matErrs := s.sharedSources(jobs)
+	shared, matErrs, owned := s.sharedSources(jobs)
+	if s.arena != nil {
+		// The internally materialized traces are dead once the results
+		// are computed — jobs keep their original Sources and Results
+		// hold only counts — so their record buffers go back to the
+		// arena for the next RunAll.
+		defer s.arena.recycle(owned)
+	}
+	if s.interleaving() {
+		s.runAllInterleaved(jobs, shared, matErrs, results)
+		return results
+	}
 	errs := s.DoContext(len(jobs), func(ctx context.Context, i int) error {
 		if s.journal != nil {
 			if res, ok := s.journal.cached(seq, i, shared[i]); ok {
@@ -389,6 +419,11 @@ func (s *Scheduler) runCell(ctx context.Context, job Job, src trace.Source, seq,
 	return res, nil
 }
 
+// sameArray reports whether two record slices share a backing array.
+func sameArray(a, b []trace.Record) bool {
+	return cap(a) > 0 && cap(b) > 0 && &a[:cap(a)][0] == &b[:cap(b)][0]
+}
+
 // safeSourceName names a source for an error-carrying Result without
 // trusting the source not to panic again.
 func safeSourceName(src trace.Source) (name string) {
@@ -407,7 +442,14 @@ func safeSourceName(src trace.Source) (name string) {
 // cannot be used as memo keys and are materialized individually. A source
 // whose materialization panics or fails gets a nil slot and a per-job
 // error for every job that shares it.
-func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
+//
+// The third return value lists the Memory traces this call created (as
+// opposed to *trace.Memory sources passed through): the ones whose
+// buffers the caller may recycle once the results no longer need them.
+// With an arena attached the materializations drain into recycled
+// buffers, so a scheduler running suite after suite stops allocating
+// trace storage at all.
+func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error, []*trace.Memory) {
 	out := make([]trace.Source, len(jobs))
 	jobErrs := make([]error, len(jobs))
 
@@ -444,12 +486,26 @@ func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
 		slots = append(slots, sl)
 	}
 
-	// Second pass: materialize the distinct sources through the pool.
+	// Second pass: materialize the distinct sources through the pool,
+	// draining into arena buffers when the scheduler has one.
 	mems := make([]*trace.Memory, len(slots))
 	matErrs := s.DoContext(len(slots), func(ctx context.Context, k int) error {
-		m, err := trace.MaterializeContext(ctx, slots[k].src)
+		var buf []trace.Record
+		if s.arena != nil {
+			buf = s.arena.get()
+		}
+		m, err := trace.MaterializeIntoContext(ctx, slots[k].src, buf)
 		if err != nil {
+			if s.arena != nil {
+				s.arena.put(buf)
+			}
 			return err
+		}
+		if s.arena != nil && !sameArray(m.Records(), buf) {
+			// The source outgrew the arena buffer (or there was none):
+			// the drain allocated its own array, so the unused buffer
+			// goes straight back.
+			s.arena.put(buf)
 		}
 		mems[k] = m
 		return nil
@@ -460,7 +516,7 @@ func (s *Scheduler) sharedSources(jobs []Job) ([]trace.Source, []error) {
 			jobErrs[i] = matErrs[k]
 		}
 	}
-	return out, jobErrs
+	return out, jobErrs, mems
 }
 
 // SweepGshare simulates every gshare history length 0..indexBits at a

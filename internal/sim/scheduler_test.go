@@ -180,15 +180,17 @@ func TestDoBoundsConcurrency(t *testing.T) {
 // fan-out, in-flight returns to its prior level and completed advances by
 // the task count.
 func TestSchedulerExpvars(t *testing.T) {
-	inflight := expvar.Get("sim_sched_jobs_inflight").(*expvar.Int)
-	completed := expvar.Get("sim_sched_jobs_completed").(*expvar.Int)
+	// The scheduler counters are sharded internally and published as an
+	// expvar.Func summing the shards.
+	inflight := func() int64 { return expvar.Get("sim_sched_jobs_inflight").(expvar.Func)().(int64) }
+	completed := func() int64 { return expvar.Get("sim_sched_jobs_completed").(expvar.Func)().(int64) }
 	for _, workers := range []int{0, 4} {
-		baseIn, baseDone := inflight.Value(), completed.Value()
+		baseIn, baseDone := inflight(), completed()
 		sim.NewScheduler(workers).Do(10, func(int) error { return nil })
-		if got := inflight.Value(); got != baseIn {
+		if got := inflight(); got != baseIn {
 			t.Errorf("workers=%d: in-flight %d after Do, want %d", workers, got, baseIn)
 		}
-		if got := completed.Value(); got != baseDone+10 {
+		if got := completed(); got != baseDone+10 {
 			t.Errorf("workers=%d: completed %d after Do, want %d", workers, got, baseDone+10)
 		}
 	}

@@ -136,6 +136,18 @@ func Materialize(src Source) *Memory {
 // generator. With a non-cancelable ctx the check compiles down to
 // nothing and the drain is identical to Materialize.
 func MaterializeContext(ctx context.Context, src Source) (*Memory, error) {
+	return MaterializeIntoContext(ctx, src, nil)
+}
+
+// MaterializeIntoContext is MaterializeContext draining into a caller-
+// provided buffer: buf's capacity is reused (its contents are discarded)
+// and grown only if the source outgrows it. This is the arena entry point
+// for callers that materialize traces repeatedly — the sim scheduler
+// recycles the record slices of traces it materialized internally — and
+// it is exactly MaterializeContext when buf is nil. The returned Memory
+// aliases buf's array when it sufficed; the caller must not reuse buf
+// while the Memory is live.
+func MaterializeIntoContext(ctx context.Context, src Source, buf []Record) (*Memory, error) {
 	if m, ok := src.(*Memory); ok {
 		return m, nil
 	}
@@ -146,7 +158,10 @@ func MaterializeContext(ctx context.Context, src Source) (*Memory, error) {
 		}
 	}
 	cancelable := ctx.Done() != nil
-	recs := make([]Record, 0, capacity)
+	recs := buf[:0]
+	if cap(recs) < capacity {
+		recs = make([]Record, 0, capacity)
+	}
 	st := src.Stream()
 	for {
 		if cancelable && len(recs)&(1<<16-1) == 0 {
