@@ -1,7 +1,9 @@
 package bimode
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"bimode/internal/analysis"
 	"bimode/internal/core"
@@ -90,6 +92,35 @@ func WorkloadNames() []string { return workloads.Names() }
 // Materialize drains a source into memory so repeated simulations replay
 // it cheaply.
 func Materialize(src Source) Source { return trace.Materialize(src) }
+
+// ColumnarTrace is a validated block-compressed trace file held as one
+// byte slice: a zero-copy Source whose block iterator feeds the
+// simulator a decoded slice of records at a time. See OpenColumnarTrace.
+type ColumnarTrace = trace.Columnar
+
+// WriteColumnarTrace serializes a materialized trace in the columnar
+// block format ("BMC1"): per-block delta-compressed PC, static-id and
+// outcome columns, each block and the header guarded by a CRC so any
+// single-byte corruption decodes to a typed error, never a wrong-answer
+// trace. The src must be an in-memory trace (the result of Materialize
+// or trace generation); streaming sources should be materialized first.
+func WriteColumnarTrace(w io.Writer, src Source) error {
+	m, err := trace.MaterializeContext(context.Background(), src)
+	if err != nil {
+		return err
+	}
+	return trace.WriteColumnar(w, m)
+}
+
+// OpenColumnarTrace validates data as a columnar trace file (structure
+// and every checksum, in one pass) and returns a zero-copy handle that
+// Run consumes block-at-a-time. The caller must not mutate data while
+// the handle is in use.
+func OpenColumnarTrace(data []byte) (*ColumnarTrace, error) { return trace.OpenColumnar(data) }
+
+// DecodeTrace sniffs the magic of an encoded trace file — row varint
+// "BMT1" or columnar "BMC1" — and materializes it.
+func DecodeTrace(data []byte) (Source, error) { return trace.Decode(data) }
 
 // Result summarizes one simulation run.
 type Result = sim.Result

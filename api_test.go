@@ -1,6 +1,7 @@
 package bimode_test
 
 import (
+	"bytes"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -138,5 +139,36 @@ func TestFacadeFaultTolerance(t *testing.T) {
 	}
 	if _, err := bimode.ResumeJournal(path, "other-plan"); err == nil {
 		t.Error("resume with a different key must fail")
+	}
+}
+
+func TestFacadeColumnarTrace(t *testing.T) {
+	src, err := bimode.Workload("gcc", bimode.WorkloadOptions{Dynamic: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := bimode.Materialize(src)
+	var buf bytes.Buffer
+	if err := bimode.WriteColumnarTrace(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	c, err := bimode.OpenColumnarTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bimode.Run(bimode.DefaultBiMode(10), mem)
+	got := bimode.Run(bimode.DefaultBiMode(10), c)
+	if got != want {
+		t.Fatalf("columnar run %+v != materialized run %+v", got, want)
+	}
+	dec, err := bimode.DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := bimode.Run(bimode.DefaultBiMode(10), dec); res != want {
+		t.Fatalf("decoded run %+v != materialized run %+v", res, want)
+	}
+	if _, err := bimode.OpenColumnarTrace([]byte("not a trace")); err == nil {
+		t.Fatal("OpenColumnarTrace accepted garbage")
 	}
 }

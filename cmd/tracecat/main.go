@@ -1,0 +1,201 @@
+// Command tracecat converts, imports, inspects and verifies on-disk
+// branch traces. It is the migration path between the legacy row varint
+// format ("BMT1") and the block-compressed columnar format ("BMC1"),
+// and the entry point for external (pc, taken) captures.
+//
+// Usage:
+//
+//	tracecat convert -o gcc.bmc gcc.trace          # row -> columnar
+//	tracecat convert -format varint -o x.trace x.bmc
+//	tracecat import -name capture -o cap.bmc capture.txt
+//	tracecat info gcc.bmc                          # sniff + stats
+//	tracecat verify gcc.trace gcc.bmc              # record-for-record proof
+//
+// Every subcommand sniffs input formats from the magic, so conversion is
+// idempotent and verify compares traces across formats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bimode/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a subcommand: convert, import, info, or verify")
+	}
+	switch args[0] {
+	case "convert":
+		return runConvert(args[1:], out)
+	case "import":
+		return runImport(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	case "verify":
+		return runVerify(args[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want convert, import, info, or verify)", args[0])
+}
+
+// writeAs encodes m to path in the requested format and reports the
+// resulting size.
+func writeAs(out io.Writer, path, format string, block int, m *trace.Memory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "varint":
+		err = trace.Write(f, m)
+	case "columnar":
+		err = trace.WriteColumnarBlocks(f, m, block)
+	default:
+		err = fmt.Errorf("unknown -format %q (want varint or columnar)", format)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	perBranch := 0.0
+	if m.Len() > 0 {
+		perBranch = float64(st.Size()) / float64(m.Len())
+	}
+	fmt.Fprintf(out, "wrote %s (%s): %d branches, %d bytes (%.2f bytes/branch)\n",
+		path, format, m.Len(), st.Size(), perBranch)
+	return nil
+}
+
+func runConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecat convert", flag.ContinueOnError)
+	var (
+		o      = fs.String("o", "", "output trace file")
+		format = fs.String("format", "columnar", "output format: varint or columnar")
+		block  = fs.Int("block", trace.DefaultColumnarBlock, "records per block for columnar output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *o == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracecat convert -o <out> [-format varint|columnar] <in>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := trace.Decode(data)
+	if err != nil {
+		return err
+	}
+	return writeAs(out, *o, *format, *block, m)
+}
+
+func runImport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecat import", flag.ContinueOnError)
+	var (
+		o      = fs.String("o", "", "output trace file")
+		name   = fs.String("name", "", "workload name for the imported trace (default: input filename)")
+		format = fs.String("format", "columnar", "output format: varint or columnar")
+		block  = fs.Int("block", trace.DefaultColumnarBlock, "records per block for columnar output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *o == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracecat import -o <out> [-name <name>] <capture.txt>")
+	}
+	in := fs.Arg(0)
+	if *name == "" {
+		*name = in
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	m, err := trace.ImportText(f, *name)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	return writeAs(out, *o, *format, *block, m)
+}
+
+func runInfo(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tracecat info <file>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if trace.IsColumnar(data) {
+		c, err := trace.OpenColumnar(data)
+		if err != nil {
+			return err
+		}
+		m := trace.Materialize(c)
+		stats := trace.Collect(m)
+		fmt.Fprintf(out, "%s: columnar, %d blocks of %d, %d static sites (%d declared), %d dynamic branches, %.1f%% taken\n",
+			stats.Name, c.NumBlocks(), c.BlockSize(), stats.StaticBranches, m.StaticCount(),
+			stats.DynamicBranches, 100*stats.TakenRate())
+		return nil
+	}
+	m, err := trace.Decode(data)
+	if err != nil {
+		return err
+	}
+	stats := trace.Collect(m)
+	fmt.Fprintf(out, "%s: varint, %d static sites (%d declared), %d dynamic branches, %.1f%% taken\n",
+		stats.Name, stats.StaticBranches, m.StaticCount(), stats.DynamicBranches, 100*stats.TakenRate())
+	return nil
+}
+
+func runVerify(args []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: tracecat verify <a> <b>")
+	}
+	mems := make([]*trace.Memory, 2)
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if mems[i], err = trace.Decode(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	a, b := mems[0], mems[1]
+	if a.Name() != b.Name() {
+		return fmt.Errorf("names differ: %q vs %q", a.Name(), b.Name())
+	}
+	if a.StaticCount() != b.StaticCount() {
+		return fmt.Errorf("static counts differ: %d vs %d", a.StaticCount(), b.StaticCount())
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records() {
+		if a.Records()[i] != b.Records()[i] {
+			return fmt.Errorf("record %d differs: %+v vs %+v", i, a.Records()[i], b.Records()[i])
+		}
+	}
+	fmt.Fprintf(out, "identical: %q, %d static sites, %d branches\n", a.Name(), a.StaticCount(), a.Len())
+	return nil
+}

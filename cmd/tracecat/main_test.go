@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bimode/internal/trace"
+)
+
+// fixture writes a small row-format trace to dir and returns its path.
+func fixture(t *testing.T, dir string) string {
+	t.Helper()
+	recs := make([]trace.Record, 300)
+	for i := range recs {
+		recs[i] = trace.Record{PC: uint64(0x2000 + 8*(i%11)), Static: uint32(i % 11), Taken: i%4 != 0}
+	}
+	m := trace.NewMemory("fixture", 11, recs)
+	path := filepath.Join(dir, "fixture.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertThenVerify(t *testing.T) {
+	dir := t.TempDir()
+	row := fixture(t, dir)
+	col := filepath.Join(dir, "fixture.bmc")
+	var out bytes.Buffer
+	if err := run([]string{"convert", "-o", col, row}, &out); err != nil {
+		t.Fatalf("convert to columnar: %v", err)
+	}
+	data, err := os.ReadFile(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.IsColumnar(data) {
+		t.Fatalf("convert did not produce a columnar file")
+	}
+	if err := run([]string{"verify", row, col}, &out); err != nil {
+		t.Fatalf("verify row vs columnar: %v", err)
+	}
+	// Round trip back to varint and verify against the original.
+	back := filepath.Join(dir, "back.trace")
+	if err := run([]string{"convert", "-format", "varint", "-o", back, col}, &out); err != nil {
+		t.Fatalf("convert back to varint: %v", err)
+	}
+	if err := run([]string{"verify", row, back}, &out); err != nil {
+		t.Fatalf("verify after round trip: %v", err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("verify output does not say identical: %q", out.String())
+	}
+}
+
+func TestVerifyDetectsDifferences(t *testing.T) {
+	dir := t.TempDir()
+	row := fixture(t, dir)
+	other := filepath.Join(dir, "other.trace")
+	m := trace.NewMemory("fixture", 11, []trace.Record{{PC: 1, Static: 0, Taken: true}})
+	f, err := os.Create(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"verify", row, other}, &out); err == nil {
+		t.Fatalf("verify accepted differing traces")
+	}
+}
+
+func TestImportTextCapture(t *testing.T) {
+	dir := t.TempDir()
+	capture := filepath.Join(dir, "capture.txt")
+	lines := "# capture\n0x1000 1\n0x1008,0\n0x1000 t\n"
+	if err := os.WriteFile(capture, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	col := filepath.Join(dir, "capture.bmc")
+	var out bytes.Buffer
+	if err := run([]string{"import", "-name", "cap", "-o", col, capture}, &out); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	data, err := os.ReadFile(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "cap" || m.Len() != 3 || m.StaticCount() != 2 {
+		t.Fatalf("imported trace shape (%q,%d,%d), want (cap,2,3)", m.Name(), m.StaticCount(), m.Len())
+	}
+	if err := run([]string{"info", col}, &out); err != nil {
+		t.Fatalf("info on imported columnar: %v", err)
+	}
+	if !strings.Contains(out.String(), "columnar") {
+		t.Fatalf("info did not report the columnar layout: %q", out.String())
+	}
+}
+
+func TestInfoBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	row := fixture(t, dir)
+	col := filepath.Join(dir, "fixture.bmc")
+	var out bytes.Buffer
+	if err := run([]string{"convert", "-o", col, row}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"info", row}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "varint") {
+		t.Fatalf("info on row file: %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"info", col}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "blocks of") {
+		t.Fatalf("info on columnar file lacks block layout: %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	row := fixture(t, dir)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"convert", row},
+		{"convert", "-o", filepath.Join(dir, "x.bmc"), "/nonexistent.trace"},
+		{"convert", "-format", "bogus", "-o", filepath.Join(dir, "x.bmc"), row},
+		{"import", "-o", filepath.Join(dir, "x.bmc"), "/nonexistent.txt"},
+		{"info"},
+		{"info", "/nonexistent.trace"},
+		{"verify", row},
+		{"verify", row, "/nonexistent.trace"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tracegen -w gcc -o gcc.trace
-//	tracegen -info gcc.trace
+//	tracegen -w gcc -format columnar -o gcc.bmc
+//	tracegen -info gcc.trace              # sniffs either binary format
 //	tracegen -w playout -n 1000000 -o playout.trace
 //	tracegen -w mine.json -o mine.trace   # user-defined profile
 package main
@@ -35,19 +36,20 @@ func run(args []string) error {
 		out     = fs.String("o", "", "output trace file")
 		dynamic = fs.Int("n", 0, "dynamic branches (0 = calibrated default)")
 		seed    = fs.Uint64("seed", 0, "workload seed override")
-		info    = fs.String("info", "", "print statistics of an existing trace file and exit")
+		format  = fs.String("format", "varint", "output format: varint (row) or columnar (block-compressed, checksummed)")
+		block   = fs.Int("block", trace.DefaultColumnarBlock, "records per block for -format columnar")
+		info    = fs.String("info", "", "print statistics of an existing trace file (either format) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *info != "" {
-		f, err := os.Open(*info)
+		data, err := os.ReadFile(*info)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		m, err := trace.Read(f)
+		m, err := trace.Decode(data)
 		if err != nil {
 			return err
 		}
@@ -89,11 +91,20 @@ func run(args []string) error {
 		}
 	}
 	m := trace.Materialize(src)
+	var encode func(f *os.File) error
+	switch *format {
+	case "varint":
+		encode = func(f *os.File) error { return trace.Write(f, m) }
+	case "columnar":
+		encode = func(f *os.File) error { return trace.WriteColumnarBlocks(f, m, *block) }
+	default:
+		return fmt.Errorf("unknown -format %q (want varint or columnar)", *format)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	if err := trace.Write(f, m); err != nil {
+	if err := encode(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bimode/internal/trace"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -63,5 +65,52 @@ func TestJSONProfileTrace(t *testing.T) {
 	}
 	if err := run([]string{"-w", prof, "-o", out}); err == nil {
 		t.Fatalf("invalid profile must fail")
+	}
+}
+
+func TestColumnarFormat(t *testing.T) {
+	dir := t.TempDir()
+	row := filepath.Join(dir, "w.trace")
+	col := filepath.Join(dir, "w.bmc")
+	if err := run([]string{"-w", "verilog", "-n", "10000", "-o", row}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", "verilog", "-n", "10000", "-format", "columnar", "-o", col}); err != nil {
+		t.Fatal(err)
+	}
+	// -info sniffs both formats and must agree on the statistics.
+	if err := run([]string{"-info", col}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := trace.Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := trace.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Len() != mb.Len() || ma.Name() != mb.Name() || ma.StaticCount() != mb.StaticCount() {
+		t.Fatalf("formats disagree: (%q,%d,%d) vs (%q,%d,%d)",
+			ma.Name(), ma.StaticCount(), ma.Len(), mb.Name(), mb.StaticCount(), mb.Len())
+	}
+	for i := range ma.Records() {
+		if ma.Records()[i] != mb.Records()[i] {
+			t.Fatalf("record %d differs between formats", i)
+		}
+	}
+	if err := run([]string{"-w", "verilog", "-n", "100", "-format", "bogus", "-o", col}); err == nil {
+		t.Fatalf("unknown format accepted")
+	}
+	if err := run([]string{"-w", "verilog", "-n", "100", "-format", "columnar", "-block", "0", "-o", col}); err == nil {
+		t.Fatalf("bad block size accepted")
 	}
 }

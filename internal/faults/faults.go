@@ -206,6 +206,65 @@ func (s *corruptSource) StaticCount() int {
 	return s.src.StaticCount()
 }
 
+// CorruptColumnar is Corrupt for the checksummed columnar format: it
+// round-trips src through trace.WriteColumnar with the byte at offset
+// pos (mod the encoded length, past the magic) flipped. Where row-format
+// corruption may silently yield altered records, the columnar format's
+// header and per-block CRCs make every flip detectable, so this injector
+// carries the stronger contract the chaos suite asserts: a corrupted
+// columnar source ALWAYS surfaces a typed decode error (the stream
+// panics, landing in the scheduler's per-job recovery as Result.Err) and
+// NEVER an altered trace. The outcome is deterministic in (src, pos).
+func CorruptColumnar(src trace.Source, pos int64) trace.Source {
+	return &corruptColumnarSource{wrap: wrap{src}, pos: pos}
+}
+
+type corruptColumnarSource struct {
+	wrap
+	pos    int64
+	decErr error
+}
+
+func (s *corruptColumnarSource) decode() {
+	if s.decErr != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteColumnar(&buf, trace.Materialize(s.src)); err != nil {
+		s.decErr = err
+		return
+	}
+	data := buf.Bytes()
+	// Skip the 4-byte magic, as Corrupt does: flipping it models
+	// not-a-trace-at-all, which the loader rejects before any checksum.
+	if len(data) > 4 {
+		i := 4 + int(s.pos%int64(len(data)-4))
+		data[i] ^= 0x40
+		faultsInjected.Add(1)
+	}
+	c, err := trace.OpenColumnar(data)
+	if err == nil {
+		// The index validated; the flip must still be caught at decode.
+		bs := c.BlockStream()
+		for err == nil {
+			var recs []trace.Record
+			recs, err = bs.NextBlock()
+			if recs == nil && err == nil {
+				// A flip that decodes cleanly end-to-end is exactly the
+				// wrong-answer outcome the format rules out; report it as
+				// its own loud failure rather than serving the records.
+				err = fmt.Errorf("faults: columnar corruption at byte %d went undetected", s.pos)
+			}
+		}
+	}
+	s.decErr = err
+}
+
+func (s *corruptColumnarSource) Stream() trace.Stream {
+	s.decode()
+	panic(fmt.Errorf("faults: corrupted columnar trace %q: %w", s.src.Name(), s.decErr))
+}
+
 // FlakyMake wraps a predictor constructor so its first failures calls
 // panic with a sim.Transient error, modeling a transient resource
 // failure at job start. Because the panic value is an error carrying the

@@ -1,6 +1,7 @@
 package faults_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -137,5 +138,54 @@ func TestFlakyMake(t *testing.T) {
 	}
 	if p := mk(); p == nil {
 		t.Fatalf("construction after the flakes returned nil")
+	}
+}
+
+// TestCorruptColumnarAlwaysDetected pins the injector's stronger
+// contract: for MANY corruption positions across the encoded file, the
+// stream panics with an error that unwraps to a located
+// *trace.ColumnarDecodeError — never yields records, altered or not.
+func TestCorruptColumnarAlwaysDetected(t *testing.T) {
+	mem := testTrace()
+	for pos := int64(0); pos < 200; pos += 7 {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("pos %d: corrupted columnar stream did not panic", pos)
+				}
+				err, ok := r.(error)
+				if !ok {
+					t.Fatalf("pos %d: panic value %v is not an error", pos, r)
+				}
+				var dec *trace.ColumnarDecodeError
+				if !errors.As(err, &dec) {
+					t.Fatalf("pos %d: %v does not unwrap to a *trace.ColumnarDecodeError", pos, err)
+				}
+			}()
+			faults.CorruptColumnar(mem, pos).Stream()
+		}()
+	}
+}
+
+// TestCorruptColumnarSurfacesAsResultErr proves the injector composes
+// with the runtime: a corrupted columnar cell fails with Result.Err
+// while its neighbors finish untouched.
+func TestCorruptColumnarSurfacesAsResultErr(t *testing.T) {
+	mem := testTrace()
+	mk := func() predictor.Predictor { return zoo.MustNew("smith:a=12") }
+	jobs := []sim.Job{
+		{Make: mk, Source: mem},
+		{Make: mk, Source: faults.CorruptColumnar(mem, 99)},
+		{Make: mk, Source: mem},
+	}
+	for _, workers := range []int{0, 4} {
+		res := sim.NewScheduler(workers).RunAll(jobs)
+		if res[1].Err == nil {
+			t.Errorf("workers=%d: corrupted columnar cell succeeded: %+v", workers, res[1])
+		}
+		if res[0].Err != nil || res[2].Err != nil || res[0] != res[2] {
+			t.Errorf("workers=%d: healthy neighbors disturbed: %+v / %+v", workers, res[0], res[2])
+		}
 	}
 }

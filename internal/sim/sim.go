@@ -60,6 +60,8 @@ func (r Result) String() string {
 //	    predictor.BatchRunner  -> one fully inlined whole-trace call
 //	    predictor.Stepper      -> one fused call per branch over the slice
 //	    otherwise              -> Predict+Update over the slice
+//	source implements trace.Blocked (a columnar trace):
+//	    the per-slice dispatch above, one decoded block at a time
 //	source streams only:
 //	    predictor.Stepper      -> one fused call per branch
 //	    otherwise              -> the generic loop (see RunGeneric)
@@ -77,6 +79,10 @@ func Run(p predictor.Predictor, src trace.Source) Result {
 		recs := b.Records()
 		res.Branches = len(recs)
 		res.Mispredicts = runRecords(p, recs)
+		return res
+	}
+	if bl, ok := src.(trace.Blocked); ok {
+		res.Mispredicts, res.Branches = runBlocks(p, bl.BlockStream())
 		return res
 	}
 	st := src.Stream()
@@ -98,6 +104,32 @@ func runRecords(p predictor.Predictor, recs []trace.Record) int {
 		return stepRecords(stepper, recs)
 	}
 	return predictUpdateRecords(p, recs)
+}
+
+// runBlocks drives a block-capable source (a columnar trace) through the
+// engine one decoded block at a time: each block is a ready-made record
+// slice, so every block takes whatever runRecords fast path the predictor
+// offers — RunBatch over the slice for BatchRunner predictors — without
+// the trace ever being materialized whole. The predictor state carries
+// across blocks, so the result is bit-identical to running the
+// concatenated records in one call (the same contiguity argument as the
+// scheduler's chunked runCell; TestColumnarDifferential pins it). A
+// decode error (possible only for crafted files; OpenColumnar verifies
+// all checksums up front) panics, surfacing through the scheduler's
+// per-job recovery as the cell's Result.Err.
+func runBlocks(p predictor.Predictor, bs trace.BlockStream) (int, int) {
+	miss, n := 0, 0
+	for {
+		recs, err := bs.NextBlock()
+		if err != nil {
+			panic(err)
+		}
+		if recs == nil {
+			return miss, n
+		}
+		miss += runRecords(p, recs)
+		n += len(recs)
+	}
 }
 
 // stepRecords is the fused per-record loop over a materialized trace: one

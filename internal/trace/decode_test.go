@@ -67,6 +67,71 @@ func TestDecodeErrorLocatesMidStreamTruncation(t *testing.T) {
 	}
 }
 
+// recordStarts returns the byte offset where each record of m's encoding
+// begins, derived from the encoding itself: the header is identical for
+// any record count below 128 and the delta chain of a prefix encodes
+// byte-identically, so the length of the i-record prefix encoding IS
+// record i's start offset.
+func recordStarts(t *testing.T, m *Memory) []int {
+	t.Helper()
+	starts := make([]int, m.Len())
+	for i := range starts {
+		var buf bytes.Buffer
+		if err := Write(&buf, NewMemory(m.Name(), m.StaticCount(), m.Records()[:i])); err != nil {
+			t.Fatalf("Write prefix %d: %v", i, err)
+		}
+		starts[i] = buf.Len()
+	}
+	return starts
+}
+
+// TestDecodeErrorOffsetAnchors pins the DecodeError.Offset contract: the
+// offset is the first byte of the damaged field, for corruption and
+// truncation alike. The decoder used to report consumed-byte counts,
+// which anchored truncation at the cut point but corruption one field
+// past the damage; this is the regression test for that fix.
+func TestDecodeErrorOffsetAnchors(t *testing.T) {
+	m, enc := encodedFixture(t)
+	starts := recordStarts(t, m)
+	last := m.Len() - 1
+
+	// Corrupt the last record's outcome word (static out of range): the
+	// damage is the word itself, which starts the record.
+	corrupt := append([]byte(nil), enc...)
+	corrupt[starts[last]] = byte(m.StaticCount()) << 1
+	_, err := Read(bytes.NewReader(corrupt))
+	var dec *DecodeError
+	if !errors.As(err, &dec) {
+		t.Fatalf("corrupt outcome word: %v is not a *DecodeError", err)
+	}
+	if dec.Record != int64(last) || dec.Offset != int64(starts[last]) {
+		t.Errorf("corrupt outcome word located at (record %d, byte %d), want (%d, %d)",
+			dec.Record, dec.Offset, last, starts[last])
+	}
+
+	// Cut mid-varint inside record 0's pc delta (the delta field starts
+	// one byte after the record, and zigzag(0x1000) encodes in two
+	// bytes): the error must anchor at the field start, not the cut.
+	deltaStart := starts[0] + 1
+	if _, err := Read(bytes.NewReader(enc[:deltaStart+1])); !errors.As(err, &dec) {
+		t.Fatalf("mid-varint cut: %v is not a *DecodeError", err)
+	}
+	if dec.Record != 0 || dec.Offset != int64(deltaStart) {
+		t.Errorf("mid-varint cut located at (record %d, byte %d), want (0, %d)",
+			dec.Record, dec.Offset, deltaStart)
+	}
+
+	// Cut exactly on a record boundary: the missing record's first field
+	// starts at the cut.
+	if _, err := Read(bytes.NewReader(enc[:starts[2]])); !errors.As(err, &dec) {
+		t.Fatalf("boundary cut: %v is not a *DecodeError", err)
+	}
+	if dec.Record != 2 || dec.Offset != int64(starts[2]) {
+		t.Errorf("boundary cut located at (record %d, byte %d), want (2, %d)",
+			dec.Record, dec.Offset, starts[2])
+	}
+}
+
 // TestDecodeErrorLocatesCorruptRecord: structural damage inside a record
 // (an out-of-range static site) reports the record index and offset and
 // remains an ErrBadFormat.

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// External-capture import and format sniffing: the entry points
+// cmd/tracecat and cmd/tracegen use to accept traces that did not
+// originate here — externally captured (pc, taken) text/CSV files and
+// on-disk traces in either binary format.
+
+// Decode sniffs the magic of an encoded trace and materializes it: row
+// varint files ("BMT1") through Read, columnar files ("BMC1") through
+// OpenColumnar. Tools that only ever iterate batches should prefer
+// OpenColumnar directly and keep the zero-copy handle.
+func Decode(data []byte) (*Memory, error) {
+	if len(data) >= len(columnarMagic) && string(data[:len(columnarMagic)]) == columnarMagic {
+		c, err := OpenColumnar(data)
+		if err != nil {
+			return nil, err
+		}
+		return MaterializeContext(context.Background(), c)
+	}
+	return Read(bytes.NewReader(data))
+}
+
+// IsColumnar reports whether data starts with the columnar magic.
+func IsColumnar(data []byte) bool {
+	return len(data) >= len(columnarMagic) && string(data[:len(columnarMagic)]) == columnarMagic
+}
+
+// ImportText parses a simple external branch capture into a trace: one
+// dynamic branch per line as "pc taken" or "pc,taken" (CSV), where pc is
+// hexadecimal (with or without 0x) or decimal and taken is 1/0, t/n,
+// T/N, taken/not. Blank lines and lines starting with '#' are skipped.
+// Static site ids are assigned densely in first-appearance order of the
+// PC, which is exactly the identifier contract workload generators
+// follow, so imported traces flow through the simulator, the scheduler
+// and the columnar writer like any synthetic workload.
+func ImportText(r io.Reader, name string) (*Memory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []Record
+	sites := map[uint64]uint32{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var fields []string
+		if strings.Contains(line, ",") {
+			fields = strings.Split(line, ",")
+		} else {
+			fields = strings.Fields(line)
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: import line %d: need \"pc taken\", got %q", lineNo, line)
+		}
+		pc, err := parsePC(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: import line %d: %v", lineNo, err)
+		}
+		taken, err := parseTaken(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: import line %d: %v", lineNo, err)
+		}
+		st, ok := sites[pc]
+		if !ok {
+			st = uint32(len(sites))
+			sites[pc] = st
+		}
+		recs = append(recs, Record{PC: pc, Static: st, Taken: taken})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: import: %w", err)
+	}
+	statics := len(sites)
+	if statics == 0 {
+		statics = 1 // a well-formed empty trace still declares a site space
+	}
+	return NewMemory(name, statics, recs), nil
+}
+
+// parsePC accepts 0x-prefixed hex, bare hex containing hex letters, and
+// decimal branch addresses.
+func parsePC(s string) (uint64, error) {
+	lower := strings.ToLower(s)
+	if v, ok := strings.CutPrefix(lower, "0x"); ok {
+		pc, err := strconv.ParseUint(v, 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad pc %q: %v", s, err)
+		}
+		return pc, nil
+	}
+	if pc, err := strconv.ParseUint(lower, 10, 64); err == nil {
+		return pc, nil
+	}
+	pc, err := strconv.ParseUint(lower, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad pc %q: %v", s, err)
+	}
+	return pc, nil
+}
+
+// parseTaken accepts the direction spellings real capture tools emit.
+func parseTaken(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "1", "t", "taken", "true", "y":
+		return true, nil
+	case "0", "n", "not", "not-taken", "false", "nt":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad taken flag %q (want 1/0, t/n, taken/not)", s)
+}

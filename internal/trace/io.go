@@ -74,8 +74,14 @@ type DecodeError struct {
 	// Record is the zero-based index of the record being decoded, or
 	// headerRecord (-1) if decoding failed in the file header.
 	Record int64
-	// Offset is the number of encoded bytes consumed when decoding
-	// stopped — the position of the damage, for corrupt files.
+	// Offset is the byte offset of the first byte of the field whose
+	// decode or validation failed — the position of the damage. The
+	// anchor is the field START consistently: a file cut mid-varint and
+	// an out-of-range value both point at the beginning of the damaged
+	// field, never at however many bytes the varint reader happened to
+	// consume past it. (TestDecodeErrorOffsetAnchors pins this; the
+	// decoder once reported consumed-byte counts, which placed
+	// truncation at the cut but corruption one field too late.)
 	Offset int64
 	// Err is the underlying cause.
 	Err error
@@ -122,8 +128,13 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // structural damage, an I/O error for truncation).
 func Read(r io.Reader) (*Memory, error) {
 	cr := &countingReader{br: bufio.NewReader(r)}
+	// field tracks the start offset of the field currently being decoded;
+	// every error anchors there, so truncation mid-varint and a
+	// bad value inside a fully-read field report the same position — the
+	// field's first byte — rather than whatever the reader consumed.
+	field := int64(0)
 	headerErr := func(err error) error {
-		return &DecodeError{Record: headerRecord, Offset: cr.off, Err: err}
+		return &DecodeError{Record: headerRecord, Offset: field, Err: err}
 	}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(cr, head); err != nil {
@@ -132,14 +143,17 @@ func Read(r io.Reader) (*Memory, error) {
 	if string(head) != magic {
 		return nil, headerErr(fmt.Errorf("%w: bad magic %q", ErrBadFormat, head))
 	}
+	field = cr.off
 	statics, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return nil, headerErr(fmt.Errorf("reading static count: %w", err))
 	}
+	field = cr.off
 	count, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return nil, headerErr(fmt.Errorf("reading record count: %w", err))
 	}
+	field = cr.off
 	nameLen, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return nil, headerErr(fmt.Errorf("reading name length: %w", err))
@@ -147,6 +161,7 @@ func Read(r io.Reader) (*Memory, error) {
 	if nameLen > 1<<16 {
 		return nil, headerErr(fmt.Errorf("%w: unreasonable name length %d", ErrBadFormat, nameLen))
 	}
+	field = cr.off
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(cr, nameBuf); err != nil {
 		return nil, headerErr(fmt.Errorf("reading name: %w", err))
@@ -161,16 +176,20 @@ func Read(r io.Reader) (*Memory, error) {
 	prevPC := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		recordErr := func(err error) error {
-			return &DecodeError{Record: int64(i), Offset: cr.off, Err: err}
+			return &DecodeError{Record: int64(i), Offset: field, Err: err}
 		}
+		field = cr.off
 		v, err := binary.ReadUvarint(cr)
 		if err != nil {
 			return nil, recordErr(fmt.Errorf("reading outcome word: %w", err))
 		}
 		static := v >> 1
 		if static >= statics {
+			// The damage is the outcome word itself, so the error stays
+			// anchored at its first byte (field is not advanced).
 			return nil, recordErr(fmt.Errorf("%w: site %d >= static count %d", ErrBadFormat, static, statics))
 		}
+		field = cr.off
 		delta, err := binary.ReadUvarint(cr)
 		if err != nil {
 			return nil, recordErr(fmt.Errorf("reading pc delta: %w", err))

@@ -122,8 +122,8 @@ func (m *Memory) Records() []Record { return m.recs }
 func Materialize(src Source) *Memory {
 	m, err := MaterializeContext(context.Background(), src)
 	if err != nil {
-		// Unreachable: the background context never cancels and
-		// MaterializeContext has no other failure mode.
+		// The background context never cancels, so this fires only for a
+		// damaged Blocked source — the same panic its Stream would raise.
 		panic(err)
 	}
 	return m
@@ -161,6 +161,30 @@ func MaterializeIntoContext(ctx context.Context, src Source, buf []Record) (*Mem
 	recs := buf[:0]
 	if cap(recs) < capacity {
 		recs = make([]Record, 0, capacity)
+	}
+	// Block-capable sources drain block-at-a-time: one bulk append per
+	// block instead of a Next interface call per record, with the
+	// cooperative cancellation check at block granularity. This is the
+	// path that makes columnar files cheap to materialize into the
+	// scheduler's arena buffers.
+	if bl, ok := src.(Blocked); ok {
+		bs := bl.BlockStream()
+		for {
+			if cancelable {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			batch, err := bs.NextBlock()
+			if err != nil {
+				return nil, err
+			}
+			if batch == nil {
+				break
+			}
+			recs = append(recs, batch...)
+		}
+		return NewMemory(src.Name(), src.StaticCount(), recs), nil
 	}
 	st := src.Stream()
 	for {
