@@ -1,20 +1,32 @@
 // Command bimodelint runs the repository's custom static-analysis suite
 // (internal/lint) over module packages: the hotpath purity contract, the
-// predictor capability ladder, registry hygiene, and the saturating-
-// counter encapsulation. It is stdlib-only, so it runs anywhere the go
+// predictor and trace capability ladders, registry hygiene, the
+// saturating-counter encapsulation, the compiler-evidence allocation/BCE
+// proofs, the determinism call-graph check, and the context-flow
+// cancellation contract. It is stdlib-only, so it runs anywhere the go
 // toolchain does:
 //
 //	go run ./cmd/bimodelint ./...
 //	go run ./cmd/bimodelint -only hotpath,counterarith ./internal/core
+//	go run ./cmd/bimodelint -json ./... > findings.json
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+// The hotpath ledger (lint/hotpath_ledger.json) is maintained through the
+// same command:
+//
+//	go run ./cmd/bimodelint -ledger lint/hotpath_ledger.json               # check for drift
+//	go run ./cmd/bimodelint -ledger lint/hotpath_ledger.json -write-ledger # regenerate
+//
+// Exit status: 0 clean, 1 diagnostics or ledger drift reported, 2 load or
+// usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bimode/internal/lint"
@@ -24,13 +36,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable diagnostic shape emitted by -json:
+// one object per finding, in the same order as the text output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("bimodelint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	ledgerPath := fs.String("ledger", "", "hotpath ledger file to check for drift (skips the analyzers)")
+	writeLedger := fs.Bool("write-ledger", false, "with -ledger: regenerate the ledger file instead of checking it")
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: bimodelint [-only names] [-list] [packages]")
+		fmt.Fprintln(errOut, "usage: bimodelint [-only names] [-list] [-json] [-ledger file [-write-ledger]] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +68,10 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *writeLedger && *ledgerPath == "" {
+		fmt.Fprintln(errOut, "bimodelint: -write-ledger requires -ledger <file>")
+		return 2
 	}
 	if *only != "" {
 		byName := map[string]*lint.Analyzer{}
@@ -66,6 +95,11 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "bimodelint: %v\n", err)
 		return 2
 	}
+
+	if *ledgerPath != "" {
+		return runLedger(prog, *ledgerPath, *writeLedger, out, errOut)
+	}
+
 	paths, err := prog.Expand(fs.Args())
 	if err != nil {
 		fmt.Fprintf(errOut, "bimodelint: %v\n", err)
@@ -82,12 +116,76 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	diags := lint.Run(prog, pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(out, "bimodelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(out, "bimodelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
+	return 0
+}
+
+// runLedger regenerates or drift-checks the committed hotpath ledger.
+func runLedger(prog *lint.Program, path string, write bool, out, errOut io.Writer) int {
+	live, err := lint.BuildLedger(prog)
+	if err != nil {
+		fmt.Fprintf(errOut, "bimodelint: building ledger: %v\n", err)
+		return 2
+	}
+	if write {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+				return 2
+			}
+		}
+		if err := os.WriteFile(path, live.Encode(), 0o644); err != nil {
+			fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "bimodelint: wrote %s (%d strict hotpath functions)\n", path, len(live.Functions))
+		return 0
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errOut, "bimodelint: reading ledger: %v (regenerate with -write-ledger)\n", err)
+		return 2
+	}
+	committed, err := lint.DecodeLedger(data)
+	if err != nil {
+		fmt.Fprintf(errOut, "bimodelint: %v\n", err)
+		return 2
+	}
+	drift := lint.DiffLedgers(committed, live)
+	for _, line := range drift {
+		fmt.Fprintln(out, line)
+	}
+	if len(drift) > 0 {
+		fmt.Fprintf(out, "bimodelint: hotpath ledger drift: %d line(s); regenerate with -ledger %s -write-ledger and review the diff\n", len(drift), path)
+		return 1
+	}
+	fmt.Fprintf(out, "bimodelint: hotpath ledger clean (%d strict hotpath functions)\n", len(committed.Functions))
 	return 0
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +14,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"hotpath", "capladder", "registry", "counterarith"} {
+	for _, name := range []string{"hotpath", "capladder", "registry", "counterarith", "allocproof", "detlint", "ctxflow"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -48,5 +51,112 @@ func TestCleanPackages(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput pins the -json contract consumers script against: the
+// output is always a JSON array of {file,line,col,analyzer,message}
+// objects — an empty array (not null, not silence) when clean.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool and the source importer; skipped in -short")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-only", "hotpath,counterarith", "./internal/counter"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run(-json) = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out.String())
+	}
+	if findings == nil {
+		t.Errorf("-json emitted null for a clean run; want an empty array:\n%s", out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected no findings, got %d:\n%s", len(findings), out.String())
+	}
+}
+
+// TestWriteLedgerRequiresPath pins the usage exit code: -write-ledger
+// without -ledger is an error before any loading happens.
+func TestWriteLedgerRequiresPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-write-ledger"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-write-ledger) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "requires -ledger") {
+		t.Errorf("stderr missing usage explanation: %s", errOut.String())
+	}
+}
+
+// TestLedgerMissingFile: checking against a ledger that was never
+// committed is a load error (exit 2), not silent drift.
+func TestLedgerMissingFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the diagnostic build; skipped in -short")
+	}
+	var out, errOut bytes.Buffer
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if code := run([]string{"-ledger", missing}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-ledger missing) = %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "regenerate with -write-ledger") {
+		t.Errorf("stderr missing the recovery hint: %s", errOut.String())
+	}
+}
+
+// TestLedgerRoundTripCLI exercises the full maintenance cycle through the
+// driver: -write-ledger produces a file whose immediate drift check is
+// clean (exit 0), and a ledger from a different compiler series fails the
+// check (exit 1) with the regenerate hint.
+func TestLedgerRoundTripCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the diagnostic build; skipped in -short")
+	}
+	ledger := filepath.Join(t.TempDir(), "ledger.json")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-ledger", ledger, "-write-ledger"}, &out, &errOut); code != 0 {
+		t.Fatalf("write: run = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("write output missing confirmation: %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-ledger", ledger}, &out, &errOut); code != 0 {
+		t.Fatalf("check: run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ledger clean") {
+		t.Errorf("check output missing clean confirmation: %s", out.String())
+	}
+
+	// Forge a cross-series ledger: the check must drift, not pass.
+	data, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(string(data), `"go": "go1.`, `"go": "go0.`, 1)
+	if forged == string(data) {
+		t.Fatalf("could not forge compiler series in ledger:\n%s", data)
+	}
+	if err := os.WriteFile(ledger, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-ledger", ledger}, &out, &errOut); code != 1 {
+		t.Fatalf("forged check: run = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "compiler series changed") {
+		t.Errorf("forged check output missing series explanation: %s", out.String())
 	}
 }

@@ -190,19 +190,29 @@ func bankFor(choiceTaken bool) int {
 }
 
 // choiceBitAt returns the steering bit (1 = taken bank) of the choice
-// counter at plane index ci.
+// counter at plane index ci. Re-masking ci with len-1 (equal to chMask by
+// construction, so a no-op for in-range callers) under the non-empty
+// guard lets the prove pass drop the bounds check.
 //
 //bimode:hotpath
 func (b *BiMode) choiceBitAt(ci int) uint8 {
-	return b.choicePlane[ci] >> (fusedChoiceShift + 1)
+	choice := b.choicePlane
+	if len(choice) == 0 {
+		return 0 // unreachable: planes are non-empty by construction
+	}
+	return choice[uint(ci)&uint(len(choice)-1)] >> (fusedChoiceShift + 1)
 }
 
 // dirStateAt returns the given bank's counter at plane index di as a
-// counter.State.
+// counter.State. Bounds-check-free via the same re-mask as choiceBitAt.
 //
 //bimode:hotpath
 func (b *BiMode) dirStateAt(bank, di int) counter.State {
-	return eightStates[b.dirPlane[di]>>(uint(bank)*fusedBankTShift)&3]
+	dir := b.dirPlane
+	if len(dir) == 0 {
+		return eightStates[0] // unreachable: planes are non-empty by construction
+	}
+	return eightStates[dir[uint(di)&uint(len(dir)-1)]>>(uint(bank)*fusedBankTShift)&3]
 }
 
 // Predict implements predictor.Predictor.
@@ -219,10 +229,17 @@ func (b *BiMode) Predict(pc uint64) bool {
 //
 //bimode:hotpath
 func (b *BiMode) stepAt(ci, di int, tk uint8) uint8 {
-	key := tk<<fusedOutcomeShift | b.choicePlane[ci] | b.dirPlane[di]
+	choice := b.choicePlane
+	dir := b.dirPlane
+	if len(choice) == 0 || len(dir) == 0 {
+		return 0 // unreachable: planes are non-empty by construction
+	}
+	c := uint(ci) & uint(len(choice)-1)
+	d := uint(di) & uint(len(dir)-1)
+	key := tk<<fusedOutcomeShift | choice[c] | dir[d]
 	v := b.lut[key]
-	b.dirPlane[di] = v & fusedPairMask
-	b.choicePlane[ci] = v & fusedChoiceMask
+	dir[d] = v & fusedPairMask
+	choice[c] = v & fusedChoiceMask
 	return v >> fusedMissShift
 }
 
@@ -276,10 +293,12 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 	// of each other's count update. The table state itself is serially
 	// dependent by definition (record i+1 may hit the byte record i just
 	// wrote), which the in-order store->load forwarding handles.
+	// The pair loop advances by reslicing (recs = recs[2:]) rather than by
+	// a two-stride index: the len(recs) >= 2 guard then proves recs[0] and
+	// recs[1] in range, so the record loads carry no bounds checks either.
 	miss0, miss1 := 0, 0
-	i := 0
-	for ; i+1 < len(recs); i += 2 {
-		r0 := &recs[i]
+	for len(recs) >= 2 {
+		r0 := &recs[0]
 		addr := r0.PC >> 2
 		tk := counter.OutcomeBit(r0.Taken)
 		ci := addr & chMask
@@ -290,7 +309,7 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 		miss0 += int(v >> fusedMissShift)
 		h = (h<<1 | uint64(tk)) & hMask
 
-		r1 := &recs[i+1]
+		r1 := &recs[1]
 		addr = r1.PC >> 2
 		tk = counter.OutcomeBit(r1.Taken)
 		ci = addr & chMask
@@ -300,9 +319,11 @@ func (b *BiMode) RunBatch(recs []trace.Record) int {
 		choice[ci] = v & fusedChoiceMask
 		miss1 += int(v >> fusedMissShift)
 		h = (h<<1 | uint64(tk)) & hMask
+
+		recs = recs[2:]
 	}
-	for ; i < len(recs); i++ {
-		r := &recs[i]
+	for j := range recs {
+		r := &recs[j]
 		addr := r.PC >> 2
 		tk := counter.OutcomeBit(r.Taken)
 		ci := addr & chMask

@@ -26,15 +26,13 @@ type Lane struct {
 // laneState is the per-lane register set of the interleaved loop: the
 // same locals RunBatch keeps for its single chain, one copy per lane.
 type laneState struct {
-	choice  []uint8
-	dir     []uint8
-	lut     *[256]uint8
-	recs    []trace.Record
-	h       uint64
-	hMask   uint64
-	chMask  uint64
-	dirMask uint64
-	miss    int
+	choice []uint8
+	dir    []uint8
+	lut    *[256]uint8
+	recs   []trace.Record
+	h      uint64
+	hMask  uint64
+	miss   int
 }
 
 // RunBatchInterleaved runs every lane to completion and returns the
@@ -45,8 +43,8 @@ type laneState struct {
 //
 //bimode:hotpath
 func RunBatchInterleaved(lanes []Lane) []int {
-	misses := make([]int, len(lanes))       //bimode:allow hotpath -- per-call result slice, not per-record
-	states := make([]laneState, len(lanes)) //bimode:allow hotpath -- per-call lane registers, not per-record
+	misses := make([]int, len(lanes))       //bimode:allow hotpath allocproof -- per-call result slice, not per-record
+	states := make([]laneState, len(lanes)) //bimode:allow hotpath allocproof -- per-call lane registers, not per-record
 	minLen := -1
 	for i := range lanes {
 		p := lanes[i].P
@@ -59,8 +57,6 @@ func RunBatchInterleaved(lanes []Lane) []int {
 		if nb := p.ghr.Bits(); nb > 0 {
 			s.hMask = 1<<uint(nb) - 1
 		}
-		s.chMask = uint64(len(p.choicePlane) - 1)
-		s.dirMask = uint64(len(p.dirPlane) - 1)
 		if minLen < 0 || len(s.recs) < minLen {
 			minLen = len(s.recs)
 		}
@@ -71,18 +67,26 @@ func RunBatchInterleaved(lanes []Lane) []int {
 
 	// Lockstep phase: one record per lane per round. The inner loop body
 	// is RunBatch's per-record body with the lane's registers behind a
-	// single pointer.
+	// single pointer. The guard re-establishes, per lane, the facts the
+	// prove pass needs (j in range, planes non-empty, masks == len-1) so
+	// the five indexing operations carry no bounds checks; it never fires
+	// because j < minLen <= len(recs) and the planes are non-empty by
+	// construction.
 	for j := 0; j < minLen; j++ {
 		for l := range states {
 			s := &states[l]
-			r := &s.recs[j]
+			recs, choice, dir := s.recs, s.choice, s.dir
+			if uint(j) >= uint(len(recs)) || len(choice) == 0 || len(dir) == 0 {
+				continue // unreachable, see above
+			}
+			r := &recs[uint(j)]
 			addr := r.PC >> 2
 			tk := counter.OutcomeBit(r.Taken)
-			ci := addr & s.chMask
-			di := (addr ^ s.h) & s.dirMask
-			v := s.lut[tk<<fusedOutcomeShift|s.choice[ci]|s.dir[di]]
-			s.dir[di] = v & fusedPairMask
-			s.choice[ci] = v & fusedChoiceMask
+			ci := addr & uint64(len(choice)-1)
+			di := (addr ^ s.h) & uint64(len(dir)-1)
+			v := s.lut[tk<<fusedOutcomeShift|choice[ci]|dir[di]]
+			dir[di] = v & fusedPairMask
+			choice[ci] = v & fusedChoiceMask
 			s.miss += int(v >> fusedMissShift)
 			s.h = (s.h<<1 | uint64(tk)) & s.hMask
 		}
@@ -94,7 +98,13 @@ func RunBatchInterleaved(lanes []Lane) []int {
 	for i := range lanes {
 		s := &states[i]
 		lanes[i].P.ghr.Set(s.h)
-		misses[i] = s.miss + lanes[i].P.RunBatch(s.recs[minLen:])
+		tail := s.recs
+		if uint(minLen) <= uint(len(tail)) {
+			tail = tail[uint(minLen):]
+		} else {
+			tail = nil // unreachable: minLen is the minimum lane length
+		}
+		misses[i] = s.miss + lanes[i].P.RunBatch(tail)
 	}
 	return misses
 }

@@ -114,14 +114,25 @@ func (t *TriMode) classify(v counter.State) int {
 //
 //bimode:hotpath
 func (t *TriMode) choiceStateAt(ci int) counter.State {
-	return eightStates[t.choicePlane[ci]&7]
+	choice := t.choicePlane
+	if len(choice) == 0 {
+		return eightStates[0] // unreachable: planes are non-empty by construction
+	}
+	return eightStates[choice[uint(ci)&uint(len(choice)-1)]&7]
 }
 
 // dirStateAt returns the given bank's counter at plane index di.
+// Re-masking di with len-1 (equal to dirMask by construction, so a no-op
+// for in-range callers) under the non-empty guard lets the prove pass
+// drop the bounds check.
 //
 //bimode:hotpath
 func (t *TriMode) dirStateAt(bank, di int) counter.State {
-	return eightStates[t.dirPlane[di]>>(uint(bank)*2)&3]
+	dir := t.dirPlane
+	if len(dir) == 0 {
+		return eightStates[0] // unreachable: planes are non-empty by construction
+	}
+	return eightStates[dir[uint(di)&uint(len(dir)-1)]>>(uint(bank)*2)&3]
 }
 
 // Predict implements predictor.Predictor.
@@ -136,12 +147,19 @@ func (t *TriMode) Predict(pc uint64) bool {
 //
 //bimode:hotpath
 func (t *TriMode) stepAt(ci, di int, tk uint8) uint8 {
+	choice := t.choicePlane
+	dir := t.dirPlane
+	if len(choice) == 0 || len(dir) == 0 {
+		return 0 // unreachable: planes are non-empty by construction
+	}
+	c := uint(ci) & uint(len(choice)-1)
+	d := uint(di) & uint(len(dir)-1)
 	key := (uint16(tk)<<triOutcomeBit |
-		uint16(t.choicePlane[ci])<<triChoiceShift |
-		uint16(t.dirPlane[di])) & triKeyMask
+		uint16(choice[c])<<triChoiceShift |
+		uint16(dir[d])) & triKeyMask
 	v := triLUT[key]
-	t.dirPlane[di] = uint8(v) & triPairMask
-	t.choicePlane[ci] = uint8(v>>triValueShift) & triChoiceMask
+	dir[d] = uint8(v) & triPairMask
+	choice[c] = uint8(v>>triValueShift) & triChoiceMask
 	return uint8(v >> triMissShift)
 }
 

@@ -55,15 +55,39 @@ func (t *Table) Bits() int { return t.bits }
 // CostBits returns the hardware storage cost of the table in bits.
 func (t *Table) CostBits() int { return len(t.entries) * t.bits }
 
+// tableBoundsErr is what the table accessors panic with on an
+// out-of-range index. It is a zero-size pre-constructed error so the
+// guard branch cannot allocate: the explicit guard is what lets the
+// compiler's prove pass drop the implicit bounds check from the hotpath
+// accessors (see lint/hotpath_ledger.json), and a plain panic("...")
+// would reintroduce a heap allocation for the interface conversion.
+type tableBoundsErr struct{}
+
+func (tableBoundsErr) Error() string { return "counter: table index out of range" }
+
+var errTableBounds error = tableBoundsErr{}
+
 // Taken reports the prediction of counter i.
 //
 //bimode:hotpath
-func (t *Table) Taken(i int) bool { return t.entries[i] > t.mid }
+func (t *Table) Taken(i int) bool {
+	entries := t.entries
+	if uint(i) >= uint(len(entries)) {
+		panic(errTableBounds)
+	}
+	return entries[uint(i)] > t.mid
+}
 
 // Value returns the raw state of counter i.
 //
 //bimode:hotpath
-func (t *Table) Value(i int) State { return t.entries[i] }
+func (t *Table) Value(i int) State {
+	entries := t.entries
+	if uint(i) >= uint(len(entries)) {
+		panic(errTableBounds)
+	}
+	return entries[uint(i)]
+}
 
 // Set forces counter i to the given state (clamped to the counter range).
 func (t *Table) Set(i int, v State) {
@@ -77,13 +101,17 @@ func (t *Table) Set(i int, v State) {
 //
 //bimode:hotpath
 func (t *Table) Update(i int, taken bool) {
-	v := t.entries[i]
+	entries := t.entries
+	if uint(i) >= uint(len(entries)) {
+		panic(errTableBounds)
+	}
+	v := entries[uint(i)]
 	if taken {
 		if v < t.max {
-			t.entries[i] = v + 1
+			entries[uint(i)] = v + 1
 		}
 	} else if v > 0 {
-		t.entries[i] = v - 1
+		entries[uint(i)] = v - 1
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 
 // CurvesCSV serializes size-curve panels as CSV with one row per
 // (workload, scheme, size) point, suitable for replotting.
+//
+//bimode:deterministic
 func CurvesCSV(cs []SizeCurves) string {
 	var b strings.Builder
 	b.WriteString("workload,scheme,cost_bytes,mispredict_rate\n")

@@ -8,6 +8,8 @@ import (
 // BreakdownCSV serializes per-counter bias breakdowns (Figures 5-6) with
 // one row per counter in the sorted-by-WB figure order, suitable for
 // replotting the paper's stacked-area panels.
+//
+//bimode:deterministic
 func BreakdownCSV(bs ...BiasBreakdown) string {
 	var b strings.Builder
 	b.WriteString("scheme,workload,counter_rank,dominant,non_dominant,wb\n")
@@ -21,6 +23,8 @@ func BreakdownCSV(bs ...BiasBreakdown) string {
 }
 
 // ClassBreakdownCSV serializes the Figures 7-8 bars.
+//
+//bimode:deterministic
 func ClassBreakdownCSV(workload string, pts []ClassBreakdownPoint) string {
 	var b strings.Builder
 	b.WriteString("workload,counters,scheme,snt,st,wb,total\n")

@@ -53,6 +53,8 @@ func ProgramsCrossCheck(cfg Config) ([]sim.Result, error) {
 }
 
 // RenderProgramsCrossCheck formats the cross-check.
+//
+//bimode:deterministic
 func RenderProgramsCrossCheck(results []sim.Result) string {
 	var b strings.Builder
 	b.WriteString("Instrumented real programs (non-parametric cross-check), mispredict %:\n\n")
@@ -124,6 +126,8 @@ func ContextSwitch(a, b string, quantum int, cfg Config) ([]ContextSwitchResult,
 }
 
 // RenderContextSwitch formats the study.
+//
+//bimode:deterministic
 func RenderContextSwitch(a, b string, quantum int, rows []ContextSwitchResult) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Context-switch study: %s and %s interleaved every %d branches\n", a, b, quantum)

@@ -164,6 +164,8 @@ func bestAvgRate(best sim.BestGshare) float64 {
 }
 
 // RenderSizeCurves formats one panel as a table plus an ASCII chart.
+//
+//bimode:deterministic
 func RenderSizeCurves(c SizeCurves) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: misprediction rate (%%) vs predictor size\n\n", c.Workload)
@@ -228,6 +230,8 @@ func fmtRate(y float64) string {
 // RenderFootnotes renders the failed-cell annotations of a sweep as a
 // footnote block for the figure artifacts, or "" when the sweep was
 // clean. Each failure is one bullet, in sweep order.
+//
+//bimode:deterministic
 func RenderFootnotes(failures []string) string {
 	if len(failures) == 0 {
 		return ""

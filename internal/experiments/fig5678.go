@@ -79,6 +79,8 @@ func Figure6(workload string, cfg Config) (BiasBreakdown, error) {
 
 // RenderBreakdown formats a bias breakdown as area shares plus a compact
 // per-decile profile of the sorted counters.
+//
+//bimode:deterministic
 func RenderBreakdown(b BiasBreakdown) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s on %s — bias breakdown over %d counters\n",
@@ -140,6 +142,8 @@ func pcIndex(src trace.Source) func(uint32) uint64 {
 }
 
 // RenderTable3 formats the counter example like the paper's Table 3.
+//
+//bimode:deterministic
 func RenderTable3(ex analysis.CounterExample) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3: normalized counts at counter %d (most destructive aliasing)\n\n", ex.Counter)
@@ -195,6 +199,8 @@ func Table4(workload string, cfg Config) (Table4Result, error) {
 }
 
 // RenderTable4 formats the interruption comparison.
+//
+//bimode:deterministic
 func RenderTable4(t Table4Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 4: bias-class interruption counts on %s (%d branches)\n\n", t.Workload, t.Branches)
@@ -269,6 +275,8 @@ func Figures78(workload string, cfg Config) ([]ClassBreakdownPoint, error) {
 }
 
 // RenderFigures78 formats the class breakdown bars.
+//
+//bimode:deterministic
 func RenderFigures78(workload string, pts []ClassBreakdownPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Misprediction by bias class on %s (%% of all branches)\n\n", workload)

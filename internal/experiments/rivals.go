@@ -76,6 +76,8 @@ func Rivals(cfg Config) [][]RivalPoint {
 }
 
 // RenderRivals formats the shoot-out.
+//
+//bimode:deterministic
 func RenderRivals(rows [][]RivalPoint) string {
 	var b strings.Builder
 	b.WriteString("De-aliasing rivals at matched budgets (suite-average mispredict %)\n")

@@ -30,6 +30,8 @@ func Table1() []Table1Row {
 }
 
 // RenderTable1 formats Table 1 as text.
+//
+//bimode:deterministic
 func RenderTable1(rows []Table1Row) string {
 	var b strings.Builder
 	b.WriteString("Table 1: SPEC CINT95 input data files (paper) and the synthetic profile standing in\n\n")
@@ -96,6 +98,8 @@ func Table2(cfg Config) []Table2Row {
 }
 
 // RenderTable2 formats Table 2 as text.
+//
+//bimode:deterministic
 func RenderTable2(rows []Table2Row) string {
 	var b strings.Builder
 	b.WriteString("Table 2: static and dynamic conditional branch counts\n")

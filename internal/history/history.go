@@ -104,19 +104,34 @@ func (p *PerAddress) index(pc uint64) uint64 { return (pc >> 2) & p.idxMask }
 
 // Value returns the history pattern of the branch at pc.
 //
+// The register is selected by re-deriving the index mask from len(regs)
+// (a power of two equal to idxMask+1 by construction) so the compiler's
+// prove pass can drop the bounds check; p.idxMask stays the source of
+// truth for index, which callers use to enumerate registers.
+//
 //bimode:hotpath
-func (p *PerAddress) Value(pc uint64) uint64 { return p.regs[p.index(pc)] }
+func (p *PerAddress) Value(pc uint64) uint64 {
+	regs := p.regs
+	if len(regs) == 0 {
+		return 0 // unreachable: the constructor allocates at least one register
+	}
+	return regs[uint(pc>>2)&uint(len(regs)-1)]
+}
 
 // Push shifts an outcome into the history register of the branch at pc.
 //
 //bimode:hotpath
 func (p *PerAddress) Push(pc uint64, taken bool) {
-	i := p.index(pc)
-	v := p.regs[i] << 1
+	regs := p.regs
+	if len(regs) == 0 {
+		return // unreachable: see Value
+	}
+	i := uint(pc>>2) & uint(len(regs)-1)
+	v := regs[i] << 1
 	if taken {
 		v |= 1
 	}
-	p.regs[i] = v & p.mask
+	regs[i] = v & p.mask
 }
 
 // Reset clears every history register.

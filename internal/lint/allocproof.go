@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// AllocProofAnalyzer is the compiler-evidence strengthening of the
+// hotpath contract: where the hotpath analyzer rejects allocation by AST
+// shape, allocproof asks the compiler. It runs the module's hot packages
+// through `go build -gcflags='-m=2 -d=ssa/check_bce'` and requires, for
+// every //bimode:hotpath function (strict or dispatch), that escape
+// analysis shows zero heap allocations — and additionally, for strict
+// functions, that the SSA prove pass eliminated every slice bounds check,
+// so a fused kernel iteration is straight-line arithmetic with no panic
+// edges. The same facts feed the committed hotpath ledger
+// (lint/hotpath_ledger.json, see BuildLedger), where regressions surface
+// as diffs even when they are suppressed here.
+var AllocProofAnalyzer = &Analyzer{
+	Name: "allocproof",
+	Doc:  "compiler-verified: hotpath functions allocate nothing; strict hotpath keeps no bounds checks",
+	Run:  runAllocProof,
+}
+
+func runAllocProof(pass *Pass) {
+	hasHot := false
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+				pass.Prog.Hotpath[declSymbol(pass.Pkg.Path, fd)] != HotNone {
+				hasHot = true
+			}
+		}
+	}
+	if !hasHot {
+		return // nothing annotated: skip the build entirely
+	}
+	diags, err := pass.Prog.gcDiagsFor(pass.Pkg)
+	if err != nil {
+		// A failed diagnostic build means no evidence either way; surface
+		// it once, at the package clause.
+		pass.Reportf(pass.Pkg.Files[0].Package, "cannot collect compiler evidence: %v", err)
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			level := pass.Prog.Hotpath[declSymbol(pass.Pkg.Path, fd)]
+			if level == HotNone {
+				continue
+			}
+			start := pass.Prog.Fset.Position(fd.Pos())
+			end := pass.Prog.Fset.Position(fd.End())
+			// Fixture files are parsed under cwd-relative paths; the
+			// diagnostic index is keyed by absolute path.
+			file, err := filepath.Abs(start.Filename)
+			if err != nil {
+				file = start.Filename
+			}
+			for _, d := range diags.forRange(file, start.Line, end.Line) {
+				pos := posInFile(pass.Prog.Fset, fd, d.Line, d.Col)
+				switch d.Kind {
+				case gcHeapAlloc:
+					pass.Reportf(pos, "%s is //bimode:%s but the compiler proves a heap allocation: %s",
+						fd.Name.Name, level, d.Message)
+				case gcBoundsCheck:
+					if level == HotStrict {
+						pass.Reportf(pos, "%s is //bimode:%s but the compiler kept a bounds check here (%s); restate the index so the prove pass can eliminate it (mask with uint(len(tab)-1) under a non-empty guard) or hoist it",
+							fd.Name.Name, level, d.Message)
+					}
+				}
+			}
+		}
+	}
+}
+
+// posInFile converts a (line, col) pair inside fd's file back to a
+// token.Pos, so diagnostics position and suppress exactly like the AST
+// analyzers. Columns beyond the line (or lines outside the file) clamp to
+// the function position.
+func posInFile(fset *token.FileSet, fd *ast.FuncDecl, line, col int) token.Pos {
+	tf := fset.File(fd.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return fd.Pos()
+	}
+	p := tf.LineStart(line)
+	// LineStart gives column 1; advance to the diagnostic's column when it
+	// stays within the file.
+	off := tf.Offset(p) + col - 1
+	if off >= tf.Size() {
+		return p
+	}
+	return tf.Pos(off)
+}

@@ -19,9 +19,17 @@ import (
 //	                         the round-trip property test drives the
 //	                         restored instance through the Predictor
 //	                         protocol)
+//
+// The trace package has the same shape on the workload side, and the same
+// rule applies to its newest rung:
+//
+//	trace.Blocked ⇒ trace.Source (a block iterator is a faster way to
+//	                              replay the same workload; without
+//	                              Stream the block/record differential
+//	                              oracle has nothing to compare against)
 var CapLadderAnalyzer = &Analyzer{
 	Name: "capladder",
-	Doc:  "predictor capability implementers must implement the rungs below",
+	Doc:  "predictor and trace capability implementers must implement the rungs below",
 	Run:  runCapLadder,
 }
 
@@ -32,6 +40,8 @@ func runCapLadder(pass *Pass) {
 	probeI := pass.Prog.predictorInterface("Probe")
 	indexedI := pass.Prog.predictorInterface("Indexed")
 	snapshotterI := pass.Prog.predictorInterface("Snapshotter")
+	blockedI := pass.Prog.traceInterface("Blocked")
+	sourceI := pass.Prog.traceInterface("Source")
 	if predictorI == nil || stepperI == nil || batchI == nil || probeI == nil || indexedI == nil {
 		return // ladder interfaces missing; nothing to enforce
 	}
@@ -72,6 +82,9 @@ func runCapLadder(pass *Pass) {
 		}
 		if snapshotterI != nil && impl(snapshotterI) && !impl(predictorI) {
 			report("Snapshotter", "Predictor", "checkpointable state belongs to a predictor; resume drives the restored instance through the Predictor protocol")
+		}
+		if blockedI != nil && sourceI != nil && impl(blockedI) && !impl(sourceI) {
+			pass.Reportf(tn.Pos(), "%s implements trace.Blocked but not trace.Source (the block iterator is the fast rung; without Stream the block/record differential oracle has nothing to compare it against)", name)
 		}
 	}
 }

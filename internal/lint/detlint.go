@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetLintAnalyzer is the static counterpart of the runtime determinism
+// oracle (the parallel==sequential proof in internal/sim): every function
+// annotated //bimode:deterministic — scheduler fan-out bodies, journal
+// writers, artifact renderers — must not reach, through static calls, any
+// source of nondeterminism:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until),
+//   - math/rand and math/rand/v2 (seeded streams live in internal/synth,
+//     which owns its own bit-reproducible generator),
+//   - writes to package-level mutable state (results must flow through
+//     returns, not globals),
+//   - ranging over a map (iteration order leaks into output ordering).
+//
+// The analysis follows static calls across the whole module through the
+// shared type universe; dynamic calls (interface methods, function
+// values) end a chain, exactly as they end the runtime oracle's
+// byte-identity argument. Intentional escapes are waived line-by-line
+// with //bimode:allow detlint -- <reason>.
+var DetLintAnalyzer = &Analyzer{
+	Name: "detlint",
+	Doc:  "//bimode:deterministic call trees must avoid clocks, rand, global writes, and map ranges",
+	Run:  runDetLint,
+}
+
+// detBannedTime is the wall-clock read set.
+var detBannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// detBannedPkgs are packages whose every function is a nondeterminism
+// source.
+var detBannedPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func runDetLint(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sym := declSymbol(pass.Pkg.Path, fd)
+			if !pass.Prog.Deterministic[sym] {
+				continue
+			}
+			walkDeterministic(pass, sym)
+		}
+	}
+}
+
+// walkDeterministic breadth-first-walks the static call graph from one
+// root, scanning every reachable module function body.
+func walkDeterministic(pass *Pass, root string) {
+	type queued struct {
+		sym   string
+		chain []string
+	}
+	visited := map[string]bool{root: true}
+	queue := []queued{{sym: root, chain: []string{root}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := pass.Prog.funcNode(cur.sym)
+		if node == nil {
+			continue // no analyzable body (stdlib, or assembly)
+		}
+		callees := scanDeterministicBody(pass, node, root, cur.chain)
+		for _, callee := range callees {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			queue = append(queue, queued{sym: callee, chain: append(append([]string{}, cur.chain...), callee)})
+		}
+	}
+}
+
+// scanDeterministicBody reports violations in one reachable function and
+// returns its static module callees.
+func scanDeterministicBody(pass *Pass, node *funcNode, root string, chain []string) []string {
+	info := node.pkg.Info
+	var callees []string
+	via := chainString(chain)
+	report := func(pos ast.Node, format string, args ...any) {
+		position := pass.Prog.Fset.Position(pos.Pos())
+		key := fmt.Sprintf("%s|%s|%s", position, root, fmt.Sprintf(format, args...))
+		if pass.Prog.detReported[key] {
+			return
+		}
+		pass.Prog.detReported[key] = true
+		args = append(args, via)
+		pass.Reportf(pos.Pos(), format+" (reachable from //bimode:deterministic %s)", args...)
+	}
+
+	ast.Inspect(node.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := staticCalleeInfo(info, n)
+			if fn == nil {
+				return true // dynamic call: the chain ends here
+			}
+			pkgPath := ""
+			if fn.Pkg() != nil {
+				pkgPath = fn.Pkg().Path()
+			}
+			switch {
+			case pkgPath == "time" && detBannedTime[fn.Name()]:
+				report(n, "calls time.%s — wall-clock nondeterminism", fn.Name())
+			case detBannedPkgs[pkgPath]:
+				report(n, "calls %s.%s — unseeded randomness", pkgPath, fn.Name())
+			default:
+				if sym := funcSymbol(fn); pass.Prog.pkgOfSymbol(sym) != "" || strings.HasPrefix(sym, node.pkg.Path+".") {
+					callees = append(callees, sym)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n, "ranges over a map — iteration order leaks into output")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := packageLevelTarget(info, lhs); v != nil {
+					report(lhs, "writes package-level variable %s — shared mutable state", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := packageLevelTarget(info, n.X); v != nil {
+				report(n, "writes package-level variable %s — shared mutable state", v.Name())
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+// chainString renders a call chain for diagnostics, eliding long middles.
+func chainString(chain []string) string {
+	short := make([]string, len(chain))
+	for i, sym := range chain {
+		short[i] = shortSymbol(sym)
+	}
+	if len(short) > 4 {
+		short = append(short[:2], append([]string{"…"}, short[len(short)-2:]...)...)
+	}
+	return strings.Join(short, " → ")
+}
+
+// shortSymbol strips the package path, keeping pkgname.Func.
+func shortSymbol(sym string) string {
+	if i := strings.LastIndex(sym, "/"); i >= 0 {
+		return sym[i+1:]
+	}
+	return sym
+}
+
+// packageLevelTarget resolves an assignment target to the package-level
+// variable it mutates, or nil: a plain global (g = x), a global's field
+// or element (g.F = x, g[i] = x), but never locals or the blank
+// identifier. Dereferences through pointers stop the walk — a pointer
+// received as a parameter is the caller's choice, not hidden global
+// state.
+func packageLevelTarget(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok || v.Pkg() == nil {
+				return nil
+			}
+			if v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// g.F: only a direct field of a package-level value counts;
+			// if the base is a pointer-typed expression the target's
+			// identity is dynamic.
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return nil
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// staticCalleeInfo resolves a call's static callee against the given
+// package's type info (the per-pass staticCallee twin for bodies that
+// live in other packages).
+func staticCalleeInfo(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// devNull is where the diagnostic builds send their object output.
+var devNull = os.DevNull
+
+// This file is the compiler-evidence collector behind the allocproof
+// analyzer and the hotpath ledger: it shells out to
+//
+//	go build -gcflags='<pkgs>=-m=2 -d=ssa/check_bce'
+//
+// and parses the resulting escape-analysis and bounds-check-elimination
+// diagnostics into positioned facts. The go build cache replays compiler
+// diagnostics (verified by TestGCDiagsCached), so repeated runs over an
+// unchanged tree cost one cache probe per package, not a recompile.
+
+// gcFlags is the diagnostic flag set the collector compiles with: -m=2
+// prints escape analysis decisions (with explanations) and
+// -d=ssa/check_bce prints every bounds check the SSA prove pass could
+// NOT eliminate.
+const gcFlags = "-m=2 -d=ssa/check_bce"
+
+// gcDiagKind classifies one compiler diagnostic.
+type gcDiagKind int
+
+const (
+	// gcHeapAlloc is escape-analysis evidence of a heap allocation: a
+	// value "escapes to heap" or a local is "moved to heap".
+	gcHeapAlloc gcDiagKind = iota
+	// gcBoundsCheck is a bounds check the prove pass kept: "Found
+	// IsInBounds" / "Found IsSliceInBounds".
+	gcBoundsCheck
+)
+
+func (k gcDiagKind) String() string {
+	if k == gcBoundsCheck {
+		return "bounds-check"
+	}
+	return "heap-alloc"
+}
+
+// gcDiag is one positioned compiler diagnostic.
+type gcDiag struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Kind    gcDiagKind
+	Message string
+}
+
+// gcDiagSet indexes compiler diagnostics by absolute file path.
+type gcDiagSet struct {
+	byFile map[string][]gcDiag
+}
+
+// forRange returns the diagnostics inside [startLine, endLine] of file,
+// in position order.
+func (s *gcDiagSet) forRange(file string, startLine, endLine int) []gcDiag {
+	var out []gcDiag
+	for _, d := range s.byFile[file] {
+		if d.Line >= startLine && d.Line <= endLine {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// gcDiagLine matches "path:line:col: message" diagnostic lines. Flow
+// explanation lines emitted by -m=2 are indented and do not match.
+var gcDiagLine = regexp.MustCompile(`^([^\s].*?):(\d+):(\d+): (.*)$`)
+
+var (
+	// escapesRe matches the two escape-analysis shapes that mean "this
+	// expression heap-allocates": "<expr> escapes to heap" and
+	// "moved to heap: <var>". Lines reading "does not escape" or
+	// "leaking param" carry no allocation and do not match.
+	escapesRe = regexp.MustCompile(`(escapes to heap:?$|escapes to heap$|^moved to heap: )`)
+	boundsRe  = regexp.MustCompile(`^Found Is(Slice)?InBounds$`)
+)
+
+// parseGCOutput extracts allocation and bounds-check diagnostics from go
+// build stderr output. Relative paths are resolved against dir (the
+// directory the build ran in).
+func parseGCOutput(dir string, out []byte) *gcDiagSet {
+	set := &gcDiagSet{byFile: map[string][]gcDiag{}}
+	seen := map[gcDiag]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := gcDiagLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue // package headers, flow lines, link output
+		}
+		msg := m[4]
+		var kind gcDiagKind
+		switch {
+		case boundsRe.MatchString(msg):
+			kind = gcBoundsCheck
+		case escapesRe.MatchString(msg):
+			kind = gcHeapAlloc
+		default:
+			continue // inlining decisions, leaking params, non-escapes
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		// -m=2 prints escape facts twice: once with a trailing colon and
+		// a flow explanation, once bare. Normalize and deduplicate.
+		d := gcDiag{File: file, Line: line, Col: col, Kind: kind, Message: strings.TrimSuffix(msg, ":")}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		set.byFile[file] = append(set.byFile[file], d)
+	}
+	for _, diags := range set.byFile {
+		sort.Slice(diags, func(i, j int) bool {
+			if diags[i].Line != diags[j].Line {
+				return diags[i].Line < diags[j].Line
+			}
+			return diags[i].Col < diags[j].Col
+		})
+	}
+	return set
+}
+
+// hotPackagePaths returns the module import paths declaring at least one
+// //bimode:hotpath function, in go list order — the packages whose
+// compiles the collector must observe.
+func (prog *Program) hotPackagePaths() []string {
+	hot := map[string]bool{}
+	for sym := range prog.Hotpath {
+		if path := prog.pkgOfSymbol(sym); path != "" {
+			hot[path] = true
+		}
+	}
+	var paths []string
+	for _, path := range prog.order {
+		if hot[path] {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// pkgOfSymbol resolves the module package declaring a symbol of the form
+// pkgpath.Func or pkgpath.Type.Method by longest-prefix match against the
+// parsed package list ("" when the symbol is not from this module).
+func (prog *Program) pkgOfSymbol(sym string) string {
+	best := ""
+	for path := range prog.parsed {
+		if strings.HasPrefix(sym, path+".") && len(path) > len(best) {
+			best = path
+		}
+	}
+	return best
+}
+
+// gcBuild runs the diagnostic build in dir over the given package
+// patterns and returns the raw stderr output. A build failure is an
+// error; its output is included for the caller's message.
+func gcBuild(dir string, patterns ...string) ([]byte, error) {
+	args := []string{"build", "-o", devNull, "-gcflags=" + gcFlags}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=%q %s: %v\n%s", gcFlags, strings.Join(patterns, " "), err, stderr.String())
+	}
+	return stderr.Bytes(), nil
+}
+
+// gcDiagsModule collects compiler diagnostics for every module package
+// with hotpath annotations, once per Program.
+func (prog *Program) gcDiagsModule() (*gcDiagSet, error) {
+	if prog.gcModule != nil || prog.gcModuleErr != nil {
+		return prog.gcModule, prog.gcModuleErr
+	}
+	paths := prog.hotPackagePaths()
+	if len(paths) == 0 {
+		prog.gcModule = &gcDiagSet{byFile: map[string][]gcDiag{}}
+		return prog.gcModule, nil
+	}
+	out, err := gcBuild(prog.Root, paths...)
+	if err != nil {
+		prog.gcModuleErr = err
+		return nil, err
+	}
+	prog.gcModule = parseGCOutput(prog.Root, out)
+	return prog.gcModule, nil
+}
+
+// gcDiagsDir collects compiler diagnostics for one out-of-module
+// directory (an analyzer fixture carrying its own go.mod), memoized.
+func (prog *Program) gcDiagsDir(dir string) (*gcDiagSet, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if prog.gcDirs == nil {
+		prog.gcDirs = map[string]*gcDiagSet{}
+		prog.gcDirErrs = map[string]error{}
+	}
+	if set, ok := prog.gcDirs[abs]; ok {
+		return set, prog.gcDirErrs[abs]
+	}
+	out, err := gcBuild(abs, ".")
+	if err != nil {
+		prog.gcDirs[abs] = nil
+		prog.gcDirErrs[abs] = err
+		return nil, err
+	}
+	set := parseGCOutput(abs, out)
+	prog.gcDirs[abs] = set
+	return set, nil
+}
+
+// gcDiagsFor returns the diagnostic set covering pkg: the shared module
+// collection for module packages, a per-directory build for fixture
+// packages that live outside the go list universe.
+func (prog *Program) gcDiagsFor(pkg *Package) (*gcDiagSet, error) {
+	if _, ok := prog.parsed[pkg.Path]; ok {
+		return prog.gcDiagsModule()
+	}
+	return prog.gcDiagsDir(pkg.Dir)
+}

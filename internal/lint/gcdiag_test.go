@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseGCOutput pins the diagnostic grammar: escape facts (both the
+// explained and bare -m=2 forms, deduplicated), moved-to-heap, kept
+// bounds checks, and the noise that must be ignored.
+func TestParseGCOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# example/pkg",
+		"./kernel.go:10:13: make([]uint8, n) escapes to heap:",
+		"./kernel.go:10:13:   flow: ~r0 = &{storage for make([]uint8, n)}:",
+		"./kernel.go:10:13: make([]uint8, n) escapes to heap",
+		"./kernel.go:14:9: moved to heap: buf",
+		"./kernel.go:20:12: Found IsInBounds",
+		"./kernel.go:21:12: Found IsSliceInBounds",
+		"./kernel.go:5:6: can inline Sum with cost 42",
+		"./kernel.go:9:10: tab does not escape",
+		"./kernel.go:9:20: leaking param: idx",
+		"/abs/other.go:3:4: x escapes to heap",
+	}, "\n")
+	set := parseGCOutput("/build/dir", []byte(out))
+
+	kernel := filepath.Join("/build/dir", "kernel.go")
+	got := set.forRange(kernel, 1, 100)
+	want := []gcDiag{
+		{File: kernel, Line: 10, Col: 13, Kind: gcHeapAlloc, Message: "make([]uint8, n) escapes to heap"},
+		{File: kernel, Line: 14, Col: 9, Kind: gcHeapAlloc, Message: "moved to heap: buf"},
+		{File: kernel, Line: 20, Col: 12, Kind: gcBoundsCheck, Message: "Found IsInBounds"},
+		{File: kernel, Line: 21, Col: 12, Kind: gcBoundsCheck, Message: "Found IsSliceInBounds"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("forRange = %+v\nwant %+v", got, want)
+	}
+	if got := set.forRange(kernel, 11, 19); len(got) != 1 || got[0].Message != "moved to heap: buf" {
+		t.Errorf("line-bounded forRange = %+v, want just the moved-to-heap fact", got)
+	}
+	if got := set.forRange("/abs/other.go", 1, 100); len(got) != 1 {
+		t.Errorf("absolute-path diagnostics = %+v, want one", got)
+	}
+}
+
+// TestGCDiagsCached pins the property the CI gate's wall-clock budget
+// rests on: the go build cache replays compiler diagnostics, so a second
+// identical diagnostic build yields the same facts without recompiling.
+func TestGCDiagsCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build twice; skipped in -short")
+	}
+	dir := filepath.Join("testdata", "allocproof", "bad")
+	first, err := gcBuild(dir, ".")
+	if err != nil {
+		t.Fatalf("first diagnostic build: %v", err)
+	}
+	second, err := gcBuild(dir, ".")
+	if err != nil {
+		t.Fatalf("second (cached) diagnostic build: %v", err)
+	}
+	abs, _ := filepath.Abs(dir)
+	a := parseGCOutput(abs, first)
+	b := parseGCOutput(abs, second)
+	file := filepath.Join(abs, "bad.go")
+	if got, want := b.forRange(file, 1, 100), a.forRange(file, 1, 100); !reflect.DeepEqual(got, want) {
+		t.Errorf("cached build diagnostics differ:\nfirst:  %+v\nsecond: %+v", want, got)
+	}
+	if len(a.forRange(file, 1, 100)) == 0 {
+		t.Error("bad fixture produced no compiler diagnostics; the cache test proved nothing")
+	}
+}
+
+func TestGoMinor(t *testing.T) {
+	for in, want := range map[string]string{
+		"go1.24.0":  "go1.24",
+		"go1.22.11": "go1.22",
+		"go1.24":    "go1.24",
+		"devel":     "devel",
+	} {
+		if got := goMinor(in); got != want {
+			t.Errorf("goMinor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func ledgerForTest() *Ledger {
+	return &Ledger{
+		GoMinor: "go1.24",
+		GCFlags: gcFlags,
+		Functions: []LedgerEntry{
+			{
+				Symbol:       "pkg.Clean",
+				File:         "pkg/clean.go",
+				HeapAllocs:   []LedgerSite{},
+				BoundsChecks: []LedgerSite{},
+			},
+			{
+				Symbol:       "pkg.Waived",
+				File:         "pkg/waived.go",
+				HeapAllocs:   []LedgerSite{},
+				BoundsChecks: []LedgerSite{},
+				Allowed: []LedgerSite{
+					{Pos: "pkg/waived.go:5:6", Kind: "heap-alloc", Message: "make([]int, n) escapes to heap", Reason: "per-call"},
+				},
+			},
+		},
+	}
+}
+
+// TestLedgerRoundTrip pins Encode/Decode stability and a clean self-diff.
+func TestLedgerRoundTrip(t *testing.T) {
+	l := ledgerForTest()
+	decoded, err := DecodeLedger(l.Encode())
+	if err != nil {
+		t.Fatalf("DecodeLedger: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, l) {
+		t.Errorf("round trip changed the ledger:\n%+v\nwant %+v", decoded, l)
+	}
+	if drift := DiffLedgers(l, decoded); len(drift) != 0 {
+		t.Errorf("self-diff reported drift: %v", drift)
+	}
+}
+
+// TestDiffLedgers covers the drift classes the CI gate reports.
+func TestDiffLedgers(t *testing.T) {
+	committed := ledgerForTest()
+
+	t.Run("series mismatch is a single regenerate line", func(t *testing.T) {
+		live := ledgerForTest()
+		live.GoMinor = "go1.25"
+		drift := DiffLedgers(committed, live)
+		if len(drift) != 1 || !strings.Contains(drift[0], "compiler series changed") {
+			t.Errorf("drift = %v, want one compiler-series line", drift)
+		}
+	})
+
+	t.Run("new allocation site", func(t *testing.T) {
+		live := ledgerForTest()
+		live.Functions[0].HeapAllocs = append(live.Functions[0].HeapAllocs,
+			LedgerSite{Pos: "pkg/clean.go:9:2", Kind: "heap-alloc", Message: "x escapes to heap"})
+		drift := DiffLedgers(committed, live)
+		if len(drift) != 1 || !strings.Contains(drift[0], "new heap allocation") {
+			t.Errorf("drift = %v, want one new-heap-allocation line", drift)
+		}
+	})
+
+	t.Run("improvement still drifts until regenerated", func(t *testing.T) {
+		live := ledgerForTest()
+		live.Functions[1].Allowed = nil
+		drift := DiffLedgers(committed, live)
+		if len(drift) != 1 || !strings.Contains(drift[0], "allowed site gone") {
+			t.Errorf("drift = %v, want one allowed-site-gone line", drift)
+		}
+	})
+
+	t.Run("symbol set changes", func(t *testing.T) {
+		live := ledgerForTest()
+		live.Functions = live.Functions[:1]
+		live.Functions = append(live.Functions, LedgerEntry{
+			Symbol: "pkg.Brand", File: "pkg/brand.go",
+			HeapAllocs: []LedgerSite{}, BoundsChecks: []LedgerSite{},
+		})
+		drift := DiffLedgers(committed, live)
+		var missing, extra bool
+		for _, d := range drift {
+			missing = missing || strings.Contains(d, "pkg.Waived")
+			extra = extra || strings.Contains(d, "pkg.Brand")
+		}
+		if !missing || !extra {
+			t.Errorf("drift = %v, want both removed and added symbols reported", drift)
+		}
+	})
+
+	t.Run("gcflags change", func(t *testing.T) {
+		live := ledgerForTest()
+		live.GCFlags = "-m=1"
+		drift := DiffLedgers(committed, live)
+		if len(drift) != 1 || !strings.Contains(drift[0], "gcflags changed") {
+			t.Errorf("drift = %v, want one gcflags line", drift)
+		}
+	})
+}

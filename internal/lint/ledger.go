@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The hotpath ledger is the committed, machine-readable record of the
+// compiler evidence behind every //bimode:hotpath strict function: its
+// remaining heap allocations and bounds checks (ideally none), and the
+// sites deliberately waived with //bimode:allow allocproof. CI rebuilds
+// the ledger from a live compile and fails on any drift from the
+// committed lint/hotpath_ledger.json, so a kernel silently starting to
+// allocate — or a bounds check creeping back into a fused loop — shows up
+// as a reviewable diff, not a benchmark mystery three PRs later.
+//
+// Regenerate after intentional kernel changes with
+//
+//	go run ./cmd/bimodelint -ledger lint/hotpath_ledger.json -write-ledger
+//
+// and commit the result; check it the way CI does with
+//
+//	go run ./cmd/bimodelint -ledger lint/hotpath_ledger.json
+
+// LedgerSite is one compiler diagnostic inside a strict function.
+type LedgerSite struct {
+	// Pos is the repo-relative file:line:col of the diagnostic.
+	Pos string `json:"pos"`
+	// Kind is "heap-alloc" or "bounds-check".
+	Kind string `json:"kind"`
+	// Message is the compiler's diagnostic text.
+	Message string `json:"message"`
+	// Reason carries the //bimode:allow justification for waived sites.
+	Reason string `json:"reason,omitempty"`
+}
+
+// LedgerEntry is the evidence for one strict hotpath function.
+type LedgerEntry struct {
+	// Symbol is the module-wide function symbol (pkgpath.Func or
+	// pkgpath.Type.Method).
+	Symbol string `json:"symbol"`
+	// File is the repo-relative declaring file.
+	File string `json:"file"`
+	// HeapAllocs are unwaived allocation sites; a clean kernel has none.
+	HeapAllocs []LedgerSite `json:"heap_allocs"`
+	// BoundsChecks are unwaived bounds checks the prove pass kept; a
+	// clean kernel has none.
+	BoundsChecks []LedgerSite `json:"bounds_checks"`
+	// Allowed are sites waived with //bimode:allow allocproof, with their
+	// mandatory reasons — the reviewable escape hatch.
+	Allowed []LedgerSite `json:"allowed,omitempty"`
+}
+
+// Ledger is the full hotpath ledger document.
+type Ledger struct {
+	// GoMinor is the compiler series the evidence came from (e.g.
+	// "go1.24"); diagnostics are compiler-version-dependent, so the
+	// checker refuses to compare across series.
+	GoMinor string `json:"go"`
+	// GCFlags is the diagnostic flag set the evidence was compiled with.
+	GCFlags string `json:"gcflags"`
+	// Functions has one entry per //bimode:hotpath strict function, in
+	// symbol order.
+	Functions []LedgerEntry `json:"functions"`
+}
+
+// goMinor truncates a runtime.Version() string to its major.minor series.
+func goMinor(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// BuildLedger compiles the module's hot packages with diagnostic flags
+// and assembles the ledger over every strict hotpath function.
+func BuildLedger(prog *Program) (*Ledger, error) {
+	diags, err := prog.gcDiagsModule()
+	if err != nil {
+		return nil, err
+	}
+	led := &Ledger{GoMinor: goMinor(runtime.Version()), GCFlags: gcFlags}
+	for _, path := range prog.order {
+		lp := prog.parsed[path]
+		for _, file := range lp.files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sym := declSymbol(path, fd)
+				if prog.Hotpath[sym] != HotStrict {
+					continue
+				}
+				led.Functions = append(led.Functions, prog.ledgerEntry(sym, fd, diags))
+			}
+		}
+	}
+	sort.Slice(led.Functions, func(i, j int) bool {
+		return led.Functions[i].Symbol < led.Functions[j].Symbol
+	})
+	return led, nil
+}
+
+// ledgerEntry assembles the evidence for one strict function.
+func (prog *Program) ledgerEntry(sym string, fd *ast.FuncDecl, diags *gcDiagSet) LedgerEntry {
+	start := prog.Fset.Position(fd.Pos())
+	end := prog.Fset.Position(fd.End())
+	entry := LedgerEntry{
+		Symbol:       sym,
+		File:         prog.relPath(start.Filename),
+		HeapAllocs:   []LedgerSite{},
+		BoundsChecks: []LedgerSite{},
+	}
+	for _, d := range diags.forRange(start.Filename, start.Line, end.Line) {
+		site := LedgerSite{
+			Pos:     fmt.Sprintf("%s:%d:%d", prog.relPath(d.File), d.Line, d.Col),
+			Kind:    d.Kind.String(),
+			Message: d.Message,
+		}
+		if reason, ok := prog.allowedAt(AllocProofAnalyzer.Name, d.File, d.Line); ok {
+			site.Reason = reason
+			entry.Allowed = append(entry.Allowed, site)
+			continue
+		}
+		switch d.Kind {
+		case gcHeapAlloc:
+			entry.HeapAllocs = append(entry.HeapAllocs, site)
+		case gcBoundsCheck:
+			entry.BoundsChecks = append(entry.BoundsChecks, site)
+		}
+	}
+	return entry
+}
+
+// relPath renders an absolute path relative to the module root with
+// forward slashes, so ledgers are machine-independent.
+func (prog *Program) relPath(abs string) string {
+	rel, err := filepath.Rel(prog.Root, abs)
+	if err != nil {
+		return filepath.ToSlash(abs)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Encode renders the ledger as stable, committed-file-friendly JSON.
+func (l *Ledger) Encode() []byte {
+	out, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		panic(err) // static struct; cannot fail
+	}
+	return append(out, '\n')
+}
+
+// DecodeLedger parses a committed ledger file.
+func DecodeLedger(data []byte) (*Ledger, error) {
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("parsing hotpath ledger: %v", err)
+	}
+	return &l, nil
+}
+
+// DiffLedgers compares the committed ledger against freshly built
+// evidence and returns human-readable drift lines (empty means clean). A
+// compiler-series mismatch is a single drift line of its own: evidence
+// from different compilers is not comparable, so the ledger must be
+// regenerated with the pinned toolchain instead of silently passing.
+func DiffLedgers(committed, live *Ledger) []string {
+	var drift []string
+	if committed.GoMinor != live.GoMinor {
+		drift = append(drift, fmt.Sprintf("compiler series changed: ledger built with %s, running %s (regenerate with -write-ledger)", committed.GoMinor, live.GoMinor))
+		return drift
+	}
+	if committed.GCFlags != live.GCFlags {
+		drift = append(drift, fmt.Sprintf("gcflags changed: ledger %q, live %q", committed.GCFlags, live.GCFlags))
+	}
+	want := map[string]LedgerEntry{}
+	for _, e := range committed.Functions {
+		want[e.Symbol] = e
+	}
+	seen := map[string]bool{}
+	for _, e := range live.Functions {
+		seen[e.Symbol] = true
+		w, ok := want[e.Symbol]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: strict hotpath function not in committed ledger", e.Symbol))
+			continue
+		}
+		drift = append(drift, diffEntry(w, e)...)
+	}
+	for _, e := range committed.Functions {
+		if !seen[e.Symbol] {
+			drift = append(drift, fmt.Sprintf("%s: in committed ledger but no longer a strict hotpath function", e.Symbol))
+		}
+	}
+	return drift
+}
+
+// diffEntry compares one function's committed and live evidence.
+func diffEntry(want, got LedgerEntry) []string {
+	var drift []string
+	diffSites := func(label string, w, g []LedgerSite) {
+		ws, gs := siteSet(w), siteSet(g)
+		for s := range gs {
+			if !ws[s] {
+				drift = append(drift, fmt.Sprintf("%s: new %s: %s", got.Symbol, label, s))
+			}
+		}
+		for s := range ws {
+			if !gs[s] {
+				drift = append(drift, fmt.Sprintf("%s: %s gone (regenerate to record the improvement): %s", got.Symbol, label, s))
+			}
+		}
+	}
+	diffSites("heap allocation", want.HeapAllocs, got.HeapAllocs)
+	diffSites("bounds check", want.BoundsChecks, got.BoundsChecks)
+	diffSites("allowed site", want.Allowed, got.Allowed)
+	sort.Strings(drift)
+	return drift
+}
+
+func siteSet(sites []LedgerSite) map[string]bool {
+	set := map[string]bool{}
+	for _, s := range sites {
+		set[fmt.Sprintf("%s %s (%s)", s.Pos, s.Message, s.Kind)] = true
+	}
+	return set
+}

@@ -22,6 +22,20 @@
 //     or used as a raw table index outside internal/counter; callers go
 //     through SatNext, TakenBit, the Table API, or the explicit
 //     counter.Bits escape hatch.
+//   - allocproof: compiler evidence replaces AST heuristics for the
+//     allocation contract — hotpath functions are compiled with
+//     -gcflags='-m=2 -d=ssa/check_bce' and must show zero heap
+//     allocations; strict hotpath functions must additionally show every
+//     bounds check eliminated. The same evidence feeds the committed
+//     lint/hotpath_ledger.json (see BuildLedger).
+//   - detlint: no wall-clock read, math/rand call, package-level variable
+//     write, or map range is statically reachable from functions
+//     annotated //bimode:deterministic (scheduler fan-out bodies, journal
+//     writers, artifact renderers).
+//   - ctxflow: functions taking a context.Context must thread it — never
+//     swap in context.Background/TODO for a callee that accepts one — and
+//     loops that drive hotpath work from a context-carrying function must
+//     consult ctx inside the loop (the 64Ki-record chunking contract).
 //
 // The pass is built on the standard library only (go/parser, go/types and
 // the source importer), so the module stays dependency-free. Run it with
@@ -102,6 +116,9 @@ func Analyzers() []*Analyzer {
 		CapLadderAnalyzer,
 		RegistryAnalyzer,
 		CounterArithAnalyzer,
+		AllocProofAnalyzer,
+		DetLintAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 
@@ -163,6 +180,7 @@ const (
 	hotpathDirective = "bimode:hotpath"
 	allowDirective   = "bimode:allow"
 	registryDir      = "bimode:registry"
+	deterministicDir = "bimode:deterministic"
 )
 
 // parseDirectives scans one parsed file for //bimode: directives,
@@ -190,6 +208,8 @@ func (prog *Program) parseDirectives(pkgPath string, file *ast.File) {
 				prog.Hotpath[declSymbol(pkgPath, fd)] = level
 			case registryDir:
 				prog.Registry[declSymbol(pkgPath, fd)] = true
+			case deterministicDir:
+				prog.Deterministic[declSymbol(pkgPath, fd)] = true
 			}
 		}
 	}
@@ -202,11 +222,15 @@ func (prog *Program) parseDirectives(pkgPath string, file *ast.File) {
 				continue
 			}
 			pos := prog.Fset.Position(c.Pos())
+			reason := ""
+			if i := strings.Index(text, "--"); i >= 0 {
+				reason = strings.TrimSpace(text[i+2:])
+			}
 			for _, name := range fields[1:] {
 				if name == "--" {
 					break // rest is the human-readable reason
 				}
-				prog.allow[suppressKey{pos.Filename, pos.Line, name}] = true
+				prog.allow[suppressKey{pos.Filename, pos.Line, name}] = reason
 			}
 		}
 	}
@@ -239,6 +263,17 @@ type suppressKey struct {
 // covers the position: on the same line (trailing comment) or the line
 // above (a full-line comment).
 func (prog *Program) suppressed(analyzer string, pos token.Position) bool {
-	return prog.allow[suppressKey{pos.Filename, pos.Line, analyzer}] ||
-		prog.allow[suppressKey{pos.Filename, pos.Line - 1, analyzer}]
+	_, ok := prog.allowedAt(analyzer, pos.Filename, pos.Line)
+	return ok
+}
+
+// allowedAt looks up the //bimode:allow suppression covering (file, line)
+// for the analyzer — same line or the line above — and returns its
+// recorded reason. The ledger uses the reason to document waived sites.
+func (prog *Program) allowedAt(analyzer, file string, line int) (string, bool) {
+	if reason, ok := prog.allow[suppressKey{file, line, analyzer}]; ok {
+		return reason, true
+	}
+	reason, ok := prog.allow[suppressKey{file, line - 1, analyzer}]
+	return reason, ok
 }

@@ -32,6 +32,15 @@ func TestHotpathFixtures(t *testing.T)      { runFixtures(t, HotpathAnalyzer) }
 func TestCapLadderFixtures(t *testing.T)    { runFixtures(t, CapLadderAnalyzer) }
 func TestRegistryFixtures(t *testing.T)     { runFixtures(t, RegistryAnalyzer) }
 func TestCounterArithFixtures(t *testing.T) { runFixtures(t, CounterArithAnalyzer) }
+func TestDetLintFixtures(t *testing.T)      { runFixtures(t, DetLintAnalyzer) }
+func TestCtxFlowFixtures(t *testing.T)      { runFixtures(t, CtxFlowAnalyzer) }
+
+func TestAllocProofFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build -gcflags per fixture; skipped in -short")
+	}
+	runFixtures(t, AllocProofAnalyzer)
+}
 
 // runFixtures checks every testdata/<analyzer>/<case> package against the
 // // want expectations in its sources. Cases without want comments assert

@@ -45,14 +45,69 @@ type Program struct {
 	Hotpath map[string]HotLevel
 	// Registry marks function symbols annotated //bimode:registry.
 	Registry map[string]bool
+	// Deterministic marks function symbols annotated
+	// //bimode:deterministic — detlint's call-graph roots.
+	Deterministic map[string]bool
 
-	allow        map[suppressKey]bool
-	registrySeen map[string]string // registryFunc+name -> first position
+	allow        map[suppressKey]string // suppression -> its recorded reason
+	registrySeen map[string]string      // registryFunc+name -> first position
 	imp          types.ImporterFrom
 	parsed       map[string]*listedPackage // by import path
 	order        []string                  // import paths in go list order
 	checked      map[string]*Package
-	ifacePkg     *types.Package // bimode/internal/predictor, lazily imported
+	fixtures     map[string]*Package // CheckDir packages by fake path
+	ifacePkg     *types.Package      // bimode/internal/predictor, lazily imported
+	tracePkg     *types.Package      // bimode/internal/trace, lazily imported
+
+	funcs       map[string]*funcNode // cross-package function index (nil = unresolvable)
+	hotReach    map[string]bool      // symbol -> reaches a hotpath function via static calls
+	detReported map[string]bool      // detlint global dedup across roots
+
+	gcModule    *gcDiagSet // compiler diagnostics for the module's hot packages
+	gcModuleErr error
+	gcDirs      map[string]*gcDiagSet // per-fixture-directory diagnostics
+	gcDirErrs   map[string]error
+}
+
+// funcNode is one resolvable function body: its declaration and the
+// type-checked package it lives in, so cross-package analyses can walk it
+// with the right types.Info.
+type funcNode struct {
+	fd  *ast.FuncDecl
+	pkg *Package
+}
+
+// funcNode resolves a module (or fixture) function symbol to its body,
+// type-checking the declaring package on demand. Returns nil for symbols
+// without an analyzable body here: stdlib, assembly, or packages that fail
+// to type-check. Results — including misses — are memoized.
+func (prog *Program) funcNode(sym string) *funcNode {
+	if n, ok := prog.funcs[sym]; ok {
+		return n
+	}
+	var pkg *Package
+	if path := prog.pkgOfSymbol(sym); path != "" {
+		pkg, _ = prog.CheckPackage(path)
+	} else {
+		for path, p := range prog.fixtures {
+			if strings.HasPrefix(sym, path+".") {
+				pkg = p
+				break
+			}
+		}
+	}
+	var node *funcNode
+	if pkg != nil {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && declSymbol(pkg.Path, fd) == sym {
+					node = &funcNode{fd: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	prog.funcs[sym] = node
+	return node
 }
 
 // listedPackage is a module package enumerated by go list and parsed.
@@ -130,14 +185,19 @@ func NewProgram(dir string) (*Program, error) {
 		return nil, err
 	}
 	prog := &Program{
-		Root:         root,
-		Fset:         token.NewFileSet(),
-		Hotpath:      map[string]HotLevel{},
-		Registry:     map[string]bool{},
-		allow:        map[suppressKey]bool{},
-		registrySeen: map[string]string{},
-		parsed:       map[string]*listedPackage{},
-		checked:      map[string]*Package{},
+		Root:          root,
+		Fset:          token.NewFileSet(),
+		Hotpath:       map[string]HotLevel{},
+		Registry:      map[string]bool{},
+		Deterministic: map[string]bool{},
+		allow:         map[suppressKey]string{},
+		registrySeen:  map[string]string{},
+		parsed:        map[string]*listedPackage{},
+		checked:       map[string]*Package{},
+		fixtures:      map[string]*Package{},
+		funcs:         map[string]*funcNode{},
+		hotReach:      map[string]bool{},
+		detReported:   map[string]bool{},
 	}
 	prog.imp = importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)
 
@@ -259,7 +319,12 @@ func (prog *Program) CheckDir(dir, fakePath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
-	return prog.check(fakePath, dir, files)
+	pkg, err := prog.check(fakePath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	prog.fixtures[fakePath] = pkg
+	return pkg, nil
 }
 
 // predictorPath is the package whose interfaces form the capability
@@ -267,6 +332,7 @@ func (prog *Program) CheckDir(dir, fakePath string) (*Package, error) {
 const (
 	predictorPath = "bimode/internal/predictor"
 	counterPath   = "bimode/internal/counter"
+	tracePath     = "bimode/internal/trace"
 )
 
 // predictorInterface returns the named interface from the predictor
@@ -286,6 +352,61 @@ func (prog *Program) predictorInterface(name string) *types.Interface {
 	}
 	iface, _ := obj.Type().Underlying().(*types.Interface)
 	return iface
+}
+
+// traceInterface returns the named interface from the trace package, the
+// twin of predictorInterface for the trace capability ladder.
+func (prog *Program) traceInterface(name string) *types.Interface {
+	if prog.tracePkg == nil {
+		pkg, err := prog.imp.ImportFrom(tracePath, prog.Root, 0)
+		if err != nil {
+			return nil
+		}
+		prog.tracePkg = pkg
+	}
+	obj := prog.tracePkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// reachesHotpath reports whether sym is, or statically calls into, a
+// //bimode:hotpath function — the ctxflow trigger for "this loop can
+// drive an unbounded amount of per-record work". Cycles resolve to false
+// unless some other edge proves reachability.
+func (prog *Program) reachesHotpath(sym string) bool {
+	if v, ok := prog.hotReach[sym]; ok {
+		return v
+	}
+	if prog.Hotpath[sym] != HotNone {
+		prog.hotReach[sym] = true
+		return true
+	}
+	prog.hotReach[sym] = false // cycle breaker
+	node := prog.funcNode(sym)
+	if node == nil {
+		return false
+	}
+	reached := false
+	ast.Inspect(node.fd.Body, func(n ast.Node) bool {
+		if reached {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCalleeInfo(node.pkg.Info, call); fn != nil {
+			if callee := funcSymbol(fn); callee != sym && prog.reachesHotpath(callee) {
+				reached = true
+			}
+		}
+		return true
+	})
+	prog.hotReach[sym] = reached
+	return reached
 }
 
 // funcSymbol normalizes a resolved function object to the same symbol

@@ -1,0 +1,18 @@
+// Package fixture holds a strict hotpath function the compiler refutes:
+// a returned make escapes to the heap and an unguarded index keeps its
+// bounds check. The directory carries its own go.mod so the analyzer's
+// diagnostic build can run here.
+package fixture
+
+// Leak is annotated strict but allocates per call and indexes without a
+// provable bound.
+//
+//bimode:hotpath
+func Leak(n int, tab []uint8, i int) []uint8 {
+	buf := make([]uint8, n) // want `proves a heap allocation`
+	x := tab[i]             // want `kept a bounds check`
+	if len(buf) > 0 {
+		buf[0] = x
+	}
+	return buf
+}

@@ -1,0 +1,3 @@
+module allocproof.fixture/bad
+
+go 1.22

@@ -1,0 +1,3 @@
+module allocproof.fixture/good
+
+go 1.22

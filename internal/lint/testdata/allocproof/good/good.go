@@ -1,0 +1,22 @@
+// Package fixture holds a strict hotpath kernel the compiler proves
+// clean: no escapes, every bounds check eliminated by the len-derived
+// mask under a non-empty guard. The directory carries its own go.mod so
+// the analyzer's diagnostic build (`go build -gcflags=...`) can run here;
+// testdata is invisible to the surrounding module by design.
+package fixture
+
+// Sum is a strict hotpath kernel in the repository's canonical
+// bounds-check-free shape.
+//
+//bimode:hotpath
+func Sum(tab []uint8, idx []uint64) int {
+	if len(tab) == 0 {
+		return 0
+	}
+	mask := uint(len(tab) - 1)
+	s := 0
+	for _, i := range idx {
+		s += int(tab[uint(i)&mask])
+	}
+	return s
+}

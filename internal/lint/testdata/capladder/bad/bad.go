@@ -34,3 +34,10 @@ func (SnapshotOnly) Snapshot(dst []byte) []byte { return dst }
 
 // RestoreSnapshot implements predictor.Snapshotter.
 func (SnapshotOnly) RestoreSnapshot(data []byte) error { return nil }
+
+// BlockedOnly iterates record blocks but cannot replay the workload
+// through the base Source protocol.
+type BlockedOnly struct{} // want `implements trace.Blocked but not trace.Source`
+
+// BlockStream implements trace.Blocked.
+func (BlockedOnly) BlockStream() trace.BlockStream { return nil }

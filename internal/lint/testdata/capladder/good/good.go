@@ -64,3 +64,19 @@ func (*BaseOnly) Reset() {}
 
 // CostBits implements predictor.Predictor.
 func (*BaseOnly) CostBits() int { return 0 }
+
+// BlockedSource climbs the trace ladder: the block iterator is backed by
+// the Source protocol the differential oracle replays against.
+type BlockedSource struct{}
+
+// Name implements trace.Source.
+func (BlockedSource) Name() string { return "blocked" }
+
+// StaticCount implements trace.Source.
+func (BlockedSource) StaticCount() int { return 0 }
+
+// Stream implements trace.Source.
+func (BlockedSource) Stream() trace.Stream { return nil }
+
+// BlockStream implements trace.Blocked.
+func (BlockedSource) BlockStream() trace.BlockStream { return nil }

@@ -1,0 +1,44 @@
+// Package fixture holds context misuse: severed cancellation and
+// hotpath-driving loops that never consult their context.
+package fixture
+
+import "context"
+
+// kernel is the hot leaf the loops drive.
+//
+//bimode:hotpath
+func kernel(x int) int { return x + 1 }
+
+// Drive replaces its caller's context with a fresh root for the callee.
+func Drive(ctx context.Context, n int) {
+	helper(context.Background(), n) // want `passes context.Background\(\) here, severing cancellation`
+}
+
+// DriveTODO does the same with the other root constructor.
+func DriveTODO(ctx context.Context, n int) {
+	helper(context.TODO(), n) // want `passes context.TODO\(\) here, severing cancellation`
+}
+
+func helper(ctx context.Context, n int) {}
+
+// Loop drives a hotpath kernel for every record without a cancellation
+// check.
+func Loop(ctx context.Context, recs []int) int {
+	s := 0
+	for _, r := range recs { // want `drives hotpath work without consulting it`
+		s = kernel(s + r)
+	}
+	return s
+}
+
+// Dispatch is a per-record dispatch loop whose dynamic calls are the
+// hotpath work; it too must check ctx between chunks.
+//
+//bimode:hotpath dispatch
+func Dispatch(ctx context.Context, recs []int, step func(int) int) int {
+	s := 0
+	for _, r := range recs { // want `drives hotpath work without consulting it`
+		s += step(r)
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+// Package fixture holds the sanctioned context shapes: threaded ctx and
+// chunk-checked loops.
+package fixture
+
+import "context"
+
+// kernel is the hot leaf the loops drive.
+//
+//bimode:hotpath
+func kernel(x int) int { return x + 1 }
+
+// Drive threads its context through to the callee.
+func Drive(ctx context.Context, n int) { helper(ctx, n) }
+
+func helper(ctx context.Context, n int) {}
+
+// Loop checks ctx between bounded chunks, the internal/sim chunking
+// contract.
+func Loop(ctx context.Context, recs []int) int {
+	s := 0
+	for i, r := range recs {
+		if i&4095 == 0 && ctx.Err() != nil {
+			return s
+		}
+		s = kernel(s + r)
+	}
+	return s
+}
+
+// Dispatch consults ctx inside its per-record dynamic-dispatch loop.
+//
+//bimode:hotpath dispatch
+func Dispatch(ctx context.Context, recs []int, step func(int) int) int {
+	s := 0
+	for i, r := range recs {
+		if i&4095 == 0 && ctx.Err() != nil {
+			return s
+		}
+		s += step(r)
+	}
+	return s
+}
+
+// Pure has no context parameter: the ctx-less reference path is
+// uncancellable by design and out of ctxflow's scope.
+func Pure(recs []int) int {
+	s := 0
+	for _, r := range recs {
+		s = kernel(s + r)
+	}
+	return s
+}

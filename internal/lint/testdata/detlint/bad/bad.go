@@ -1,0 +1,46 @@
+// Package fixture holds //bimode:deterministic call trees that reach
+// nondeterminism, directly and through static callees.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// renders counts artifact renders; writing it from a deterministic tree
+// is shared mutable state.
+var renders int
+
+// Render is a deterministic root that commits every sin directly.
+//
+//bimode:deterministic
+func Render(rows map[string]int) string {
+	out := ""
+	for k := range rows { // want `ranges over a map`
+		out += k
+	}
+	renders++ // want `writes package-level variable renders`
+	return out
+}
+
+// Journal reaches a wall-clock read two static calls down.
+//
+//bimode:deterministic
+func Journal() int64 { return stamp() }
+
+func stamp() int64 { return tick() }
+
+func tick() int64 { return time.Now().UnixNano() } // want `calls time.Now`
+
+// Shuffle reaches unseeded randomness through a helper.
+//
+//bimode:deterministic
+func Shuffle(rows []int) {
+	jitter(rows)
+}
+
+func jitter(rows []int) {
+	if len(rows) > 1 {
+		rows[0] = rand.Int() // want `calls math/rand.Int`
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixture holds clean //bimode:deterministic call trees: slice
+// iteration, results through return values, and the injectable-clock
+// pattern for timing metadata.
+package fixture
+
+// scale is package-level state that is only read; reads are
+// deterministic, writes are not.
+var scale = 2
+
+// clock is the injectable-clock pattern (see internal/sim): the
+// function-value indirection keeps the wall-clock read out of the static
+// call graph, which is exactly where a sanctioned nondeterminism belongs.
+var clock func() int64
+
+// Render is a deterministic root built from slice ranges and returns.
+//
+//bimode:deterministic
+func Render(rows []int) int {
+	total := 0
+	for _, v := range rows {
+		total += accumulate(v)
+	}
+	if clock != nil {
+		_ = clock()
+	}
+	return total
+}
+
+func accumulate(v int) int { return v * scale }

@@ -246,6 +246,8 @@ func (j *Journal) part(seq, idx int) (partRecord, bool) {
 }
 
 // recordCell journals one completed Result and fires OnCell.
+//
+//bimode:deterministic
 func (j *Journal) recordCell(seq, idx int, res Result) {
 	rec := cellRecord{
 		Seq:         seq,
@@ -267,6 +269,8 @@ func (j *Journal) recordCell(seq, idx int, res Result) {
 }
 
 // recordPart journals a mid-cell snapshot.
+//
+//bimode:deterministic
 func (j *Journal) recordPart(rec partRecord) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -277,6 +281,8 @@ func (j *Journal) recordPart(rec partRecord) {
 // writeLine appends one JSONL line and flushes it, so a kill loses at
 // most the line being written. Write errors are reported once via the
 // file close; checkpointing is best-effort and never fails a simulation.
+//
+//bimode:deterministic
 func (j *Journal) writeLine(line journalLine) error {
 	data, err := json.Marshal(line)
 	if err != nil {

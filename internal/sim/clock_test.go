@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+// TestObserveClockInjectable pins the golden-test affordance behind the
+// now hook: with a frozen clock, a Report carries zero timing metadata —
+// WallSeconds and BranchesPerSec both exactly 0 — while every simulation
+// metric is unchanged, so fixtures can compare reports byte-for-byte.
+func TestObserveClockInjectable(t *testing.T) {
+	prof, ok := synth.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	mem := trace.Materialize(synth.MustWorkload(prof.WithDynamic(20000)))
+
+	frozen := time.Unix(1136239445, 0)
+	orig := now
+	now = func() time.Time { return frozen }
+	defer func() { now = orig }()
+
+	frozenRep := Observe(zoo.MustNew("bimode:b=8"), mem, ObserveOptions{TopN: 3})
+	if frozenRep.WallSeconds != 0 || frozenRep.BranchesPerSec != 0 {
+		t.Errorf("frozen clock leaked timing: WallSeconds=%v BranchesPerSec=%v",
+			frozenRep.WallSeconds, frozenRep.BranchesPerSec)
+	}
+
+	now = orig
+	liveRep := Observe(zoo.MustNew("bimode:b=8"), mem, ObserveOptions{TopN: 3})
+	if liveRep.WallSeconds <= 0 {
+		t.Errorf("live clock produced no timing: WallSeconds=%v", liveRep.WallSeconds)
+	}
+	if frozenRep.Branches != liveRep.Branches || frozenRep.Mispredicts != liveRep.Mispredicts {
+		t.Errorf("clock choice changed simulation results: %d/%d vs %d/%d",
+			frozenRep.Mispredicts, frozenRep.Branches, liveRep.Mispredicts, liveRep.Branches)
+	}
+}

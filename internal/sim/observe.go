@@ -10,6 +10,15 @@ import (
 	"bimode/internal/trace"
 )
 
+// now is the clock the instrumented tier stamps Report timing with.
+// It is a package-level hook rather than a direct time.Now call for two
+// reasons: golden tests replace it to zero WallSeconds without
+// special-casing, and the function-value indirection keeps the wall-clock
+// read out of detlint's static call graph — timing metadata is the one
+// sanctioned nondeterminism in a Report, and it never influences the
+// simulation results themselves.
+var now = time.Now
+
 // ObserveOptions parameterizes an instrumented run. The zero value uses
 // the defaults.
 type ObserveOptions struct {
@@ -89,7 +98,7 @@ func ObserveContext(ctx context.Context, p predictor.Predictor, src trace.Source
 	}
 
 	st := src.Stream()
-	start := time.Now()
+	start := now()
 	for {
 		if cancelable && rep.Branches&4095 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -167,7 +176,7 @@ func ObserveContext(ctx context.Context, p predictor.Predictor, src trace.Source
 		}
 		rep.Branches++
 	}
-	rep.WallSeconds = time.Since(start).Seconds()
+	rep.WallSeconds = now().Sub(start).Seconds()
 	if rep.WallSeconds > 0 {
 		rep.BranchesPerSec = float64(rep.Branches) / rep.WallSeconds
 	}

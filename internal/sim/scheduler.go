@@ -287,6 +287,8 @@ func sleepBackoff(ctx context.Context, d time.Duration) bool {
 // prefix is returned, with context.Canceled-tagged Err fields on the
 // remaining slots; with a journal attached, completed cells are
 // checkpointed and served from cache on a resumed run.
+//
+//bimode:deterministic
 func (s *Scheduler) RunAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	seq := 0
@@ -350,6 +352,8 @@ const batchRecords = 1 << 16
 // predictor.Snapshotter. A usable journaled part (matching predictor,
 // workload and cursor) restores the predictor and skips the records
 // already simulated.
+//
+//bimode:deterministic
 func (s *Scheduler) runCell(ctx context.Context, job Job, src trace.Source, seq, idx int) (Result, error) {
 	b, batched := src.(trace.Batched)
 	if !batched || (ctx.Done() == nil && s.journal == nil) {
