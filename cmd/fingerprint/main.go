@@ -1,0 +1,116 @@
+// Command fingerprint probes a branch predictor from the outside and
+// reports the structure the probe suite infers: history depth and
+// scope, index width, index-hash class, table capacity and
+// choice-mechanism presence, each with a separation confidence.
+//
+// Usage:
+//
+//	fingerprint -p bimode:b=11                 # one spec, text report
+//	fingerprint -p bimode:b=11 -o json         # machine-readable report
+//	fingerprint -p bimode:b=11 -against        # diff vs declared geometry
+//	fingerprint -all -against                  # audit the whole zoo
+//
+// With -against the command compares the inferred structure to the
+// spec's declared geometry (zoo.Describe) through the observability
+// adapter and exits non-zero on any disagreement — the command-line
+// twin of TestFingerprintZoo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"bimode/internal/fingerprint"
+	"bimode/internal/predictor"
+	"bimode/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fingerprint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ContinueOnError)
+	var (
+		predList = fs.String("p", "", "semicolon-separated predictor specs to probe")
+		all      = fs.Bool("all", false, "probe every example spec the zoo knows")
+		output   = fs.String("o", "text", "output format: text or json")
+		against  = fs.Bool("against", false, "diff the inference against the spec's declared geometry; non-zero exit on mismatch")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "probe worker goroutines (0 = sequential reference path)")
+		rounds   = fs.Int("rounds", 0, "repetitions per probe (0 = default)")
+		maxh     = fs.Int("maxh", 0, "history-sweep ceiling in bits (0 = default)")
+		maxk     = fs.Int("maxk", 0, "stride-sweep ceiling in bits (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *output != "text" && *output != "json" {
+		return fmt.Errorf("unknown output format %q (want text or json)", *output)
+	}
+
+	var specs []string
+	if *all {
+		specs = zoo.Known()
+	} else if *predList != "" {
+		for _, s := range strings.Split(*predList, ";") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no predictors selected; use -p spec[;spec...] or -all")
+	}
+
+	opts := fingerprint.Options{Rounds: *rounds, MaxHistory: *maxh, MaxIndexBits: *maxk, Workers: *parallel}
+	mismatched := 0
+	for i, spec := range specs {
+		spec := spec
+		if _, err := zoo.New(spec); err != nil {
+			return err
+		}
+		rep := fingerprint.Fingerprint(spec, func() predictor.Predictor { return zoo.MustNew(spec) }, opts)
+
+		switch *output {
+		case "json":
+			b, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(b))
+		default:
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprint(out, rep.String())
+		}
+
+		if *against {
+			g, err := zoo.Describe(spec)
+			if err != nil {
+				return err
+			}
+			diffs := fingerprint.Expected(g, opts).Diff(rep)
+			if len(diffs) == 0 {
+				fmt.Fprintf(out, "  against declared geometry: MATCH\n")
+			} else {
+				mismatched++
+				fmt.Fprintf(out, "  against declared geometry: %d mismatches\n", len(diffs))
+				for _, d := range diffs {
+					fmt.Fprintf(out, "    %s\n", d)
+				}
+			}
+		}
+	}
+	if mismatched > 0 {
+		return fmt.Errorf("%d of %d predictors disagree with their declared geometry", mismatched, len(specs))
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFingerprintCmdText(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-p", "gshare:i=12,h=8", "-parallel", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"fingerprint: gshare:i=12,h=8", "history bits", "pc index bits", "stride sweep"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFingerprintCmdJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-p", "smith:a=12", "-o", "json", "-parallel", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		Predictor   string `json:"predictor"`
+		HistoryBits int    `json:"history_bits"`
+		IndexHash   string `json:"index_hash"`
+		PCIndexBits int    `json:"pc_index_bits"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if rep.Predictor != "smith:a=12" || rep.IndexHash != "pc" || rep.PCIndexBits != 12 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestFingerprintCmdAgainst(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-p", "bimode:b=11", "-against", "-parallel", "2"}, &out); err != nil {
+		t.Fatalf("run -against: %v", err)
+	}
+	if !strings.Contains(out.String(), "against declared geometry: MATCH") {
+		t.Errorf("expected a MATCH line:\n%s", out.String())
+	}
+}
+
+func TestFingerprintCmdErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no predictors selected: want error")
+	}
+	if err := run([]string{"-p", "nosuch:x=1"}, &out); err == nil {
+		t.Error("unknown spec: want error")
+	}
+	if err := run([]string{"-p", "taken", "-o", "yaml"}, &out); err == nil {
+		t.Error("unknown output format: want error")
+	}
+}

@@ -1,0 +1,154 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"bimode/internal/zoo"
+)
+
+// Expectation is what the probe suite should infer for a predictor with
+// a given declared geometry — the observability adapter between the
+// zoo's white-box declarations and the prober's black-box vocabulary.
+// The two differ wherever structure is declared but not observable from
+// mispredict counts alone:
+//
+//   - A loop-termination side structure (HasLoop) predicts every
+//     repeating probe pattern, so the history sweep caps out and scope,
+//     hash and choice verdicts are unresolved; only the stride sweep
+//     still lands (an always-not-taken collision victim never builds the
+//     trip confidence the loop side needs to override).
+//   - A hybrid (tournament) reads as per-address: its per-branch side is
+//     what survives the interleaving probe, and its choice mechanism is
+//     unobservable because the engineered collisions live in component
+//     tables the meta-chooser simply routes around.
+//   - A skewed index reads as unfolded with unresolved capacity: no
+//     single-bit PC/history compensation cancels in a majority of banks,
+//     so the fold probe stays clean, and the first colliding stride is
+//     the full hash input width (twice the per-bank index), whose
+//     implied capacity exceeds what a stride probe may honestly claim.
+//   - Choice mechanisms are observable only behind a folded (xor) index:
+//     that is the only regime where the choice probe's engineered
+//     collision actually lands in a shared counter.
+type Expectation struct {
+	Adaptive           bool   `json:"adaptive"`
+	HistoryBits        int    `json:"history_bits"`
+	HistoryCapped      bool   `json:"history_capped"`
+	Scope              string `json:"scope"`
+	PerAddrHistoryBits int    `json:"peraddr_history_bits"`
+	PCIndexBits        int    `json:"pc_index_bits"`
+	IndexHash          string `json:"index_hash"`
+	TableEntries       int    `json:"table_entries"`
+	HasChoice          bool   `json:"has_choice"`
+	// CheckChoice is false when the choice verdict is unresolved by
+	// construction (capped history sweep) rather than a real false.
+	CheckChoice bool `json:"check_choice"`
+}
+
+// Expected maps a declared geometry to the report the probe suite
+// should produce under the given options.
+func Expected(g zoo.Geometry, opts Options) Expectation {
+	o := opts.withDefaults()
+
+	if g.IndexHash == zoo.HashNone {
+		// Static predictors: one constant stream stays wrong forever.
+		return Expectation{Adaptive: false, Scope: ScopeReportNone, PCIndexBits: -1, IndexHash: HashReportStatic}
+	}
+	if g.HasLoop {
+		return Expectation{
+			Adaptive:      true,
+			HistoryBits:   o.MaxHistory,
+			HistoryCapped: true,
+			Scope:         ScopeReportUnresolved,
+			PCIndexBits:   g.PCIndexBits,
+			IndexHash:     HashReportUnresolved,
+		}
+	}
+
+	e := Expectation{
+		Adaptive:    true,
+		HistoryBits: g.HistoryBits,
+		PCIndexBits: g.PCIndexBits,
+		CheckChoice: true,
+	}
+	if e.HistoryBits > o.MaxHistory {
+		e.HistoryBits = o.MaxHistory
+		e.HistoryCapped = true
+	}
+
+	depth := e.HistoryBits
+	switch g.HistoryScope {
+	case zoo.ScopeNone:
+		e.Scope = ScopeReportNone
+	case zoo.ScopeGlobal:
+		e.Scope = ScopeReportGlobal
+	case zoo.ScopePerAddr, zoo.ScopeHybrid:
+		e.Scope = ScopeReportPerAddr
+		e.PerAddrHistoryBits = g.PerAddrHistoryBits
+		depth = g.PerAddrHistoryBits
+	}
+
+	switch g.IndexHash {
+	case zoo.HashPC:
+		e.IndexHash = HashReportPC
+		e.TableEntries = 1 << e.PCIndexBits
+	case zoo.HashXor:
+		e.IndexHash = HashReportXor
+		e.TableEntries = 1 << e.PCIndexBits
+	case zoo.HashHistory:
+		e.IndexHash = HashReportHistory
+		e.TableEntries = 1 << depth
+	case zoo.HashConcat, zoo.HashSkew:
+		e.IndexHash = HashReportUnfolded
+		if e.PCIndexBits+depth <= entriesCapBits {
+			e.TableEntries = 1 << (e.PCIndexBits + depth)
+		}
+	}
+	e.HasChoice = g.HasChoice && e.IndexHash == HashReportXor
+	return e
+}
+
+// Diff compares a report against an expectation and returns one line
+// per disagreement (empty: the inference matches the declared
+// structure on every observable attribute).
+func (e Expectation) Diff(r *Report) []string {
+	var d []string
+	mism := func(field string, got, want interface{}) {
+		d = append(d, fmt.Sprintf("%s: inferred %v, declared geometry implies %v", field, got, want))
+	}
+	if r.Adaptive != e.Adaptive {
+		mism("adaptive", r.Adaptive, e.Adaptive)
+	}
+	if !e.Adaptive {
+		// A static predictor resolves nothing else; the remaining
+		// fields are placeholders by construction.
+		if e.Adaptive == r.Adaptive && r.IndexHash != HashReportStatic {
+			mism("index_hash", r.IndexHash, HashReportStatic)
+		}
+		return d
+	}
+	if r.HistoryBits != e.HistoryBits {
+		mism("history_bits", r.HistoryBits, e.HistoryBits)
+	}
+	if r.HistoryCapped != e.HistoryCapped {
+		mism("history_capped", r.HistoryCapped, e.HistoryCapped)
+	}
+	if r.Scope != e.Scope {
+		mism("scope", r.Scope, e.Scope)
+	}
+	if r.Scope == ScopeReportPerAddr && r.PerAddrHistoryBits != e.PerAddrHistoryBits {
+		mism("peraddr_history_bits", r.PerAddrHistoryBits, e.PerAddrHistoryBits)
+	}
+	if r.PCIndexBits != e.PCIndexBits {
+		mism("pc_index_bits", r.PCIndexBits, e.PCIndexBits)
+	}
+	if r.IndexHash != e.IndexHash {
+		mism("index_hash", r.IndexHash, e.IndexHash)
+	}
+	if r.TableEntries != e.TableEntries {
+		mism("table_entries", r.TableEntries, e.TableEntries)
+	}
+	if e.CheckChoice && r.HasChoice != e.HasChoice {
+		mism("has_choice", r.HasChoice, e.HasChoice)
+	}
+	return d
+}

@@ -1,0 +1,450 @@
+package fingerprint
+
+import (
+	"math"
+	"sort"
+
+	"bimode/internal/predictor"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+)
+
+// Options sizes the probe suite.
+type Options struct {
+	// MaxHistory bounds the history-depth sweep and sizes the
+	// window-forcing filler runs. It must exceed every plausible
+	// history depth but stay below run-length thresholds of filtering
+	// structures (the zoo's filter predictor ignores branches with
+	// 32-outcome runs), so the default is 14 against the zoo's maximum
+	// depth of 12.
+	MaxHistory int
+	// MaxIndexBits bounds the stride sweep. A skewed predictor's
+	// collision stride is twice its per-bank index width, so the
+	// default 22 covers the zoo's 2*10-bit gskew with headroom.
+	MaxIndexBits int
+	// Rounds is the repetition count per probe; decision thresholds
+	// sit at half the scored visits, far from both the O(depth)
+	// warm-up transients of a clean measurement and the every-round
+	// misses of a collision.
+	Rounds int
+	// Workers is the probe fan-out width (0 = sequential reference
+	// scheduler). Excluded from report JSON: fan-out must not change
+	// any measurement, and the determinism test pins that.
+	Workers int `json:"-"`
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxHistory   = 14
+	DefaultMaxIndexBits = 22
+	DefaultRounds       = 512
+)
+
+// entriesCapBits bounds derived table-entry claims: an unfolded index
+// whose PC and history fields sum past this is reported unresolved
+// rather than extrapolated (the gskew skewing functions, for example,
+// make raw capacity invisible to stride probes).
+const entriesCapBits = 24
+
+func (o Options) withDefaults() Options {
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = DefaultMaxHistory
+	}
+	if o.MaxIndexBits <= 0 {
+		o.MaxIndexBits = DefaultMaxIndexBits
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = DefaultRounds
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	return o
+}
+
+// strideBases are the probe base PCs; the stride sweep takes the
+// per-stride median across them so an accidental index collision at one
+// base (a filler PC aliasing the probe pair, a skewing function hitting
+// a degenerate input) cannot fake or hide a collision. All are 16-byte
+// aligned so the fold probe's PC bit-0 pairing is well defined.
+var strideBases = [...]uint64{0x40000, 0xA64D0, 0x1C3F40}
+
+// Measure is one probe execution: the trace's identifying parameters
+// and the scored mispredict count. Scored counts only the records the
+// probe's decision rule is about (Static == siteCounted), so filler and
+// context-branch transients never pollute a verdict.
+type Measure struct {
+	Probe  string  `json:"probe"`
+	Param  int     `json:"param"`
+	Base   uint64  `json:"base"`
+	Scored int     `json:"scored"`
+	Misses int     `json:"misses"`
+	Frac   float64 `json:"miss_fraction"`
+}
+
+// failed reports whether the scored stream was effectively
+// unpredictable (miss fraction at or above one half — a clean
+// measurement sits near 0, a collision near 1), along with the
+// separation confidence: the distance from the threshold, doubled, so
+// 0 means undecidable and 1 means maximally separated.
+func (m Measure) failed() (bool, float64) {
+	return m.Frac >= 0.5, math.Min(1, 2*math.Abs(m.Frac-0.5))
+}
+
+// session is one fingerprinting run over one predictor factory.
+type session struct {
+	factory func() predictor.Predictor
+	sched   *sim.Scheduler
+	o       Options
+}
+
+// job is one probe trace waiting to run.
+type job struct {
+	probe string
+	param int
+	base  uint64
+	gen   func() []trace.Record
+}
+
+// runTrace replays one probe trace against a predictor through the
+// plain black-box interface (Predict then Update, once per record) and
+// scores the counted records.
+func runTrace(p predictor.Predictor, recs []trace.Record) (scored, misses int) {
+	for _, r := range recs {
+		pred := p.Predict(r.PC)
+		p.Update(r.PC, r.Taken)
+		if r.Static == siteCounted {
+			scored++
+			if pred != r.Taken {
+				misses++
+			}
+		}
+	}
+	return scored, misses
+}
+
+// sweep fans a batch of probe jobs out through the scheduler, each
+// against a fresh predictor instance, and collects the measurements in
+// job order (index-addressed writes keep the result deterministic for
+// any worker count).
+func (s *session) sweep(jobs []job) []Measure {
+	out := make([]Measure, len(jobs))
+	s.sched.Do(len(jobs), func(i int) error {
+		recs := jobs[i].gen()
+		scored, misses := runTrace(s.factory(), recs)
+		frac := 0.0
+		if scored > 0 {
+			frac = float64(misses) / float64(scored)
+		}
+		out[i] = Measure{
+			Probe: jobs[i].probe, Param: jobs[i].param, Base: jobs[i].base,
+			Scored: scored, Misses: misses, Frac: frac,
+		}
+		return nil
+	})
+	return out
+}
+
+// medianByParam groups stride measurements by stride exponent and
+// returns the per-exponent median measurement (by miss fraction), in
+// ascending exponent order.
+func medianByParam(ms []Measure) []Measure {
+	byParam := map[int][]Measure{}
+	var order []int
+	for _, m := range ms {
+		if _, ok := byParam[m.Param]; !ok {
+			order = append(order, m.Param)
+		}
+		byParam[m.Param] = append(byParam[m.Param], m)
+	}
+	sort.Ints(order)
+	out := make([]Measure, 0, len(order))
+	for _, k := range order {
+		group := byParam[k]
+		sort.Slice(group, func(i, j int) bool { return group[i].Frac < group[j].Frac })
+		out = append(out, group[len(group)/2])
+	}
+	return out
+}
+
+// Fingerprint probes a black-box predictor and infers its structure.
+// The factory must return a fresh, identically configured instance per
+// call: every probe starts from reset state. name labels the report.
+func Fingerprint(name string, factory func() predictor.Predictor, opts Options) *Report {
+	o := opts.withDefaults()
+	s := &session{factory: factory, sched: sim.NewScheduler(o.Workers), o: o}
+	rep := &Report{Predictor: name, Options: o}
+	base := strideBases[0]
+
+	// Phase 1: adaptivity and history depth, independent probes in one
+	// fan-out wave.
+	wave := []job{
+		{probe: "const", param: 1, base: base, gen: func() []trace.Record { return constProbe(base, o.Rounds, true) }},
+		{probe: "const", param: 0, base: base, gen: func() []trace.Record { return constProbe(base, o.Rounds, false) }},
+	}
+	for l := 1; l <= o.MaxHistory; l++ {
+		l := l
+		wave = append(wave, job{probe: "history", param: l, base: base,
+			gen: func() []trace.Record { return historyProbe(base, l, o.Rounds) }})
+	}
+	ms := s.sweep(wave)
+	rep.Evidence.Adaptivity = ms[:2]
+	rep.Evidence.History = ms[2:]
+	s.decideAdaptive(rep)
+	s.decideHistory(rep)
+	if !rep.Adaptive {
+		rep.Scope = ScopeReportNone
+		rep.PCIndexBits = -1
+		rep.IndexHash = HashReportStatic
+		return rep
+	}
+
+	// Phase 2: history scope, a sweep over interleaved pattern depths.
+	// Gated off when the depth sweep was capped (a loop-like capturer
+	// predicts the pattern at any depth, so the interleaving tells us
+	// nothing) or when no history is consulted at all.
+	if !rep.HistoryCapped && rep.HistoryBits > 0 {
+		var scopeWave []job
+		for e := 1; e <= rep.HistoryBits; e++ {
+			e := e
+			scopeWave = append(scopeWave, job{probe: "scope", param: e, base: base,
+				gen: func() []trace.Record { return scopeProbe(base, e, o.Rounds) }})
+		}
+		rep.Evidence.Scope = s.sweep(scopeWave)
+		s.decideScope(rep)
+	} else {
+		rep.Scope = ScopeReportUnresolved
+		if rep.HistoryBits == 0 {
+			rep.Scope = ScopeReportNone
+		}
+	}
+
+	// Phase 3: the stride sweep (index width) and the fold sweep (xor
+	// discrimination over every controllable bit position), one wave.
+	// The per-address stride variant replaces the window-forced one
+	// when the scope probe found per-branch history; the fold sweep
+	// needs at least two controllable history bits and an uncapped
+	// depth sweep.
+	perAddr := rep.Scope == ScopeReportPerAddr
+	var wave3 []job
+	for k := 0; k <= o.MaxIndexBits; k++ {
+		for _, b := range strideBases {
+			k, b := k, b
+			if perAddr {
+				e := rep.PerAddrHistoryBits
+				wave3 = append(wave3, job{probe: "stride-peraddr", param: k, base: b,
+					gen: func() []trace.Record { return strideProbePerAddr(b, k, e, o.Rounds) }})
+			} else {
+				wave3 = append(wave3, job{probe: "stride", param: k, base: b,
+					gen: func() []trace.Record { return strideProbe(b, k, o.MaxHistory, o.Rounds) }})
+			}
+		}
+	}
+	rep.Evidence.Stride = s.sweep(wave3)
+	s.decideStride(rep)
+
+	// Phase 3b: the fold sweep, a dependent wave over the bit positions
+	// where a PC/history fold is possible at all — below both the
+	// history depth (the compensating window bit must exist) and the
+	// measured index width (above it the pair collides by exhaustion,
+	// not folding). An index with no PC field (width 0) or no resolved
+	// width has nothing to fold; the verdict is a structural false.
+	foldable := !rep.HistoryCapped && rep.HistoryBits >= 2 && rep.PCIndexBits >= 1
+	if foldable {
+		var foldWave []job
+		maxBit := rep.HistoryBits
+		if rep.PCIndexBits < maxBit {
+			maxBit = rep.PCIndexBits
+		}
+		for bit := 0; bit < maxBit; bit++ {
+			for _, b := range strideBases {
+				bit, b := bit, b
+				foldWave = append(foldWave, job{probe: "fold", param: bit, base: b,
+					gen: func() []trace.Record { return foldProbe(b, bit, o.MaxHistory, o.Rounds) }})
+			}
+		}
+		rep.Evidence.Fold = s.sweep(foldWave)
+	}
+	s.decideFold(rep, foldable)
+
+	// Phase 4: the choice probe, a dependent wave at the bit position
+	// where folding was observed — the only place an engineered
+	// collision provably reaches a shared counter.
+	if rep.Folded {
+		var wave4 []job
+		for _, b := range strideBases {
+			b := b
+			wave4 = append(wave4, job{probe: "choice", param: rep.FoldBit, base: b,
+				gen: func() []trace.Record { return choiceProbe(b, rep.FoldBit, o.MaxHistory, o.Rounds) }})
+		}
+		rep.Evidence.Choice = s.sweep(wave4)
+	}
+	s.decideChoice(rep)
+	s.deriveHashAndEntries(rep)
+	return rep
+}
+
+// decideAdaptive: adaptive means both constant streams become
+// predictable — any trainable table passes, a hardwired direction
+// fails one of the two.
+func (s *session) decideAdaptive(rep *Report) {
+	rep.Adaptive = true
+	rep.AdaptiveConf = 1
+	for _, m := range rep.Evidence.Adaptivity {
+		failed, conf := m.failed()
+		if failed {
+			rep.Adaptive = false
+		}
+		rep.AdaptiveConf = math.Min(rep.AdaptiveConf, conf)
+	}
+}
+
+// decideHistory: the inferred depth is the longest contiguous prefix of
+// predictable pattern lengths. If every probed length is predictable
+// the sweep is capped — a loop-termination structure captures periodic
+// patterns regardless of history depth — and depth is unresolved.
+func (s *session) decideHistory(rep *Report) {
+	depth := 0
+	conf := 1.0
+	capped := true
+	for _, m := range rep.Evidence.History {
+		failed, c := m.failed()
+		if failed {
+			capped = false
+			conf = math.Min(conf, c)
+			break
+		}
+		depth = m.Param
+		conf = math.Min(conf, c)
+	}
+	rep.HistoryBits = depth
+	rep.HistoryCapped = capped
+	rep.HistoryConf = conf
+}
+
+// decideScope: the largest interleaving-robust depth ePA tells global
+// and per-address history apart. A global register needs 2e+1 of its
+// own bits to survive the interleaving, so it stays clean only up to
+// about half the measured depth; a per-branch register is immune and
+// stays clean to the full depth.
+func (s *session) decideScope(rep *Report) {
+	ePA := 0
+	conf := 1.0
+	for _, m := range rep.Evidence.Scope {
+		failed, c := m.failed()
+		conf = math.Min(conf, c)
+		if failed {
+			break
+		}
+		ePA = m.Param
+	}
+	if ePA >= (rep.HistoryBits+2)/2 {
+		rep.Scope = ScopeReportPerAddr
+		rep.PerAddrHistoryBits = ePA
+	} else {
+		rep.Scope = ScopeReportGlobal
+	}
+	rep.ScopeConf = conf
+}
+
+// decideStride: the inferred index width is the smallest stride
+// exponent whose per-base median collides; none across the whole sweep
+// means the structure is shielded from stride aliasing.
+func (s *session) decideStride(rep *Report) {
+	medians := medianByParam(rep.Evidence.Stride)
+	rep.PCIndexBits = -1
+	rep.StrideConf = 1
+	for _, m := range medians {
+		failed, c := m.failed()
+		rep.StrideConf = math.Min(rep.StrideConf, c)
+		if failed {
+			rep.PCIndexBits = m.Param
+			break
+		}
+	}
+}
+
+// decideFold: folding (xor) shows as thrash on a bit-compensated 50/50
+// pair at some bit position. The sweep takes the per-position median
+// across bases; the index folds if any position thrashes, and FoldBit
+// is the lowest such position (for a plain xor index that is bit 0;
+// for a tagged structure it is the first bit above the tag width,
+// where the tags stop disambiguating the engineered alias).
+func (s *session) decideFold(rep *Report, foldable bool) {
+	rep.FoldBit = -1
+	if !foldable {
+		rep.Folded = false
+		return
+	}
+	rep.FoldConf = 1
+	for _, m := range medianByParam(rep.Evidence.Fold) {
+		failed, c := m.failed()
+		rep.FoldConf = math.Min(rep.FoldConf, c)
+		if failed {
+			rep.Folded = true
+			rep.FoldBit = m.Param
+			break
+		}
+	}
+}
+
+// decideChoice: a choice mechanism shows as a folded index that
+// nonetheless separates the same engineered collision once each branch
+// is perfectly biased. Majority vote across bases; without observed
+// folding the verdict is a structural false (nothing to separate).
+func (s *session) decideChoice(rep *Report) {
+	if !rep.Folded {
+		rep.HasChoice = false
+		return
+	}
+	fails, conf := 0, 1.0
+	for _, m := range rep.Evidence.Choice {
+		failed, c := m.failed()
+		conf = math.Min(conf, c)
+		if failed {
+			fails++
+		}
+	}
+	rep.HasChoice = fails*2 < len(rep.Evidence.Choice)
+	rep.ChoiceConf = math.Min(rep.FoldConf, conf)
+}
+
+// deriveHashAndEntries composes the index-hash class and the
+// addressable entry count from the phase verdicts.
+func (s *session) deriveHashAndEntries(rep *Report) {
+	switch {
+	case rep.HistoryCapped:
+		rep.IndexHash = HashReportUnresolved
+	case rep.HistoryBits == 0:
+		rep.IndexHash = HashReportPC
+		if rep.PCIndexBits >= 0 {
+			rep.TableEntries = 1 << rep.PCIndexBits
+		}
+	case rep.PCIndexBits < 0:
+		rep.IndexHash = HashReportShielded
+	case rep.PCIndexBits == 0:
+		rep.IndexHash = HashReportHistory
+		depth := rep.HistoryBits
+		if rep.Scope == ScopeReportPerAddr {
+			depth = rep.PerAddrHistoryBits
+		}
+		rep.TableEntries = 1 << depth
+	case rep.Folded:
+		rep.IndexHash = HashReportXor
+		rep.TableEntries = 1 << rep.PCIndexBits
+	default:
+		rep.IndexHash = HashReportUnfolded
+		depth := rep.HistoryBits
+		if rep.Scope == ScopeReportPerAddr {
+			depth = rep.PerAddrHistoryBits
+		}
+		if rep.PCIndexBits+depth <= entriesCapBits {
+			rep.TableEntries = 1 << (rep.PCIndexBits + depth)
+		}
+	}
+	if rep.HistoryCapped || rep.HistoryBits < 2 {
+		rep.HashConf = 0
+		return
+	}
+	rep.HashConf = math.Min(rep.StrideConf, rep.FoldConf)
+}

@@ -1,0 +1,142 @@
+package fingerprint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bimode/internal/predictor"
+	"bimode/internal/trace"
+	"bimode/internal/zoo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFingerprintZoo is the suite's oracle: for every example spec in
+// the zoo, the black-box probes must infer exactly the structure the
+// spec's declared geometry implies — history depth, scope, index width,
+// hash class, capacity and choice presence, through the observability
+// adapter in expect.go.
+func TestFingerprintZoo(t *testing.T) {
+	for _, spec := range zoo.Known() {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			g, err := zoo.Describe(spec)
+			if err != nil {
+				t.Fatalf("Describe(%q): %v", spec, err)
+			}
+			opts := Options{Workers: 2}
+			rep := Fingerprint(spec, func() predictor.Predictor { return zoo.MustNew(spec) }, opts)
+			for _, line := range Expected(g, opts).Diff(rep) {
+				t.Errorf("%s: %s", spec, line)
+			}
+			if t.Failed() {
+				t.Logf("report:\n%s", rep.String())
+			}
+		})
+	}
+}
+
+// TestFingerprintConfidence pins that clean verdicts come with real
+// separation margins, not threshold-grazing luck.
+func TestFingerprintConfidence(t *testing.T) {
+	rep := Fingerprint("bimode:b=11", func() predictor.Predictor { return zoo.MustNew("bimode:b=11") }, Options{})
+	for name, conf := range map[string]float64{
+		"adaptive": rep.AdaptiveConf,
+		"history":  rep.HistoryConf,
+		"scope":    rep.ScopeConf,
+		"stride":   rep.StrideConf,
+		"fold":     rep.FoldConf,
+		"choice":   rep.ChoiceConf,
+		"hash":     rep.HashConf,
+	} {
+		if conf < 0.8 {
+			t.Errorf("%s confidence %.3f below 0.8; the probe separation is too thin to trust", name, conf)
+		}
+	}
+}
+
+// TestProbeGeneratorsDeterministic is the property test for satellite
+// determinism: every generator, called twice with identical arguments,
+// must produce byte-identical traces — no clocks, no ambient
+// randomness, no map-order dependence. (The static proof of the same
+// property is the //bimode:deterministic annotation on each generator,
+// checked by the detlint analyzer over the whole repo.)
+func TestProbeGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func() []trace.Record{
+		"const-taken":    func() []trace.Record { return constProbe(0x40000, 257, true) },
+		"const-nottaken": func() []trace.Record { return constProbe(0x40000, 257, false) },
+		"history":        func() []trace.Record { return historyProbe(0xA64D0, 7, 64) },
+		"scope":          func() []trace.Record { return scopeProbe(0xA64D0, 5, 64) },
+		"stride":         func() []trace.Record { return strideProbe(0x1C3F40, 9, 14, 64) },
+		"stride-peraddr": func() []trace.Record { return strideProbePerAddr(0x1C3F40, 9, 8, 64) },
+		"fold":           func() []trace.Record { return foldProbe(0x40000, 6, 14, 64) },
+		"choice":         func() []trace.Record { return choiceProbe(0x40000, 6, 14, 64) },
+	}
+	for name, gen := range gens {
+		a, b := gen(), gen()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generations of the same probe differ", name)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: generator produced an empty trace", name)
+		}
+	}
+}
+
+// TestFingerprintDeterministicAcrossWorkers pins that the report does
+// not depend on scheduler fan-out: sequential and parallel runs must be
+// byte-identical, since every probe runs against its own fresh
+// predictor instance and results are index-addressed.
+func TestFingerprintDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		rep := Fingerprint("gshare:i=12,h=8",
+			func() predictor.Predictor { return zoo.MustNew("gshare:i=12,h=8") },
+			Options{Workers: workers})
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return b
+	}
+	if seq, par := run(0), run(4); !bytes.Equal(seq, par) {
+		t.Errorf("fingerprint differs between sequential and 4-worker runs")
+	}
+}
+
+// TestFingerprintGolden pins the full bi-mode report — verdicts,
+// confidences and raw evidence — against a committed golden, so any
+// drift in probe construction or decision rules is a reviewed diff.
+// Regenerate with: go test ./internal/fingerprint -run Golden -update
+func TestFingerprintGolden(t *testing.T) {
+	rep := Fingerprint("bimode:b=11", func() predictor.Predictor { return zoo.MustNew("bimode:b=11") }, Options{})
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "fingerprint_report.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("bi-mode fingerprint drifted from golden %s; rerun with -update and review the diff", path)
+	}
+	// The golden must itself be valid JSON for downstream tooling.
+	var chk Report
+	if err := json.Unmarshal(want, &chk); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+}

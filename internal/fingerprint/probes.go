@@ -1,0 +1,258 @@
+// Package fingerprint infers the structure of a branch predictor from
+// the outside: given nothing but the predictor.Predictor interface, a
+// suite of crafted probe traces recovers its history depth, history
+// scope, index width, index-hash class and choice-mechanism presence,
+// the way microarchitectural dissections recover shipped predictors
+// from mispredict counters. Each probe is a deterministic trace
+// generator paired with a decision rule over per-site mispredict
+// counts; Fingerprint composes them into a Report with per-attribute
+// confidence, and the zoo's declared Geometry (internal/zoo) is the
+// ground truth the suite is validated against in TestFingerprintZoo.
+package fingerprint
+
+import "bimode/internal/trace"
+
+// Probe site identifiers. Decision rules count mispredicts only on
+// records whose Static id is siteCounted; warm-up filler and context
+// branches carry other ids so their own transients never pollute a
+// measurement. The predictor sees only PCs — Static is measurement
+// metadata.
+const (
+	siteCounted = 0 // the record the decision rule scores
+	siteProbe   = 1 // probe branch visits that are not scored
+	siteFill    = 2 // history-forcing filler
+	siteNoise   = 3 // interleaved context branch
+)
+
+// fillerXor displaces the filler PC from the probe base. The shifted
+// displacement (fillerXor>>2 = 0x154C, bits {2,3,6,8,10,12}) is chosen
+// so the filler cannot alias a scored branch in any zoo organization:
+// its low bits are zero through bit 1, so concatenated set-selection
+// fields (gas/pas sets) put the filler in the probe base's own set,
+// never the scored branch's; and masked to any history width >= 9 it
+// keeps at least three scattered bits, so filler^probe is never zero,
+// a single bit, or a single carry chain — the displacements a folded
+// index could cancel with one history bit. Word-aligned so filler PCs
+// stay aligned.
+const fillerXor = 0x5530
+
+// rec is the one-line record constructor all generators share.
+func rec(pc uint64, site uint32, taken bool) trace.Record {
+	return trace.Record{PC: pc, Static: site, Taken: taken}
+}
+
+// constProbe is the adaptivity probe: one branch, one constant outcome.
+// Any table of trainable counters drives its miss fraction to zero; a
+// hardwired (static) predictor stays wrong forever on one direction.
+//
+//bimode:deterministic
+func constProbe(base uint64, visits int, taken bool) []trace.Record {
+	recs := make([]trace.Record, 0, visits)
+	for i := 0; i < visits; i++ {
+		recs = append(recs, rec(base, siteCounted, taken))
+	}
+	return recs
+}
+
+// historyProbe is the history-depth probe: one branch repeating the
+// pattern T^length F. A predictor with effective history >= length sees
+// a unique context before the single not-taken outcome (the window
+// T^length occurs nowhere else in the period) and learns it; anything
+// shallower confuses that context with a deep position inside the taken
+// run, whose majority pins the counter taken, and misses the F every
+// period. Only the F records are scored.
+//
+//bimode:deterministic
+func historyProbe(base uint64, length, rounds int) []trace.Record {
+	recs := make([]trace.Record, 0, rounds*(length+1))
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < length; j++ {
+			recs = append(recs, rec(base, siteProbe, true))
+		}
+		recs = append(recs, rec(base, siteCounted, false))
+	}
+	return recs
+}
+
+// scopeProbe is the history-scope probe: the pattern branch X = (T^e F)
+// interleaved with an always-NOT-taken context branch N before every X
+// visit. A per-address history register keeps X's own outcomes intact,
+// so X stays predictable whenever e fits its depth — and because X's
+// windows always contain taken bits, they can never land on the
+// all-zeros entry N saturates in a shared history-indexed table (the
+// reason N's direction is not-taken: an always-taken N would pin the
+// all-ones entry that X's own deepest window needs). A global register
+// sees the interleaving: X's previous F is 2(e+1)-1 records back, so
+// once 2e+1 exceeds the global depth the window before the F and the
+// windows before late taken positions are the same noise/taken
+// alternation, the shared context's taken majority pins the counter,
+// and the F misses every period. Only X's F records are scored.
+//
+//bimode:deterministic
+func scopeProbe(base uint64, e, rounds int) []trace.Record {
+	noise := base ^ fillerXor
+	recs := make([]trace.Record, 0, 2*rounds*(e+1))
+	for r := 0; r < rounds; r++ {
+		for j := 0; j <= e; j++ {
+			recs = append(recs, rec(noise, siteNoise, false))
+			if j < e {
+				recs = append(recs, rec(base, siteProbe, true))
+			} else {
+				recs = append(recs, rec(base, siteCounted, false))
+			}
+		}
+	}
+	return recs
+}
+
+// fillWindow appends hmax filler outcomes that force the global history
+// window to a chosen value w: bit 0 of w is the newest outcome after
+// the run, bit j the outcome j records before it. With hmax at least
+// the predictor's depth, the window after the run is fully determined
+// regardless of what preceded it.
+func fillWindow(recs []trace.Record, fillPC uint64, hmax int, w uint64) []trace.Record {
+	for j := hmax - 1; j >= 0; j-- {
+		recs = append(recs, rec(fillPC, siteFill, w&(1<<uint(j)) != 0))
+	}
+	return recs
+}
+
+// onesWindow is the all-taken history window of width hmax.
+func onesWindow(hmax int) uint64 { return 1<<uint(hmax) - 1 }
+
+// strideProbe is the index-width probe for global-history predictors:
+// branch A at base is always taken, branch B at base+4*2^stride is
+// always not-taken, and every visit is preceded by a filler run forcing
+// the same all-ones history window for both. With identical windows the
+// two index computations differ only in their PC contribution, so B's
+// counter is shared with A's exactly when the table's PC field cannot
+// separate a 2^stride word distance — and A's taken majority then costs
+// B its not-taken outcome every round. Only B's records are scored.
+//
+//bimode:deterministic
+func strideProbe(base uint64, stride, hmax, rounds int) []trace.Record {
+	fillPC := base ^ fillerXor
+	pcB := base + 4<<uint(stride)
+	ones := onesWindow(hmax)
+	recs := make([]trace.Record, 0, rounds*2*(hmax+1))
+	for r := 0; r < rounds; r++ {
+		recs = fillWindow(recs, fillPC, hmax, ones)
+		recs = append(recs, rec(base, siteProbe, true))
+		recs = fillWindow(recs, fillPC, hmax, ones)
+		recs = append(recs, rec(pcB, siteCounted, false))
+	}
+	return recs
+}
+
+// strideProbePerAddr is the index-width probe for per-address-history
+// predictors, where global filler runs cannot force a window: branch A
+// at base is always taken (its per-address window saturates to all
+// ones), branch B at base+4*2^stride repeats T^e F with e at the
+// measured per-address depth, so B's own window before its F is the
+// same all-ones value. When the stride defeats the PC (set) field the
+// two branches share the all-ones-context counter, A's taken majority
+// pins it, and B misses its F every period. Only B's F records are
+// scored.
+//
+//bimode:deterministic
+func strideProbePerAddr(base uint64, stride, e, rounds int) []trace.Record {
+	pcB := base + 4<<uint(stride)
+	recs := make([]trace.Record, 0, 2*rounds*(e+1))
+	for r := 0; r < rounds; r++ {
+		for j := 0; j <= e; j++ {
+			recs = append(recs, rec(base, siteProbe, true))
+			if j < e {
+				recs = append(recs, rec(pcB, siteProbe, true))
+			} else {
+				recs = append(recs, rec(pcB, siteCounted, false))
+			}
+		}
+	}
+	return recs
+}
+
+// foldBitContext returns the PC pair and window masks for a fold-style
+// collision at bit position bit: branches A (base) and B (base xor
+// 4<<bit) differ in exactly PC index bit `bit`, m1 is the history bit
+// that an xor-folding index would cancel that difference with, and m2
+// is a second, disjoint window bit used to give each branch two
+// distinct contexts.
+func foldBitContext(base uint64, bit int) (pcB, m1, m2 uint64) {
+	pcB = base ^ 4<<uint(bit)
+	m1 = 1 << uint(bit)
+	m2 = 1
+	if bit == 0 {
+		m2 = 2
+	}
+	return pcB, m1, m2
+}
+
+// foldProbe is the xor-discrimination probe at one bit position.
+// Branches A (base) and B (base^(4<<bit)) differ in PC index bit
+// `bit`; the filler forces four history windows W, W^m1, W^m2 and
+// W^m1^m2 (W all ones, m1 the window bit at the same position, m2 a
+// disjoint bit). The schedule gives A outcome taken under W and
+// not-taken under W^m2, and B taken under W^m1^m2 and not-taken under
+// W^m1. An index that xor-folds PC into history maps A@W and B@W^m1 to
+// the same counter (the PC bit cancels the history bit) with opposite
+// outcomes — likewise A@W^m2 and B@W^m1^m2 — so both fold pairs
+// thrash. Disjoint-field (concatenated) or history-only indexing keeps
+// all four contexts distinct and every outcome, though 50/50 per
+// branch, is constant per context. Choice mechanisms cannot rescue the
+// folded case because neither branch has a usable bias. Probing bit
+// positions above zero matters: tagged structures (YAGS) disambiguate
+// low-bit folds with their tags, and only a fold above the tag width
+// reaches the shared counter.
+//
+// Only B's not-taken visits are scored. A's F context (W^m2 with m2 a
+// low window bit) is one of the single-zero windows that every filler
+// run's sliding zero passes through, so in predictors whose index
+// cannot see the filler's PC displacement (shared sets, history-only
+// fields) A's entry picks up filler-taken pollution; B's entry is
+// displaced from the filler by the probed PC bit, which the sweep only
+// visits below the measured index width, so it stays clean whenever
+// the index genuinely separates the pair.
+//
+//bimode:deterministic
+func foldProbe(base uint64, bit, hmax, rounds int) []trace.Record {
+	fillPC := base ^ fillerXor
+	pcB, m1, m2 := foldBitContext(base, bit)
+	w := onesWindow(hmax)
+	recs := make([]trace.Record, 0, rounds*4*(hmax+1))
+	for r := 0; r < rounds; r++ {
+		recs = fillWindow(recs, fillPC, hmax, w)
+		recs = append(recs, rec(base, siteProbe, true))
+		recs = fillWindow(recs, fillPC, hmax, w^m1^m2)
+		recs = append(recs, rec(pcB, siteProbe, true))
+		recs = fillWindow(recs, fillPC, hmax, w^m2)
+		recs = append(recs, rec(base, siteProbe, false))
+		recs = fillWindow(recs, fillPC, hmax, w^m1)
+		recs = append(recs, rec(pcB, siteCounted, false))
+	}
+	return recs
+}
+
+// choiceProbe is the choice-mechanism probe, run at the bit position
+// where foldProbe found xor folding: A (base) is always taken under
+// window W, B (base^(4<<bit)) is always not-taken under W^m1 — the
+// same engineered collision, but now each branch is perfectly biased.
+// A monolithic folded table shares one counter between a taken and a
+// not-taken stream and B misses nearly every visit; a bias-separating
+// mechanism (choice banks, agree bias, filter counters, tagged
+// exceptions) keyed by PC alone splits the two streams and both
+// predict cleanly. Only B's records are scored.
+//
+//bimode:deterministic
+func choiceProbe(base uint64, bit, hmax, rounds int) []trace.Record {
+	fillPC := base ^ fillerXor
+	pcB, m1, _ := foldBitContext(base, bit)
+	w := onesWindow(hmax)
+	recs := make([]trace.Record, 0, rounds*2*(hmax+1))
+	for r := 0; r < rounds; r++ {
+		recs = fillWindow(recs, fillPC, hmax, w)
+		recs = append(recs, rec(base, siteProbe, true))
+		recs = fillWindow(recs, fillPC, hmax, w^m1)
+		recs = append(recs, rec(pcB, siteCounted, false))
+	}
+	return recs
+}

@@ -1,0 +1,151 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"bimode/internal/textplot"
+)
+
+// Inferred history-scope verdicts. These are the prober's vocabulary,
+// deliberately narrower than the zoo's declared scopes: a black box
+// cannot tell "hybrid" from "peraddr" (a tournament's per-address side
+// is what survives the interleaving probe), so the expectation adapter
+// in expect.go maps declared scopes onto these.
+const (
+	ScopeReportNone       = "none"
+	ScopeReportGlobal     = "global"
+	ScopeReportPerAddr    = "peraddr"
+	ScopeReportUnresolved = "unresolved"
+)
+
+// Inferred index-hash verdicts.
+const (
+	HashReportStatic     = "static"     // not adaptive; no table at all
+	HashReportPC         = "pc"         // PC-only indexing, no history
+	HashReportXor        = "xor"        // history folded into the PC field
+	HashReportUnfolded   = "unfolded"   // disjoint PC and history fields
+	HashReportHistory    = "history"    // history-only indexing
+	HashReportShielded   = "shielded"   // no stride in the sweep collides
+	HashReportUnresolved = "unresolved" // gated off (capped history sweep)
+)
+
+// Evidence is the raw measurement record behind a report: every probe
+// execution the decision rules consumed, for rendering and for the
+// committed golden.
+type Evidence struct {
+	Adaptivity []Measure `json:"adaptivity,omitempty"`
+	History    []Measure `json:"history,omitempty"`
+	Scope      []Measure `json:"scope,omitempty"`
+	Stride     []Measure `json:"stride,omitempty"`
+	Fold       []Measure `json:"fold,omitempty"`
+	Choice     []Measure `json:"choice,omitempty"`
+}
+
+// Report is the inferred structure of a probed predictor. Confidence
+// fields are separation margins in [0, 1]: the scored miss fraction's
+// distance from the 0.5 decision threshold, doubled, minimised over the
+// measurements the verdict rests on.
+type Report struct {
+	Predictor string  `json:"predictor"`
+	Options   Options `json:"options"`
+
+	// Adaptive: both constant-outcome streams became predictable.
+	Adaptive     bool    `json:"adaptive"`
+	AdaptiveConf float64 `json:"adaptive_conf"`
+
+	// HistoryBits is the deepest predictable T^L F pattern; capped
+	// means every probed depth was predictable (a loop-style capture)
+	// so the true depth is beyond the sweep.
+	HistoryBits   int     `json:"history_bits"`
+	HistoryCapped bool    `json:"history_capped,omitempty"`
+	HistoryConf   float64 `json:"history_conf"`
+
+	// Scope is the inferred history scope; PerAddrHistoryBits is the
+	// interleaving-robust depth when the scope is per-address.
+	Scope              string  `json:"scope"`
+	PerAddrHistoryBits int     `json:"peraddr_history_bits,omitempty"`
+	ScopeConf          float64 `json:"scope_conf"`
+
+	// PCIndexBits is the smallest colliding stride exponent (-1: no
+	// stride in the sweep collided — the index is shielded).
+	PCIndexBits int     `json:"pc_index_bits"`
+	StrideConf  float64 `json:"stride_conf"`
+
+	// Folded: some bit-compensated collision pair thrashed, so PC and
+	// history share index bits (xor-style folding); FoldBit is the
+	// lowest thrashing bit position (-1 when not folded — for tagged
+	// structures the first fold sits above the tag width).
+	Folded   bool    `json:"folded"`
+	FoldBit  int     `json:"fold_bit"`
+	FoldConf float64 `json:"fold_conf"`
+
+	// HasChoice: the index folds, yet perfectly biased streams on the
+	// same engineered collision stay separated.
+	HasChoice  bool    `json:"has_choice"`
+	ChoiceConf float64 `json:"choice_conf"`
+
+	// IndexHash and TableEntries are derived from the verdicts above
+	// (TableEntries 0 when unresolved).
+	IndexHash    string  `json:"index_hash"`
+	TableEntries int     `json:"table_entries"`
+	HashConf     float64 `json:"hash_conf"`
+
+	// Evidence holds every measurement behind the verdicts.
+	Evidence Evidence `json:"evidence"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a one-screen summary: the inferred attributes with
+// their confidences, then miss-fraction bars for the history and stride
+// sweeps (the two measurements whose shape, not just verdict, carries
+// information).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fingerprint: %s\n", r.Predictor)
+	row := func(label, value string, conf float64) {
+		fmt.Fprintf(&b, "  %-22s %-14s conf %.2f\n", label, value, conf)
+	}
+	row("adaptive", fmt.Sprintf("%v", r.Adaptive), r.AdaptiveConf)
+	hist := fmt.Sprintf("%d", r.HistoryBits)
+	if r.HistoryCapped {
+		hist = fmt.Sprintf(">=%d (capped)", r.HistoryBits)
+	}
+	row("history bits", hist, r.HistoryConf)
+	scope := r.Scope
+	if r.Scope == ScopeReportPerAddr {
+		scope = fmt.Sprintf("peraddr/%d", r.PerAddrHistoryBits)
+	}
+	row("history scope", scope, r.ScopeConf)
+	stride := fmt.Sprintf("%d", r.PCIndexBits)
+	if r.PCIndexBits < 0 {
+		stride = "shielded"
+	}
+	row("pc index bits", stride, r.StrideConf)
+	row("index hash", r.IndexHash, r.HashConf)
+	entries := fmt.Sprintf("%d", r.TableEntries)
+	if r.TableEntries == 0 {
+		entries = "unresolved"
+	}
+	row("table entries", entries, r.HashConf)
+	row("choice mechanism", fmt.Sprintf("%v", r.HasChoice), r.ChoiceConf)
+
+	if len(r.Evidence.History) > 0 {
+		b.WriteString("\n  history sweep (miss fraction of the pattern F):\n")
+		for _, m := range r.Evidence.History {
+			fmt.Fprintf(&b, "  %s\n", textplot.Bar(fmt.Sprintf("L=%2d", m.Param), m.Frac, 40))
+		}
+	}
+	if medians := medianByParam(r.Evidence.Stride); len(medians) > 0 {
+		b.WriteString("\n  stride sweep (median miss fraction of branch B):\n")
+		for _, m := range medians {
+			fmt.Fprintf(&b, "  %s\n", textplot.Bar(fmt.Sprintf("k=%2d", m.Param), m.Frac, 40))
+		}
+	}
+	return b.String()
+}

@@ -13,7 +13,11 @@ import (
 // module; example specs must belong to the family they are registered
 // under; and the factory argument must be provably unable to return a nil
 // predictor with a nil error — explicit returns only, never `return nil,
-// nil`, so zoo.New's nil backstop is genuinely unreachable.
+// nil`, so zoo.New's nil backstop is genuinely unreachable. When the
+// registry function takes a second function parameter (the declared
+// geometry), that argument must also be statically present — a function
+// literal or package-local function, never nil — so no family registers
+// without machine-readable ground truth.
 var RegistryAnalyzer = &Analyzer{
 	Name: "registry",
 	Doc:  "spec registrations must be unique, lowercase, and non-nil-returning",
@@ -65,7 +69,7 @@ func checkRegistration(pass *Pass, call *ast.CallExpr, fn *types.Func) {
 	if !ok {
 		return
 	}
-	nameIdx, factoryIdx := -1, -1
+	nameIdx, factoryIdx, geomIdx := -1, -1, -1
 	for i := 0; i < sig.Params().Len(); i++ {
 		p := sig.Params().At(i)
 		if nameIdx < 0 {
@@ -74,9 +78,12 @@ func checkRegistration(pass *Pass, call *ast.CallExpr, fn *types.Func) {
 				continue
 			}
 		}
-		if factoryIdx < 0 {
-			if _, ok := p.Type().Underlying().(*types.Signature); ok {
+		if _, ok := p.Type().Underlying().(*types.Signature); ok {
+			switch {
+			case factoryIdx < 0:
 				factoryIdx = i
+			case geomIdx < 0:
+				geomIdx = i
 			}
 		}
 	}
@@ -127,6 +134,23 @@ func checkRegistration(pass *Pass, call *ast.CallExpr, fn *types.Func) {
 
 	if factoryIdx >= 0 && factoryIdx < len(call.Args) {
 		checkFactory(pass, call.Args[factoryIdx])
+	}
+	if geomIdx >= 0 && geomIdx < len(call.Args) {
+		checkGeometry(pass, call.Args[geomIdx])
+	}
+}
+
+// checkGeometry requires the declared-geometry argument (the second
+// function parameter of a registry function, when it has one) to be
+// statically present: a function literal or package-local function,
+// never nil, so every registered family ships auditable ground truth.
+func checkGeometry(pass *Pass, arg ast.Expr) {
+	if isNilIdent(arg) {
+		pass.Reportf(arg.Pos(), "registration passes a nil geometry; every spec family must declare its structure")
+		return
+	}
+	if factoryBody(pass, arg) == nil {
+		pass.Reportf(arg.Pos(), "geometry is not a function literal or package-local function; declared geometry must be statically present")
 	}
 }
 

@@ -39,3 +39,16 @@ func init() {
 	})
 	register("dynfactory", factoryVar) // want `not a function literal or package-local function`
 }
+
+// registerFull takes a declared-geometry function like the zoo's real
+// register; nil or dynamic geometry arguments are violations.
+//
+//bimode:registry
+func registerFull(name string, build func() (any, error), geom func() int, examples ...string) {}
+
+var geomVar func() int
+
+func init() {
+	registerFull("geomnil", okFactory, nil)     // want `nil geometry`
+	registerFull("geomdyn", okFactory, geomVar) // want `geometry is not a function literal`
+}

@@ -23,3 +23,17 @@ func init() {
 	register("alpha", func() (any, error) { return 1, nil }, "alpha:a=1", "alpha")
 	register("beta", betaFactory, "beta:x=2;y=3")
 }
+
+// registerFull also records the family's declared geometry, like the
+// zoo's real register; the geometry argument must be statically present.
+//
+//bimode:registry
+func registerFull(name string, build func() (any, error), geom func() int, examples ...string) {}
+
+// gammaGeometry is a package-local geometry function.
+func gammaGeometry() int { return 8 }
+
+func init() {
+	registerFull("gamma", func() (any, error) { return 3, nil }, gammaGeometry, "gamma:g=8")
+	registerFull("delta", func() (any, error) { return 4, nil }, func() int { return 9 })
+}

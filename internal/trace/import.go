@@ -80,7 +80,9 @@ func ImportText(r io.Reader, name string) (*Memory, error) {
 		recs = append(recs, Record{PC: pc, Static: st, Taken: taken})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: import: %w", err)
+		// A scanner error surfaces while reading the line after the last
+		// one delivered, so the failing line is lineNo+1.
+		return nil, fmt.Errorf("trace: import line %d: %w", lineNo+1, err)
 	}
 	statics := len(sites)
 	if statics == 0 {

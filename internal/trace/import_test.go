@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestImportTextMalformed pins the error surface of ImportText: every
+// malformed capture must be rejected with the one-based line number of
+// the offending line, counting blank and comment lines, so a user can
+// open the capture in an editor and jump straight to it.
+func TestImportTextMalformed(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		wantLine string // substring that must appear in the error
+		wantSub  string // secondary substring pinning the cause
+	}{
+		{
+			name:     "no fields after comment",
+			in:       "# header\nonlyonefield\n",
+			wantLine: "line 2",
+			wantSub:  `need "pc taken"`,
+		},
+		{
+			name:     "one field csv",
+			in:       "0x1000,1\n0x2000,\n",
+			wantLine: "line 2",
+			wantSub:  "bad taken",
+		},
+		{
+			name:     "bad pc",
+			in:       "0x1000 1\n0xzz 1\n",
+			wantLine: "line 2",
+			wantSub:  `bad pc "0xzz"`,
+		},
+		{
+			name:     "bad pc not hex or decimal",
+			in:       "hello! 1\n",
+			wantLine: "line 1",
+			wantSub:  "bad pc",
+		},
+		{
+			name:     "bad taken flag",
+			in:       "0x1000 maybe\n",
+			wantLine: "line 1",
+			wantSub:  `bad taken flag "maybe"`,
+		},
+		{
+			name:     "blank and comment lines still count",
+			in:       "\n# c\n\n0x1000 1\n0x1004 x\n",
+			wantLine: "line 5",
+			wantSub:  "bad taken",
+		},
+		{
+			name:     "crlf capture",
+			in:       "0x1000 1\r\n0x1004 2\r\n",
+			wantLine: "line 2",
+			wantSub:  "bad taken",
+		},
+		{
+			name:     "csv with spaces",
+			in:       "0x1000 , 1\n 0x1004 ,bogus\n",
+			wantLine: "line 2",
+			wantSub:  "bad taken",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ImportText(strings.NewReader(tc.in), "bad")
+			if err == nil {
+				t.Fatalf("ImportText accepted malformed capture %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestImportTextScannerError drives the sc.Err() path: a line longer
+// than the scanner buffer fails with bufio.ErrTooLong, and the error
+// must still carry the line number of the over-long line (one past the
+// last line successfully delivered).
+func TestImportTextScannerError(t *testing.T) {
+	long := strings.Repeat("f", 2<<20) // 2 MiB, over the 1 MiB scanner cap
+	in := "0x1000 1\n0x1004 0\n" + long + " 1\n"
+	_, err := ImportText(strings.NewReader(in), "big")
+	if err == nil {
+		t.Fatalf("ImportText accepted a %d-byte line", len(long))
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error %q does not wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+
+	// Same failure on the very first line: reported as line 1.
+	_, err = ImportText(strings.NewReader(long+" 1\n"), "big")
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("first-line scanner error %q does not name line 1", err)
+	}
+}
+
+// TestImportTextEmpty: a capture of only blanks and comments is a
+// well-formed empty trace that still declares one static site.
+func TestImportTextEmpty(t *testing.T) {
+	m, err := ImportText(strings.NewReader("# nothing here\n\n"), "empty")
+	if err != nil {
+		t.Fatalf("ImportText: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("empty capture produced %d records", m.Len())
+	}
+	if m.StaticCount() != 1 {
+		t.Fatalf("empty capture static count %d, want 1", m.StaticCount())
+	}
+}

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bimode/internal/baselines"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+)
+
+// lastOutcome is the 1-bit last-direction predictor the closed forms
+// are stated over: predict whatever the branch did last, initially
+// taken. Test-local because the baseline zoo starts at 2-bit counters.
+type lastOutcome struct{ last bool }
+
+func newLastOutcome() *lastOutcome             { return &lastOutcome{last: true} }
+func (l *lastOutcome) Name() string            { return "last-outcome" }
+func (l *lastOutcome) Predict(uint64) bool     { return l.last }
+func (l *lastOutcome) Update(_ uint64, t bool) { l.last = t }
+func (l *lastOutcome) Reset()                  { l.last = true }
+func (l *lastOutcome) CostBits() int           { return 1 }
+
+// repeat returns c repeated n times.
+func repeat(c byte, n int) []byte { return bytes.Repeat([]byte{c}, n) }
+
+// breaker returns a^(m-1) b.
+func breaker(m int) []byte { return append(repeat('a', m-1), 'b') }
+
+// misses runs p over the trace and returns the exact mispredict count.
+func misses(t *testing.T, p interface {
+	Name() string
+	Predict(uint64) bool
+	Update(uint64, bool)
+	Reset()
+	CostBits() int
+}, src trace.Source) int {
+	t.Helper()
+	res := sim.Run(p, src)
+	if res.Err != nil {
+		t.Fatalf("sim.Run: %v", res.Err)
+	}
+	return res.Mispredicts
+}
+
+// TestKMPAnalytic pins the exact misprediction counts of three
+// predictors — 1-bit last-outcome (init taken), a 2-bit counter (init
+// weak-taken) and GAg global-history — over the comparison traces of
+// the MP and KMP matchers on three closed-form pattern/text families:
+//
+//	family a: p = a^m, t = a^n          — all comparisons succeed
+//	family b: p = a^(m-1)b, t = a^n     — T^(m-1) (F T)^(n-m+1), MP == KMP
+//	family c: p = a^m, t = (a^(m-1)b)^r — MP: (T^(m-1) F^m)^r,
+//	                                      KMP: (T^(m-1) F)^r
+//
+// Every count below is derived by hand from the trace shape and the
+// predictor's state machine; the simulation must hit it exactly.
+func TestKMPAnalytic(t *testing.T) {
+	const m, n, r = 5, 40, 12
+
+	cases := []struct {
+		name    string
+		src     *trace.Memory
+		length  int // structural pin: comparisons in the trace
+		oneBit  int
+		twoBit  int
+		gagHist int
+		gag     int
+	}{
+		{
+			// Family a, MP: n successful comparisons, never a miss for
+			// any of the three (all-taken stream, taken-initialized).
+			name: "a/mp", src: MPTrace(repeat('a', m), repeat('a', n)),
+			length: n, oneBit: 0, twoBit: 0, gagHist: 2, gag: 0,
+		},
+		{
+			// Family a, KMP: identical — no mismatches, so shifting
+			// never runs and the tables never differ.
+			name: "a/kmp", src: KMPTrace(repeat('a', m), repeat('a', n)),
+			length: n, oneBit: 0, twoBit: 0, gagHist: 2, gag: 0,
+		},
+		{
+			// Family b, MP: T^(m-1) then (F T) per remaining text
+			// position. 1-bit misses both halves of every F T pair:
+			// 2(n-m+1). 2-bit stays weak-taken through the pairs and
+			// misses only each F: n-m+1. GAg(h=2) walks contexts
+			// 00->01->11 during the opening run, then the F T pairs
+			// alternate contexts 01 and 10: the first F (context 11,
+			// counter weak/strong taken) misses, the F-at-01 counter
+			// takes two misses to train down from its one T visit, and
+			// everything after is exact: 3 misses total.
+			name: "b/mp", src: MPTrace(breaker(m), repeat('a', n)),
+			length: 2*n - m + 1, oneBit: 2 * (n - m + 1), twoBit: n - m + 1, gagHist: 2, gag: 3,
+		},
+		{
+			// Family c, MP: each text block a^(m-1)b opens with m-1
+			// successful comparisons, then the mismatch cascades
+			// through every border: F at j = m-1 .. 0, m failures.
+			// 1-bit misses the first F and first T of each block
+			// except the opening block's T: 2r-1. 2-bit takes two
+			// misses down each F run and two back up each T run,
+			// minus the opening run: 4r-2.
+			name: "c/mp", src: MPTrace(repeat('a', m), bytes.Repeat(breaker(m), r)),
+			length: r * (2*m - 1), oneBit: 2*r - 1, twoBit: 4*r - 2, gagHist: 2 * m, gag: -1,
+		},
+		{
+			// Family c, KMP: the strong table knows every border of
+			// a^m is followed by a, so one F per block: (T^(m-1) F)^r.
+			// 1-bit: as family b blocks, 2r-1. 2-bit: the single F
+			// never drives the counter below weak-taken: r. GAg with
+			// h = m sees a unique all-ones-prefixed context before
+			// each F and the periodic steady state makes exactly the
+			// first block's F miss: 1.
+			name: "c/kmp", src: KMPTrace(repeat('a', m), bytes.Repeat(breaker(m), r)),
+			length: r * m, oneBit: 2*r - 1, twoBit: r, gagHist: m, gag: 1,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.src.Len(); got != tc.length {
+				t.Fatalf("trace length: got %d comparisons, closed form says %d", got, tc.length)
+			}
+			if got := misses(t, newLastOutcome(), tc.src); got != tc.oneBit {
+				t.Errorf("1-bit last-outcome: got %d misses, closed form says %d", got, tc.oneBit)
+			}
+			if got := misses(t, baselines.NewSmith(4), tc.src); got != tc.twoBit {
+				t.Errorf("2-bit counter: got %d misses, closed form says %d", got, tc.twoBit)
+			}
+			if tc.gag >= 0 {
+				if got := misses(t, baselines.NewGAg(tc.gagHist), tc.src); got != tc.gag {
+					t.Errorf("GAg(h=%d): got %d misses, closed form says %d", tc.gagHist, got, tc.gag)
+				}
+			}
+		})
+	}
+
+	// Family b is the shifting-equivalence pin: on a^(m-1)b the strong
+	// failure at the only mismatch position equals the weak one, so MP
+	// and KMP comparison traces are byte-identical.
+	mp := MPTrace(breaker(m), repeat('a', n))
+	kmp := KMPTrace(breaker(m), repeat('a', n))
+	if mp.Len() != kmp.Len() {
+		t.Fatalf("family b: MP %d comparisons, KMP %d — traces must be identical", mp.Len(), kmp.Len())
+	}
+	ms, ks := mp.Stream(), kmp.Stream()
+	for i := 0; i < mp.Len(); i++ {
+		mr, _ := ms.Next()
+		kr, _ := ks.Next()
+		if mr.Taken != kr.Taken {
+			t.Fatalf("family b: comparison %d differs (MP %v, KMP %v)", i, mr.Taken, kr.Taken)
+		}
+	}
+
+	// Occurrence cross-check: a^m occurs n-m+1 times in a^n.
+	if got := MPOccurrences(repeat('a', m), repeat('a', n)); got != n-m+1 {
+		t.Errorf("occurrences of a^%d in a^%d: got %d, want %d", m, n, got, n-m+1)
+	}
+}
+
+// TestKMPFamilyCGagClosedForm pins the family-c MP GAg count, which
+// depends on the full 2m-1-deep context structure: with h = 2m-1 every
+// window the F cascade sees is period-distinct, and the steady-state
+// periodic trace misses exactly m times (once per cascade position in
+// the first period, never again).
+func TestKMPFamilyCGagClosedForm(t *testing.T) {
+	for _, m := range []int{3, 4, 5} {
+		const r = 12
+		src := MPTrace(repeat('a', m), bytes.Repeat(breaker(m), r))
+		if got := misses(t, baselines.NewGAg(2*m-1), src); got != m {
+			t.Errorf("m=%d: GAg(h=%d) got %d misses, closed form says %d", m, 2*m-1, got, m)
+		}
+	}
+}
+
+// TestMatchPrograms smoke-tests the registered workload programs: they
+// must materialize their full dynamic budget and produce sane traces.
+func TestMatchPrograms(t *testing.T) {
+	for _, name := range []string{"mpmatch", "kmpmatch"} {
+		src, err := Get(name, Options{Dynamic: 20000})
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		stats := trace.Collect(src)
+		if stats.DynamicBranches != 20000 {
+			t.Errorf("%s: got %d dynamic branches, want 20000", name, stats.DynamicBranches)
+		}
+		if stats.TakenRate() <= 0.05 || stats.TakenRate() >= 0.95 {
+			t.Errorf("%s: degenerate taken fraction %.3f", name, stats.TakenRate())
+		}
+	}
+}
+
+// ExampleMPTrace shows the analytic surface: the family-b comparison
+// trace and its closed-form length.
+func ExampleMPTrace() {
+	src := MPTrace([]byte("aaab"), []byte("aaaaaaaa"))
+	fmt.Println(src.Len())
+	// Output: 13
+}

@@ -1,0 +1,174 @@
+package workloads
+
+// Instrumented Morris-Pratt and Knuth-Morris-Pratt string matchers.
+//
+// These two programs are the analytically tractable end of the workload
+// suite: for structured pattern/text families the comparison branch's
+// outcome stream has a closed form, and so do the exact misprediction
+// counts of small predictors running over it (TestKMPAnalytic pins
+// them). The matcher is written in the single-comparison-per-step form
+//
+//	if text[i] == pattern[j] { advance } else { shift }
+//
+// so each character comparison is exactly one traced branch — the
+// property the closed forms are stated over. MP shifts through the
+// plain border (failure) table; KMP uses the strong failure table,
+// which skips borders whose next character would repeat the mismatch.
+// The difference is observable in the comparison trace itself: on
+// a^(m-1)b patterns the two are byte-identical, while on a^m patterns
+// KMP collapses MP's length-m mismatch cascades into a single miss.
+
+import "bimode/internal/trace"
+
+// borders returns the MP failure table over pattern p: fail[j] is the
+// length of the longest proper border of p[:j], defined for j = 1..m so
+// fail[m] restarts matching after a reported occurrence.
+func borders(p []byte) []int {
+	m := len(p)
+	fail := make([]int, m+1)
+	k := 0
+	for j := 1; j < m; j++ {
+		for k > 0 && p[j] != p[k] {
+			k = fail[k]
+		}
+		if p[j] == p[k] {
+			k++
+		}
+		fail[j+1] = k
+	}
+	return fail
+}
+
+// strongBorders returns the KMP strong failure table: sf[j] is the
+// fallback position after a mismatch at j, skipping any border whose
+// next character equals p[j] (it would mismatch again for sure); -1
+// means no viable border remains and the text position advances.
+func strongBorders(p []byte, fail []int) []int {
+	m := len(p)
+	sf := make([]int, m)
+	sf[0] = -1
+	for j := 1; j < m; j++ {
+		if p[j] == p[fail[j]] {
+			sf[j] = sf[fail[j]]
+		} else {
+			sf[j] = fail[j]
+		}
+	}
+	return sf
+}
+
+// runMatch runs one search of pattern p over text, emitting every
+// character comparison through cmp. strong selects KMP shifting (MP
+// otherwise). Returns the number of occurrences found. Occurrence
+// bookkeeping is deliberately branch-free so the comparison site is
+// the trace's only signal.
+func runMatch(cmp Site, p, text []byte, strong bool) int {
+	m := len(p)
+	if m == 0 || len(text) == 0 {
+		return 0
+	}
+	fail := borders(p)
+	var sf []int
+	if strong {
+		sf = strongBorders(p, fail)
+	}
+	occs, j := 0, 0
+	for i := 0; i < len(text); {
+		if cmp.Taken(text[i] == p[j]) {
+			i++
+			j++
+			if j == m {
+				occs++
+				j = fail[m]
+			}
+		} else if j == 0 {
+			i++
+		} else if strong {
+			if j = sf[j]; j < 0 {
+				j = 0
+				i++
+			}
+		} else {
+			j = fail[j]
+		}
+	}
+	return occs
+}
+
+// matcherTrace builds the comparison-branch trace of one search: a
+// single static site, one record per character comparison.
+func matcherTrace(name string, p, text []byte, strong bool) *trace.Memory {
+	t := newTracer(2*len(text) + len(p) + 1)
+	cmp := t.Site(name+".cmp", false)
+	runMatch(cmp, p, text, strong)
+	return trace.NewMemory(name, len(t.pcs), t.recs)
+}
+
+// MPTrace returns the comparison-branch trace of the Morris-Pratt
+// matcher searching pattern in text: the workload TestKMPAnalytic pins
+// against closed-form misprediction counts.
+func MPTrace(pattern, text []byte) *trace.Memory {
+	return matcherTrace("mp", pattern, text, false)
+}
+
+// KMPTrace is MPTrace with strong (KMP) shifting.
+func KMPTrace(pattern, text []byte) *trace.Memory {
+	return matcherTrace("kmp", pattern, text, true)
+}
+
+// MPOccurrences counts pattern occurrences with the MP matcher without
+// tracing — the cross-check that instrumentation never changes results.
+func MPOccurrences(pattern, text []byte) int {
+	t := newTracer(2*len(text) + len(pattern) + 1)
+	return runMatch(t.Site("occ.cmp", false), pattern, text, false)
+}
+
+// runMPMatch and runKMPMatch are the registered workload programs: the
+// instrumented matchers over generated text with planted occurrences,
+// pattern families mixing the analytic shapes (runs, run-breakers) with
+// random strings.
+func runMPMatch(t *Tracer, seed uint64, round int) { runMatchProgram(t, seed, round, false, "mp") }
+
+func runKMPMatch(t *Tracer, seed uint64, round int) { runMatchProgram(t, seed, round, true, "kmp") }
+
+func runMatchProgram(t *Tracer, seed uint64, round int, strong bool, name string) {
+	rng := NewProgramRNG(seed)
+	cmp := t.Site(name+".cmp", false)
+	searchLoop := t.Site(name+".search.loop", true)
+	hit := t.Site(name+".hit", false)
+	alphabet := []byte("abcd")
+
+	for searches := 0; searchLoop.Taken(searches < 64 && !t.Full()); searches++ {
+		// Pattern: runs (a^m), broken runs (a^(m-1)b) and random
+		// strings, the mix covering both analytic families and
+		// general text.
+		m := 3 + rng.Intn(6)
+		p := make([]byte, 0, m)
+		switch rng.Intn(3) {
+		case 0:
+			for k := 0; k < m; k++ {
+				p = append(p, 'a')
+			}
+		case 1:
+			for k := 0; k < m-1; k++ {
+				p = append(p, 'a')
+			}
+			p = append(p, 'b')
+		default:
+			for k := 0; k < m; k++ {
+				p = append(p, alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		// Text: random with planted pattern copies so hits occur.
+		text := make([]byte, 0, 512)
+		for len(text) < 512 {
+			if rng.Bool(0.1) {
+				text = append(text, p...)
+			} else {
+				text = append(text, alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		occs := runMatch(cmp, p, text, strong)
+		hit.Taken(occs > 0)
+	}
+}

@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"bimode/internal/baselines"
+	"bimode/internal/sim"
+	"bimode/internal/trace"
+)
+
+// TestProgramEmitsNoBranchesPanics: a program that records nothing in a
+// round would spin materialize forever, so the tracer harness must panic
+// with a message naming the program instead of hanging.
+func TestProgramEmitsNoBranchesPanics(t *testing.T) {
+	silent := program{
+		name:    "silent",
+		dynamic: 10,
+		run:     func(t *Tracer, seed uint64, round int) {},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("materialize must panic on a program that emits no branches")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "emitted no branches") || !strings.Contains(msg, "silent") {
+			t.Fatalf("panic %v must name the silent program and the cause", r)
+		}
+	}()
+	newProgramSource(silent, 10, 1).Stream()
+}
+
+// TestSingleBranchProgram: the degenerate one-site program must still
+// produce a well-formed trace — exactly the dynamic budget, one static
+// site, a stable PC, and Len agreeing with the stream.
+func TestSingleBranchProgram(t *testing.T) {
+	mono := program{
+		name:    "mono",
+		dynamic: 7,
+		run: func(t *Tracer, seed uint64, round int) {
+			t.Site("only", false).Taken(round%2 == 0)
+		},
+	}
+	ps := newProgramSource(mono, 7, 1)
+	if ps.Len() != 7 {
+		t.Fatalf("Len %d, want 7", ps.Len())
+	}
+	m, err := trace.MaterializeContext(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 7 {
+		t.Fatalf("got %d records, want 7", m.Len())
+	}
+	if ps.StaticCount() != 1 {
+		t.Fatalf("static count %d, want 1", ps.StaticCount())
+	}
+	for i, r := range m.Records() {
+		if r.Static != 0 {
+			t.Fatalf("record %d static %d, want 0", i, r.Static)
+		}
+		if r.PC != m.Records()[0].PC {
+			t.Fatalf("record %d PC %#x moved from %#x", i, r.PC, m.Records()[0].PC)
+		}
+		if r.Taken != (i%2 == 0) {
+			t.Fatalf("record %d direction %v, want round parity", i, r.Taken)
+		}
+	}
+}
+
+// TestProgramColumnarRoundTrip: an instrumented program's trace must
+// survive the columnar store byte-for-byte — the reopened trace drives a
+// predictor to the identical simulation result.
+func TestProgramColumnarRoundTrip(t *testing.T) {
+	src := MustGet("kmpmatch", Options{Dynamic: 5000})
+	m, err := trace.MaterializeContext(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteColumnarBlocks(&buf, m, 1024); err != nil {
+		t.Fatal(err)
+	}
+	c, err := trace.OpenColumnar(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.MaterializeContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != m.Len() || back.StaticCount() != m.StaticCount() {
+		t.Fatalf("round-trip shape: got (%d recs, %d statics), want (%d, %d)",
+			back.Len(), back.StaticCount(), m.Len(), m.StaticCount())
+	}
+	for i, r := range back.Records() {
+		if r != m.Records()[i] {
+			t.Fatalf("round-trip changed record %d: got %+v want %+v", i, r, m.Records()[i])
+		}
+	}
+
+	direct := sim.Run(baselines.NewGshare(10, 8), m)
+	reload := sim.Run(baselines.NewGshare(10, 8), back)
+	if direct.Err != nil || reload.Err != nil {
+		t.Fatalf("sim errors: %v / %v", direct.Err, reload.Err)
+	}
+	if direct.Mispredicts != reload.Mispredicts || direct.Branches != reload.Branches {
+		t.Fatalf("simulation diverged across the columnar store: direct %+v, reloaded %+v", direct, reload)
+	}
+}

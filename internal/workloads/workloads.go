@@ -46,6 +46,8 @@ var programs = []program{
 	{name: "playout", note: "game-tree playouts with pattern heuristics (go-like)", dynamic: 400000, run: runPlayout},
 	{name: "huffman", note: "Huffman tree build, encode and decode (heap + tree walks)", dynamic: 400000, run: runHuffman},
 	{name: "regexish", note: "backtracking pattern matcher over generated text (grep-like)", dynamic: 400000, run: runRegex},
+	{name: "mpmatch", note: "Morris-Pratt string search with analytic comparison traces", dynamic: 400000, run: runMPMatch},
+	{name: "kmpmatch", note: "Knuth-Morris-Pratt search, strong-failure shifting", dynamic: 400000, run: runKMPMatch},
 }
 
 // Names returns every registered workload name, synthetic benchmarks

@@ -10,8 +10,8 @@ import (
 
 func TestNamesCoverBothFamilies(t *testing.T) {
 	names := Names()
-	if len(names) != 14+7 {
-		t.Fatalf("want 21 workloads, got %d: %v", len(names), names)
+	if len(names) != 14+9 {
+		t.Fatalf("want 23 workloads, got %d: %v", len(names), names)
 	}
 	seen := map[string]bool{}
 	for _, n := range names {

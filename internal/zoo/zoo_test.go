@@ -98,3 +98,70 @@ func TestStaticSpecs(t *testing.T) {
 		var _ predictor.Predictor = p
 	}
 }
+
+func TestGeometryDeclaredForEveryKnownSpec(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Known() {
+		g, err := Describe(spec)
+		if err != nil {
+			t.Errorf("spec %q: no declared geometry: %v", spec, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+		}
+		fam, _, _ := strings.Cut(spec, ":")
+		if g.Family != fam {
+			t.Errorf("spec %q: geometry names family %q", spec, g.Family)
+		}
+		seen[fam] = true
+	}
+	// The registry check: every registered family is covered by the
+	// example sweep above, so none can ship without valid geometry.
+	for _, fam := range Families() {
+		if !seen[fam] {
+			t.Errorf("family %q registered without a geometry-checked example", fam)
+		}
+	}
+}
+
+func TestGeometryValues(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Geometry
+	}{
+		{"gshare:i=12,h=8", Geometry{Family: "gshare", HistoryBits: 8, HistoryScope: ScopeGlobal,
+			PCIndexBits: 12, TableEntries: 1 << 12, IndexHash: HashXor}},
+		{"bimode:c=10,b=11,h=9", Geometry{Family: "bimode", HistoryBits: 9, HistoryScope: ScopeGlobal,
+			PCIndexBits: 11, TableEntries: 1 << 11, IndexHash: HashXor, HasChoice: true}},
+		{"gselect:a=6,h=6", Geometry{Family: "gselect", HistoryBits: 6, HistoryScope: ScopeGlobal,
+			PCIndexBits: 6, TableEntries: 1 << 12, IndexHash: HashConcat}},
+		{"pas:b=10,h=8,s=2", Geometry{Family: "pas", HistoryBits: 8, PerAddrHistoryBits: 8,
+			HistoryScope: ScopePerAddr, PCIndexBits: 2, TableEntries: 1 << 10, IndexHash: HashConcat}},
+		{"gskew:b=10,h=10", Geometry{Family: "gskew", HistoryBits: 10, HistoryScope: ScopeGlobal,
+			PCIndexBits: 20, TableEntries: 3 << 10, IndexHash: HashSkew}},
+		{"alpha:s=12", Geometry{Family: "alpha", HistoryBits: 12, PerAddrHistoryBits: 10,
+			HistoryScope: ScopeHybrid, PCIndexBits: 2, TableEntries: 1 << 12, IndexHash: HashConcat, HasChoice: true}},
+		{"smith:a=12", Geometry{Family: "smith", HistoryScope: ScopeNone,
+			PCIndexBits: 12, TableEntries: 1 << 12, IndexHash: HashPC}},
+		{"taken", Geometry{Family: "taken", HistoryScope: ScopeNone, IndexHash: HashNone}},
+	}
+	for _, c := range cases {
+		got, err := Describe(c.spec)
+		if err != nil {
+			t.Errorf("Describe(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Describe(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	for _, spec := range []string{"gshare", "nosuch:a=1", "gshare:i=twelve"} {
+		if _, err := Describe(spec); err == nil {
+			t.Errorf("Describe(%q) succeeded; want error", spec)
+		}
+	}
+}
