@@ -1,0 +1,205 @@
+// Command predload drives load at a running predserve instance and
+// reports what the service actually delivered: completed sessions/sec,
+// request latency percentiles (P50/P95/P99), and how the server degraded
+// under pressure (429s with Retry-After versus hard failures).
+//
+// Each worker runs complete sessions in a loop for the test duration:
+// create a session, stream a synthetic trace in fixed-size text chunks,
+// fetch the final report, delete the session. Every HTTP round-trip is
+// timed; overload rejections (429) are counted separately and never
+// retried mid-session, so a saturated server shows up as honest 429
+// counts rather than inflated latency.
+//
+// Usage:
+//
+//	predload -addr http://localhost:8470 -d 10s -workers 8
+//	predload -addr http://localhost:8470 -d 5s -workers 32 -chunk 2000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bimode/internal/synth"
+	"bimode/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "predload:", err)
+		os.Exit(1)
+	}
+}
+
+// result is one worker's tally, merged after the run.
+type result struct {
+	sessions  int
+	requests  int
+	rejected  int // 429s
+	errors    int // anything else non-2xx, or transport failures
+	latencies []time.Duration
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("predload", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8470", "predserve base URL")
+		d       = fs.Duration("d", 5*time.Second, "test duration")
+		workers = fs.Int("workers", 4, "concurrent session loops")
+		chunk   = fs.Int("chunk", 1000, "records per ingest request")
+		chunks  = fs.Int("chunks", 4, "ingest requests per session")
+		spec    = fs.String("spec", "bimode:b=11", "predictor spec per session")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 || *chunk < 1 || *chunks < 1 {
+		return fmt.Errorf("workers, chunk and chunks must be positive")
+	}
+
+	// One shared synthetic trace, rendered to text once; workers slice it.
+	mem := trace.Materialize(synth.MustWorkload(synth.Profiles()[0].WithDynamic(*chunk * *chunks)))
+	recs := mem.Records()
+	bodies := make([]string, *chunks)
+	for i := range bodies {
+		var sb strings.Builder
+		for _, rec := range recs[i**chunk : (i+1)**chunk] {
+			dir := "0"
+			if rec.Taken {
+				dir = "1"
+			}
+			fmt.Fprintf(&sb, "0x%x %s\n", rec.PC, dir)
+		}
+		bodies[i] = sb.String()
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	tr := &http.Transport{MaxIdleConnsPerHost: *workers}
+	client := &http.Client{Transport: tr, Timeout: 2 * time.Minute}
+	defer tr.CloseIdleConnections()
+
+	deadline := time.Now().Add(*d)
+	results := make([]result, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w] = worker(client, base, *spec, bodies, deadline)
+		}()
+	}
+	wg.Wait()
+
+	var total result
+	for _, r := range results {
+		total.sessions += r.sessions
+		total.requests += r.requests
+		total.rejected += r.rejected
+		total.errors += r.errors
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	elapsed := *d
+	fmt.Fprintf(out, "predload: %d workers, %v against %s\n", *workers, elapsed, base)
+	fmt.Fprintf(out, "sessions:     %d (%.1f sessions/sec)\n",
+		total.sessions, float64(total.sessions)/elapsed.Seconds())
+	fmt.Fprintf(out, "requests:     %d (%.1f req/sec)\n",
+		total.requests, float64(total.requests)/elapsed.Seconds())
+	fmt.Fprintf(out, "rejected 429: %d\n", total.rejected)
+	fmt.Fprintf(out, "errors:       %d\n", total.errors)
+	if len(total.latencies) > 0 {
+		sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+		fmt.Fprintf(out, "latency:      p50 %v  p95 %v  p99 %v  max %v\n",
+			percentile(total.latencies, 50), percentile(total.latencies, 95),
+			percentile(total.latencies, 99), total.latencies[len(total.latencies)-1].Round(time.Microsecond))
+	}
+	if total.sessions == 0 && total.errors > 0 {
+		return fmt.Errorf("no session completed (%d errors)", total.errors)
+	}
+	return nil
+}
+
+// worker runs complete sessions until the deadline. A session that hits
+// an overload rejection or an error is abandoned (counted, not retried):
+// the load generator measures the server's policy, it does not fight it.
+func worker(client *http.Client, base, spec string, bodies []string, deadline time.Time) result {
+	var res result
+	for time.Now().Before(deadline) {
+		id, ok := oneRequest(client, &res, "POST", base+"/v1/sessions",
+			fmt.Sprintf(`{"name":"predload","specs":[%q]}`, spec), http.StatusCreated)
+		if !ok {
+			continue
+		}
+		alive := true
+		for _, body := range bodies {
+			if _, ok := oneRequest(client, &res, "POST", base+"/v1/sessions/"+id+"/branches", body, http.StatusOK); !ok {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			if _, ok := oneRequest(client, &res, "GET", base+"/v1/sessions/"+id, "", http.StatusOK); ok {
+				res.sessions++
+			}
+		}
+		oneRequest(client, &res, "DELETE", base+"/v1/sessions/"+id, "", http.StatusOK)
+	}
+	return res
+}
+
+// oneRequest performs and times a single round-trip, classifying the
+// outcome into the tally. It returns the response's session id (when the
+// body carries one) and whether the request landed the wanted status.
+func oneRequest(client *http.Client, res *result, method, url, body string, want int) (string, bool) {
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		res.errors++
+		return "", false
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		res.errors++
+		return "", false
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	res.requests++
+	res.latencies = append(res.latencies, time.Since(start))
+	switch {
+	case resp.StatusCode == want:
+		var rep struct {
+			ID string `json:"id"`
+		}
+		json.Unmarshal(data, &rep)
+		return rep.ID, true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		res.rejected++
+		return "", false
+	default:
+		res.errors++
+		return "", false
+	}
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

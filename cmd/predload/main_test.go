@@ -1,0 +1,106 @@
+package main
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bimode/internal/serve"
+)
+
+// startTarget spins an in-process prediction service for predload to hit.
+func startTarget(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+var sessionsRE = regexp.MustCompile(`sessions:\s+(\d+)\s+\(([\d.]+) sessions/sec\)`)
+var rejectedRE = regexp.MustCompile(`rejected 429:\s+(\d+)`)
+
+// TestPredloadSmoke is the CI smoke: a short run against a healthy server
+// must complete sessions at a non-zero rate, with latency percentiles in
+// the output and no errors.
+func TestPredloadSmoke(t *testing.T) {
+	base := startTarget(t, serve.Config{})
+	var out strings.Builder
+	err := run([]string{"-addr", base, "-d", "500ms", "-workers", "2",
+		"-chunk", "200", "-chunks", "2"}, &out)
+	if err != nil {
+		t.Fatalf("predload: %v\n%s", err, out.String())
+	}
+	m := sessionsRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no sessions line in output:\n%s", out.String())
+	}
+	n, _ := strconv.Atoi(m[1])
+	rate, _ := strconv.ParseFloat(m[2], 64)
+	if n == 0 || rate == 0 {
+		t.Fatalf("zero sessions/sec against a healthy server:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "latency:") {
+		t.Errorf("no latency line in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "errors:       0") {
+		t.Errorf("errors against a healthy server:\n%s", out.String())
+	}
+}
+
+// TestPredloadOverload drives a deliberately starved server: the load
+// generator must surface the 429s instead of hiding or retrying them.
+func TestPredloadOverload(t *testing.T) {
+	base := startTarget(t, serve.Config{
+		IngestRate:  100, // far below what one worker produces
+		IngestBurst: 100,
+	})
+	var out strings.Builder
+	err := run([]string{"-addr", base, "-d", "500ms", "-workers", "4",
+		"-chunk", "200", "-chunks", "2"}, &out)
+	if err != nil {
+		t.Fatalf("predload: %v\n%s", err, out.String())
+	}
+	m := rejectedRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no rejected line in output:\n%s", out.String())
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Errorf("starved server produced zero 429s:\n%s", out.String())
+	}
+}
+
+// TestPredloadNoServer pins the failure mode: nothing listening means a
+// non-nil error, promptly.
+func TestPredloadNoServer(t *testing.T) {
+	var out strings.Builder
+	start := time.Now()
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-d", "300ms", "-workers", "1"}, &out)
+	if err == nil {
+		t.Fatalf("no error with nothing listening:\n%s", out.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("took %v to fail against a dead address", elapsed)
+	}
+}
+
+// TestPredloadBadFlags pins flag validation.
+func TestPredloadBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workers", "0"}, &out); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

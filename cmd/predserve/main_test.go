@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run's output while run is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startServer runs the binary's run() on an ephemeral port and waits for
+// its listen line, returning the base URL and a cancel-and-wait stopper.
+func startServer(t *testing.T, args ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1], out, func() error {
+				cancel()
+				select {
+				case err := <-errc:
+					return err
+				case <-time.After(10 * time.Second):
+					t.Fatal("predserve did not drain within 10s")
+					return nil
+				}
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("predserve exited before listening: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line within 5s:\n%s", out.String())
+		}
+	}
+}
+
+// TestServeIngestDrain is the binary's end-to-end smoke: serve, create a
+// session, ingest, read the report, then drain cleanly on cancellation
+// (the SIGTERM path, minus the signal).
+func TestServeIngestDrain(t *testing.T) {
+	base, out, stop := startServer(t, "-dir", t.TempDir(), "-grace", "5s")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"smoke","specs":["bimode:b=11"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || rep.ID == "" {
+		t.Fatalf("create: status %d id %q", resp.StatusCode, rep.ID)
+	}
+
+	resp, err = http.Post(base+"/v1/sessions/"+rep.ID+"/branches", "text/plain",
+		strings.NewReader("0x1000 1\n0x2000 0\n0x1000 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Accepted != 3 {
+		t.Fatalf("ingest accepted %d, want 3", res.Accepted)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, want := range []string{"draining", "drained"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Past drain, the port is released.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Errorf("server still answering after drain")
+	}
+}
+
+// TestDurabilityAcrossRestart: a second predserve over the same -dir
+// resumes the first one's sessions.
+func TestDurabilityAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, _, stop := startServer(t, "-dir", dir)
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"specs":["smith:a=12"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/sessions/"+rep.ID+"/branches", "text/plain",
+		strings.NewReader("0x1000 1\n0x2000 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	base2, _, stop2 := startServer(t, "-dir", dir)
+	defer stop2()
+	resp, err = http.Get(base2 + "/v1/sessions/" + rep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Cursor int `json:"cursor"`
+	}
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.Cursor != 2 {
+		t.Fatalf("restarted server: status %d cursor %d, want 200/2", resp.StatusCode, got.Cursor)
+	}
+}
+
+// TestBadFlags pins the flag error path.
+func TestBadFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -22,6 +22,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"expvar"
 	"fmt"
 	"time"
@@ -115,26 +116,41 @@ func (s *panicStream) Next() (trace.Record, bool) {
 // record, modeling a slow or intermittently wedged generator. Stalls
 // change timing only, never records: a stalled run must produce exactly
 // the un-stalled counts (or a deadline error, if the scheduler's
-// Policy.JobTimeout bounds the attempt first).
+// Policy.JobTimeout bounds the attempt first). Stall's pauses are
+// uninterruptible sleeps; use StallContext when the consumer holds a
+// cancelable context and must not wait out a stall already in progress.
 func Stall(src trace.Source, every int, d time.Duration) trace.Source {
+	return StallContext(context.Background(), src, every, d)
+}
+
+// StallContext is Stall bound to a context: a pause in progress unblocks
+// promptly when ctx is canceled, and the interrupted stream surfaces
+// ctx's error (wrapped, via panic) instead of silently ending short —
+// truncation is Truncate's fault class, not Stall's. The panic lands in
+// the scheduler's per-job recovery as the cell's Result.Err with the
+// context sentinel intact, and TestStallContextCancel pins the unblock
+// bound.
+func StallContext(ctx context.Context, src trace.Source, every int, d time.Duration) trace.Source {
 	if every < 1 {
 		every = 1
 	}
-	return &stallSource{wrap{src}, every, d}
+	return &stallSource{wrap{src}, ctx, every, d}
 }
 
 type stallSource struct {
 	wrap
+	ctx   context.Context
 	every int
 	d     time.Duration
 }
 
 func (s *stallSource) Stream() trace.Stream {
-	return &stallStream{st: s.src.Stream(), every: s.every, d: s.d}
+	return &stallStream{st: s.src.Stream(), ctx: s.ctx, every: s.every, d: s.d}
 }
 
 type stallStream struct {
 	st    trace.Stream
+	ctx   context.Context
 	every int
 	d     time.Duration
 	n     int
@@ -143,10 +159,32 @@ type stallStream struct {
 func (s *stallStream) Next() (trace.Record, bool) {
 	if s.n%s.every == 0 {
 		faultsInjected.Add(1)
-		time.Sleep(s.d)
+		if !sleepUnless(s.ctx, s.d) {
+			panic(fmt.Errorf("faults: stall interrupted: %w", s.ctx.Err()))
+		}
 	}
 	s.n++
 	return s.st.Next()
+}
+
+// sleepUnless sleeps for d, returning false early if ctx is canceled
+// first. A context that can never cancel sleeps plainly, timer-free.
+func sleepUnless(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	if err := ctx.Err(); err != nil {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Corrupt returns a source that round-trips src through the binary trace

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+)
+
+// Network-layer injectors for the prediction service's chaos harness
+// (internal/serve): where the source injectors above model faulty
+// workload generators inside one process, these model a faulty client on
+// the other end of an HTTP connection — request bodies that dribble in
+// (slow loris), cut off mid-stream (a dropped connection), or arrive
+// bit-flipped (corruption in transit or at rest on the client). They are
+// plain io.Reader wrappers, so they slot directly into http.Request
+// bodies and exercise exactly the read paths a real degraded network
+// would. Each counts its activations in sim_faults_injected like every
+// other injector.
+
+// ErrInjectedCut is the error a CutReader fails with once its budget is
+// spent, modeling a connection dropped mid-body. The HTTP client turns
+// it into a transport error; the server sees a truncated body.
+var ErrInjectedCut = errors.New("faults: injected connection cut")
+
+// SlowReader returns a reader that delivers r's bytes at most chunk at a
+// time, pausing d before each chunk — a deterministic slow loris. The
+// pause is context-aware: once ctx is canceled, Read returns ctx's error
+// promptly instead of sleeping through it, so a deadline-bounded request
+// using the reader as its body terminates within the deadline plus at
+// most one scheduling quantum, never after the full dribble.
+func SlowReader(ctx context.Context, r io.Reader, chunk int, d time.Duration) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowReader{ctx: ctx, r: r, chunk: chunk, d: d}
+}
+
+type slowReader struct {
+	ctx   context.Context
+	r     io.Reader
+	chunk int
+	d     time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, err
+	}
+	faultsInjected.Add(1)
+	if !sleepUnless(s.ctx, s.d) {
+		return 0, s.ctx.Err()
+	}
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.r.Read(p)
+}
+
+// CutReader returns a reader that delivers the first n bytes of r and
+// then fails with ErrInjectedCut — mid-stream truncation that, unlike a
+// clean EOF, is distinguishable from a short-but-complete body. n <= 0
+// cuts immediately.
+func CutReader(r io.Reader, n int) io.Reader {
+	return &cutReader{r: r, left: n}
+}
+
+type cutReader struct {
+	r    io.Reader
+	left int
+	cut  bool
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		if !c.cut {
+			c.cut = true
+			faultsInjected.Add(1)
+		}
+		return 0, ErrInjectedCut
+	}
+	if len(p) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= n
+	return n, err
+}
+
+// FlipByte returns a copy of data with one bit flipped at offset pos
+// (mod the length past the 4-byte magic, mirroring Corrupt's contract so
+// a flipped trace body still sniffs as its format and fails in the
+// decoder, not the dispatcher). Bodies of 4 bytes or fewer are returned
+// unchanged — there is nothing past the magic to corrupt.
+func FlipByte(data []byte, pos int64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) > 4 {
+		i := 4 + int(pos%int64(len(out)-4))
+		out[i] ^= 0x40
+		faultsInjected.Add(1)
+	}
+	return out
+}

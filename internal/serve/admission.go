@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Admission control: the three gates that keep an overloaded server
+// degrading predictably — 429 with a truthful Retry-After — instead of
+// collapsing into unbounded memory or latency.
+//
+//  1. A session cap (Config.MaxSessions): the total number of live
+//     sessions, resident or spilled, is bounded; creation past the cap
+//     is refused.
+//  2. An in-flight gate (Config.MaxInFlight): a semaphore over
+//     concurrently executing session requests. Excess requests are
+//     rejected immediately rather than queued, so latency under
+//     overload stays flat and the client's Retry-After is honest.
+//  3. A token-bucket on ingested records (Config.IngestRate/IngestBurst):
+//     the shared budget for how fast the server will simulate, across
+//     all sessions. A request whose batch exceeds the available tokens
+//     is refused with the exact wait that would cover the deficit.
+//
+// Memory is additionally bounded by the resident-predictor LRU (see
+// Server.enforceResidentCap): admission never needs to account for
+// predictor storage because eviction keeps it capped independently.
+
+// httpError is an error that knows its status code; ingest and session
+// machinery return it up to the handlers, which render it as JSON (with
+// a Retry-After header when the error carries a wait).
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// overloadError builds the 429 the gates share.
+func overloadError(what string, retryAfter time.Duration) *httpError {
+	return &httpError{
+		code:       http.StatusTooManyRequests,
+		msg:        "overloaded: " + what,
+		retryAfter: retryAfter,
+	}
+}
+
+// tokenBucket is a standard leaky-bucket rate limiter over a float
+// token count, with an injectable clock so tests (and the chaos
+// schedules) are deterministic. rate <= 0 disables it.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < rate {
+		burst = rate
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now}
+	b.last = now()
+	return b
+}
+
+// take withdraws n tokens if available. When they are not, it reports
+// the wait after which the deficit would have refilled; nothing is
+// withdrawn, so a retried request is charged once. A nil bucket admits
+// everything.
+func (b *tokenBucket) take(n int) (time.Duration, bool) {
+	if b == nil || n <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	need := float64(n)
+	if need > b.burst {
+		// A batch larger than the bucket can never succeed; report the
+		// time to refill the whole burst so the client learns to chunk.
+		return time.Duration(b.burst / b.rate * float64(time.Second)), false
+	}
+	if b.tokens >= need {
+		b.tokens -= need
+		return 0, true
+	}
+	wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait, false
+}
+
+// inflightGate is the request-concurrency semaphore.
+type inflightGate chan struct{}
+
+func newInflightGate(n int) inflightGate {
+	if n <= 0 {
+		return nil
+	}
+	return make(inflightGate, n)
+}
+
+// tryAcquire claims a slot without blocking; a nil gate always admits.
+func (g inflightGate) tryAcquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g inflightGate) release() {
+	if g != nil {
+		<-g
+	}
+}
+
+// retryAfterHeader formats a wait as the whole-second Retry-After value
+// HTTP requires, rounding up so the client never retries early.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, rerun with -update.",
+			name, got, want)
+	}
+}
+
+// goldenGet performs one request against a fixed-clock server and
+// returns status plus raw body.
+func goldenGet(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func goldenServer(t *testing.T) *Server {
+	t.Helper()
+	fixed := time.Unix(1700000000, 0)
+	s, err := New(Config{Dir: t.TempDir(), Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestGoldenHealthz pins the /healthz payload.
+func TestGoldenHealthz(t *testing.T) {
+	code, body := goldenGet(t, goldenServer(t), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	checkGolden(t, "healthz.json.golden", body)
+}
+
+// TestGoldenReadyz pins both readiness states.
+func TestGoldenReadyz(t *testing.T) {
+	s := goldenServer(t)
+	code, body := goldenGet(t, s, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+	checkGolden(t, "readyz.json.golden", body)
+
+	s.BeginDrain()
+	code, body = goldenGet(t, s, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d", code)
+	}
+	checkGolden(t, "readyz_draining.json.golden", body)
+}
+
+// TestGoldenVarz pins the /varz document shape: every counter name the
+// dashboards key on, with the timing-and-load-dependent values zeroed
+// (uptime is already 0 under the fixed clock; the process-wide sim_*
+// counters are shared with every other test in the binary, so only
+// their presence is pinned, not their values).
+func TestGoldenVarz(t *testing.T) {
+	s := goldenServer(t)
+	code, body := goldenGet(t, s, "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("varz: %d", code)
+	}
+	var v varzPayload
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("varz is not valid JSON: %v\n%s", err, body)
+	}
+	for k := range v.Process {
+		v.Process[k] = json.RawMessage("0")
+	}
+	normalized, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "varz.json.golden", string(normalized)+"\n")
+}
+
+// TestRouteSmoke hits every registered route once, pinning the
+// status-code surface (including method discipline: the mux's method
+// patterns must reject mismatched verbs).
+func TestRouteSmoke(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	rep := createSession(t, base, "smith:a=12")
+
+	cases := []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{"GET", "/healthz", "", http.StatusOK},
+		{"GET", "/readyz", "", http.StatusOK},
+		{"GET", "/varz", "", http.StatusOK},
+		{"GET", "/v1/sessions", "", http.StatusOK},
+		{"GET", "/v1/sessions/" + rep.ID, "", http.StatusOK},
+		{"POST", "/v1/sessions/" + rep.ID + "/branches", "0x10 1\n", http.StatusOK},
+		{"GET", "/v1/sessions/nope", "", http.StatusNotFound},
+		{"POST", "/v1/sessions/nope/branches", "0x10 1\n", http.StatusNotFound},
+		{"DELETE", "/v1/sessions/nope", "", http.StatusNotFound},
+		{"PUT", "/v1/sessions", "", http.StatusMethodNotAllowed},
+		{"DELETE", "/healthz", "", http.StatusMethodNotAllowed},
+		{"GET", "/nope", "", http.StatusNotFound},
+		{"DELETE", "/v1/sessions/" + rep.ID, "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		var body io.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		}
+		req, err := http.NewRequest(tc.method, base+tc.path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}

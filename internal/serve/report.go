@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+)
+
+// Wire types for the service's JSON responses. Reports deliberately carry
+// no timestamps or timing — only simulation state — so a report is a pure
+// function of the branches committed to the session, and the kill-and-
+// resume equivalence test can demand byte-identical bytes across a crash.
+
+// Report is the session report returned by GET /v1/sessions/{id} and,
+// incrementally, by every successful ingest.
+type Report struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Cursor is the number of records committed so far; after a crash or
+	// eviction a client resumes by re-streaming its capture from this
+	// offset. It is the durability watermark: everything below it
+	// survives any kill, everything above it was never acknowledged.
+	Cursor  int `json:"cursor"`
+	Statics int `json:"statics"`
+	// Footnotes record graceful degradation: specs rejected at creation,
+	// specs disabled by a runtime failure. A report with footnotes is
+	// partial by declaration, never silently.
+	Footnotes []string     `json:"footnotes,omitempty"`
+	Specs     []SpecReport `json:"specs"`
+}
+
+// SpecReport is one predictor's slice of a Report.
+type SpecReport struct {
+	Spec        string  `json:"spec"`
+	Predictor   string  `json:"predictor,omitempty"`
+	CostBytes   float64 `json:"cost_bytes,omitempty"`
+	Mispredicts int64   `json:"mispredicts"`
+	// MispredictRate is mispredicts over the session cursor (0 when no
+	// records have been committed).
+	MispredictRate float64 `json:"mispredict_rate"`
+	// Failed marks a spec disabled by a runtime failure; its counts are
+	// frozen at the point of failure and the session's footnotes say why.
+	Failed   bool            `json:"failed,omitempty"`
+	Aliasing *AliasingReport `json:"aliasing,omitempty"`
+	Top      []H2PEntry      `json:"top,omitempty"`
+}
+
+// AliasingReport is the streaming aliasing proxy for predictor.Indexed
+// families: how often a consulted second-level counter was last consulted
+// by a different static branch (a conflict), and how many of those
+// conflicts coincided with a mispredict (destructive, the paper's
+// Section 3 failure mode).
+type AliasingReport struct {
+	Counters    int   `json:"counters"`
+	Conflicts   int64 `json:"conflicts"`
+	Destructive int64 `json:"destructive"`
+}
+
+// H2PEntry is one static branch in a spec's hard-to-predict ranking,
+// mirroring the H2P top-N of internal/sim's observability reports.
+type H2PEntry struct {
+	Static      int    `json:"static"`
+	PC          string `json:"pc"`
+	Occurrences int64  `json:"occurrences"`
+	Mispredicts int64  `json:"mispredicts"`
+}
+
+// h2pTop ranks statics by per-spec mispredicts (descending, then by
+// static id for determinism), keeping the top n.
+func h2pTop(miss []int64, occ []int64, pcs []uint64, n int) []H2PEntry {
+	if n <= 0 {
+		return nil
+	}
+	var out []H2PEntry
+	for st, m := range miss {
+		if m > 0 {
+			out = append(out, H2PEntry{Static: st, Mispredicts: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].Static < out[j].Static
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	for i := range out {
+		st := out[i].Static
+		out[i].Occurrences = occ[st]
+		out[i].PC = pcHex(pcs[st])
+	}
+	return out
+}
+
+// pcHex formats a branch address the way the text import accepts it back.
+func pcHex(pc uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 0, 18)
+	buf = append(buf, '0', 'x')
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := byte(pc>>uint(shift)) & 0xf
+		if d != 0 || started || shift == 0 {
+			started = true
+			buf = append(buf, digits[d])
+		}
+	}
+	return string(buf)
+}
+
+// ingestResult is the body of a successful POST .../branches: the updated
+// report plus what this request contributed.
+type ingestResult struct {
+	Accepted int    `json:"accepted"`
+	Report   Report `json:"report"`
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// writeError renders err as the JSON envelope, honoring an httpError's
+// status and Retry-After; anything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if !errors.As(err, &he) {
+		he = &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterHeader(he.retryAfter))
+	}
+	writeJSON(w, he.code, errorBody{Error: he.msg})
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -262,6 +263,108 @@ func TestJournalRejectsDamage(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestJournalConcurrentSessions pins the one-writer-per-journal contract
+// (DESIGN.md §11): a Journal serializes appends from the worker
+// goroutines of ONE scheduler, but nothing coordinates two schedulers
+// sharing a file — so concurrent sessions must each own a private
+// journal. This test runs several sessions in parallel under -race, each
+// with its own journal and its own mid-run kill, then resumes every
+// session concurrently and demands per-session results identical to an
+// uninterrupted control. Cross-session interference of any kind — shared
+// state in the journal layer, cache slots leaking between files —
+// surfaces here as a diff or a race report.
+func TestJournalConcurrentSessions(t *testing.T) {
+	traces := suiteTraces()
+	const sessions = 4
+	dir := t.TempDir()
+
+	type session struct {
+		path string
+		key  string
+		jobs []sim.Job
+		want []sim.Result
+	}
+	specs := []string{"smith:a=12", "bimode:b=11", "gshare:i=12,h=12", "trimode:b=10"}
+	svs := make([]*session, sessions)
+	for i := range svs {
+		spec := specs[i%len(specs)]
+		var jobs []sim.Job
+		for _, mem := range traces[:6] {
+			mem := mem
+			jobs = append(jobs, sim.Job{
+				Make:   func() predictor.Predictor { return zoo.MustNew(spec) },
+				Source: mem,
+			})
+		}
+		svs[i] = &session{
+			path: filepath.Join(dir, spec[:strings.IndexByte(spec, ':')]+".ckpt"),
+			key:  "session-" + spec,
+			jobs: jobs,
+			want: sim.NewScheduler(0).RunAll(jobs),
+		}
+	}
+
+	// Phase 1: all sessions journal concurrently, each killed after a few
+	// completed cells of its own (a per-session OnCell, not a global one).
+	var wg sync.WaitGroup
+	for _, sv := range svs {
+		sv := sv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, err := sim.CreateJournal(sv.path, sv.key)
+			if err != nil {
+				t.Errorf("%s: CreateJournal: %v", sv.key, err)
+				return
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var n atomic.Int64
+			j.OnCell = func(int, int, sim.Result) {
+				if n.Add(1) == 3 {
+					cancel()
+				}
+			}
+			sim.NewScheduler(4).WithContext(ctx).WithJournal(j).RunAll(sv.jobs)
+			if err := j.Close(); err != nil {
+				t.Errorf("%s: Close: %v", sv.key, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: all sessions resume concurrently; every one must land on
+	// its own uninterrupted results, with at least one cell served from
+	// its own cache (proof the right file fed the right session).
+	for _, sv := range svs {
+		sv := sv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, err := sim.ResumeJournal(sv.path, sv.key)
+			if err != nil {
+				t.Errorf("%s: ResumeJournal: %v", sv.key, err)
+				return
+			}
+			defer j.Close()
+			if j.Cells() == 0 {
+				t.Errorf("%s: resumed journal is empty; the kill leg journaled nothing", sv.key)
+				return
+			}
+			got := sim.NewScheduler(4).WithJournal(j).RunAll(sv.jobs)
+			for i := range sv.want {
+				if got[i] != sv.want[i] {
+					t.Errorf("%s cell %d: resumed %+v != uninterrupted %+v", sv.key, i, got[i], sv.want[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestJournalIgnoresMismatchedCell: a cached cell whose workload does not

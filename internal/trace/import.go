@@ -35,23 +35,66 @@ func IsColumnar(data []byte) bool {
 	return len(data) >= len(columnarMagic) && string(data[:len(columnarMagic)]) == columnarMagic
 }
 
-// ImportText parses a simple external branch capture into a trace: one
-// dynamic branch per line as "pc taken" or "pc,taken" (CSV), where pc is
-// hexadecimal (with or without 0x) or decimal and taken is 1/0, t/n,
-// T/N, taken/not. Blank lines and lines starting with '#' are skipped.
-// Static site ids are assigned densely in first-appearance order of the
-// PC, which is exactly the identifier contract workload generators
-// follow, so imported traces flow through the simulator, the scheduler
-// and the columnar writer like any synthetic workload.
-func ImportText(r io.Reader, name string) (*Memory, error) {
+// TextScanner parses a simple external branch capture record at a time:
+// one dynamic branch per line as "pc taken" or "pc,taken" (CSV), where
+// pc is hexadecimal (with or without 0x) or decimal and taken is 1/0,
+// t/n, T/N, taken/not. Blank lines and lines starting with '#' are
+// skipped. Static site ids are assigned densely in first-appearance
+// order of the PC — the identifier contract workload generators follow —
+// and the site table can be seeded and carried across scanners, which is
+// how a long-running ingest (cmd/predserve) keeps one consistent id
+// space over many request bodies without ever materializing a whole
+// capture.
+//
+// Usage follows bufio.Scanner: Scan until it returns false, reading each
+// Record, then check Err. Errors carry the one-based line number of the
+// offending line (blank and comment lines count), exactly as ImportText
+// reports them.
+type TextScanner struct {
+	sc     *bufio.Scanner
+	sites  map[uint64]uint32
+	rec    Record
+	err    error
+	lineNo int
+}
+
+// NewTextScanner returns a scanner over r with a fresh site table.
+func NewTextScanner(r io.Reader) *TextScanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var recs []Record
-	sites := map[uint64]uint32{}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &TextScanner{sc: sc, sites: map[uint64]uint32{}}
+}
+
+// SetSites replaces the scanner's site table with sites (pc -> static
+// id), so new PCs extend an existing id space. The map is used directly,
+// not copied; ids already present must be dense in [0, len(sites)).
+func (s *TextScanner) SetSites(sites map[uint64]uint32) {
+	if sites == nil {
+		sites = map[uint64]uint32{}
+	}
+	s.sites = sites
+}
+
+// Sites exposes the scanner's live site table: every PC seen so far
+// mapped to its dense static id. Callers must not mutate it mid-scan.
+func (s *TextScanner) Sites() map[uint64]uint32 { return s.sites }
+
+// Record returns the record parsed by the last successful Scan.
+func (s *TextScanner) Record() Record { return s.rec }
+
+// Err returns the first error the scan hit, nil at clean end of input.
+func (s *TextScanner) Err() error { return s.err }
+
+// Scan advances to the next record, skipping blanks and comments. It
+// returns false at end of input or on the first malformed line; Err
+// distinguishes the two.
+func (s *TextScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -62,29 +105,47 @@ func ImportText(r io.Reader, name string) (*Memory, error) {
 			fields = strings.Fields(line)
 		}
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("trace: import line %d: need \"pc taken\", got %q", lineNo, line)
+			s.err = fmt.Errorf("trace: import line %d: need \"pc taken\", got %q", s.lineNo, line)
+			return false
 		}
 		pc, err := parsePC(strings.TrimSpace(fields[0]))
 		if err != nil {
-			return nil, fmt.Errorf("trace: import line %d: %v", lineNo, err)
+			s.err = fmt.Errorf("trace: import line %d: %v", s.lineNo, err)
+			return false
 		}
 		taken, err := parseTaken(strings.TrimSpace(fields[1]))
 		if err != nil {
-			return nil, fmt.Errorf("trace: import line %d: %v", lineNo, err)
+			s.err = fmt.Errorf("trace: import line %d: %v", s.lineNo, err)
+			return false
 		}
-		st, ok := sites[pc]
+		st, ok := s.sites[pc]
 		if !ok {
-			st = uint32(len(sites))
-			sites[pc] = st
+			st = uint32(len(s.sites))
+			s.sites[pc] = st
 		}
-		recs = append(recs, Record{PC: pc, Static: st, Taken: taken})
+		s.rec = Record{PC: pc, Static: st, Taken: taken}
+		return true
 	}
-	if err := sc.Err(); err != nil {
+	if err := s.sc.Err(); err != nil {
 		// A scanner error surfaces while reading the line after the last
 		// one delivered, so the failing line is lineNo+1.
-		return nil, fmt.Errorf("trace: import line %d: %w", lineNo+1, err)
+		s.err = fmt.Errorf("trace: import line %d: %w", s.lineNo+1, err)
 	}
-	statics := len(sites)
+	return false
+}
+
+// ImportText drains a TextScanner over r into a materialized trace; see
+// TextScanner for the accepted formats and the error contract.
+func ImportText(r io.Reader, name string) (*Memory, error) {
+	sc := NewTextScanner(r)
+	var recs []Record
+	for sc.Scan() {
+		recs = append(recs, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	statics := len(sc.Sites())
 	if statics == 0 {
 		statics = 1 // a well-formed empty trace still declares a site space
 	}

@@ -109,6 +109,90 @@ func TestImportTextScannerError(t *testing.T) {
 	}
 }
 
+// TestTextScannerStreaming: the record-at-a-time scanner yields exactly
+// what ImportText materializes, and a seeded site table carried across
+// two scanners assigns one consistent id space — the contract predserve
+// relies on when a session's trace arrives over many request bodies.
+func TestTextScannerStreaming(t *testing.T) {
+	in := "0x1000 1\n0x2000 0\n0x1000 0\n# note\n0x3000 t\n"
+	want, err := ImportText(strings.NewReader(in), "w")
+	if err != nil {
+		t.Fatalf("ImportText: %v", err)
+	}
+	sc := NewTextScanner(strings.NewReader(in))
+	var got []Record
+	for sc.Scan() {
+		got = append(got, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanner: %v", err)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("scanner yielded %d records, ImportText %d", len(got), want.Len())
+	}
+	for i, r := range want.Records() {
+		if got[i] != r {
+			t.Errorf("record %d: scanner %+v != ImportText %+v", i, got[i], r)
+		}
+	}
+
+	// Split the same capture across two bodies sharing one site table:
+	// ids must continue, not restart.
+	sc1 := NewTextScanner(strings.NewReader("0x1000 1\n0x2000 0\n"))
+	for sc1.Scan() {
+	}
+	if err := sc1.Err(); err != nil {
+		t.Fatalf("first body: %v", err)
+	}
+	sc2 := NewTextScanner(strings.NewReader("0x1000 0\n0x3000 t\n"))
+	sc2.SetSites(sc1.Sites())
+	var second []Record
+	for sc2.Scan() {
+		second = append(second, sc2.Record())
+	}
+	if err := sc2.Err(); err != nil {
+		t.Fatalf("second body: %v", err)
+	}
+	if second[0].Static != 0 {
+		t.Errorf("0x1000 in the second body got id %d, want the seeded 0", second[0].Static)
+	}
+	if second[1].Static != 2 {
+		t.Errorf("new pc 0x3000 got id %d, want 2 (continuing the seeded space)", second[1].Static)
+	}
+	if n := len(sc2.Sites()); n != 3 {
+		t.Errorf("combined site table has %d entries, want 3", n)
+	}
+}
+
+// TestTextScannerErrorStops: after a malformed line the scanner stays
+// stopped — Scan keeps returning false and Err keeps the first error —
+// and the line number matches ImportText's report for the same input.
+func TestTextScannerErrorStops(t *testing.T) {
+	in := "0x1000 1\n0x2000 maybe\n0x3000 1\n"
+	sc := NewTextScanner(strings.NewReader(in))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scanner delivered %d records before the bad line, want 1", n)
+	}
+	err := sc.Err()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("scanner error %v does not name line 2", err)
+	}
+	if sc.Scan() {
+		t.Errorf("Scan returned true after an error")
+	}
+	if sc.Err() != err {
+		t.Errorf("Err changed after the failed re-Scan")
+	}
+	_, ierr := ImportText(strings.NewReader(in), "w")
+	if ierr == nil || ierr.Error() != err.Error() {
+		t.Errorf("ImportText error %q != scanner error %q", ierr, err)
+	}
+}
+
 // TestImportTextEmpty: a capture of only blanks and comments is a
 // well-formed empty trace that still declares one static site.
 func TestImportTextEmpty(t *testing.T) {
